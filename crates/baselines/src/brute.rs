@@ -1,0 +1,110 @@
+//! Textbook O(n²) DBSCAN, used as the correctness oracle.
+//!
+//! This follows the standard definition (§2 of the paper) literally: core
+//! points are those with at least minPts points within ε; two core points are
+//! in the same cluster iff they are connected by a chain of core points with
+//! consecutive distances at most ε; every non-core point joins the cluster of
+//! every core point within ε of it.
+
+use crate::BaselineClustering;
+use geom::Point;
+use unionfind::SequentialUnionFind;
+
+/// Runs the O(n²) reference DBSCAN.
+pub fn brute_force_dbscan<const D: usize>(
+    points: &[Point<D>],
+    eps: f64,
+    min_pts: usize,
+) -> BaselineClustering {
+    let n = points.len();
+    let eps_sq = eps * eps;
+
+    // Core flags.
+    let core: Vec<bool> = (0..n)
+        .map(|i| {
+            points
+                .iter()
+                .filter(|q| points[i].dist_sq(q) <= eps_sq)
+                .count()
+                >= min_pts
+        })
+        .collect();
+
+    // Connect core points within eps.
+    let mut uf = SequentialUnionFind::new(n);
+    for i in 0..n {
+        if !core[i] {
+            continue;
+        }
+        for j in i + 1..n {
+            if core[j] && points[i].dist_sq(&points[j]) <= eps_sq {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    // Assign clusters: core points get their component; non-core points join
+    // every cluster owning a core point within eps.
+    let mut raw: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if core[i] {
+            raw[i] = vec![uf.find(i)];
+        } else {
+            let mut memberships: Vec<usize> = (0..n)
+                .filter(|&j| core[j] && points[i].dist_sq(&points[j]) <= eps_sq)
+                .map(|j| uf.find(j))
+                .collect();
+            memberships.sort_unstable();
+            memberships.dedup();
+            raw[i] = memberships;
+        }
+    }
+    BaselineClustering::from_raw(core, raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point2;
+
+    #[test]
+    fn two_clusters_and_noise() {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(Point2::new([0.1 * i as f64, 0.0]));
+        }
+        for i in 0..5 {
+            pts.push(Point2::new([10.0 + 0.1 * i as f64, 0.0]));
+        }
+        pts.push(Point2::new([5.0, 5.0]));
+        let c = brute_force_dbscan(&pts, 0.5, 3);
+        assert_eq!(c.num_clusters, 2);
+        assert!(c.clusters[10].is_empty());
+        assert_eq!(c.clusters[0], c.clusters[4]);
+        assert_ne!(c.clusters[0], c.clusters[5]);
+    }
+
+    #[test]
+    fn border_points_can_belong_to_two_clusters() {
+        // Same fixture as the core crate's border test.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point2::new([0.0, 0.3 * i as f64]));
+        }
+        for i in 0..10 {
+            pts.push(Point2::new([2.0, 0.3 * i as f64]));
+        }
+        pts.push(Point2::new([1.0, 0.0]));
+        let c = brute_force_dbscan(&pts, 1.0, 4);
+        assert!(!c.core[20]);
+        assert_eq!(c.clusters[20].len(), 2);
+        assert_eq!(c.num_clusters, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = brute_force_dbscan::<2>(&[], 1.0, 3);
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters, 0);
+    }
+}

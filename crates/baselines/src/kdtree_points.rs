@@ -1,0 +1,205 @@
+//! A k-d tree over points supporting ε-range queries, used by the point-wise
+//! baseline algorithms (the paper's §7.2 baseline and the PDSDBSCAN-style
+//! variant). Construction recurses in parallel; queries are read-only.
+
+use geom::{BoundingBox, Point};
+use rayon::join;
+
+const LEAF_SIZE: usize = 32;
+const PARALLEL_CUTOFF: usize = 4096;
+
+struct Node<const D: usize> {
+    bounds: BoundingBox<D>,
+    /// Indices into the original point array (leaf nodes only).
+    items: Vec<usize>,
+    children: Option<(Box<Node<D>>, Box<Node<D>>)>,
+}
+
+/// A k-d tree over a borrowed-then-copied point set, reporting original point
+/// indices from range queries.
+pub struct PointKdTree<const D: usize> {
+    points: Vec<Point<D>>,
+    root: Option<Node<D>>,
+}
+
+impl<const D: usize> PointKdTree<D> {
+    /// Builds the tree.
+    pub fn build(points: &[Point<D>]) -> Self {
+        let pts = points.to_vec();
+        let root = if pts.is_empty() {
+            None
+        } else {
+            let ids: Vec<usize> = (0..pts.len()).collect();
+            Some(build_node(&pts, ids))
+        };
+        PointKdTree { points: pts, root }
+    }
+
+    /// Number of points indexed.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within distance `eps` (inclusive) of `q`,
+    /// in unspecified order.
+    pub fn within(&self, q: &Point<D>, eps: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            collect(root, &self.points, q, eps * eps, &mut out);
+        }
+        out
+    }
+
+    /// Number of points within distance `eps` (inclusive) of `q`, stopping
+    /// early once `cap` is reached (pass `usize::MAX` for an exact count).
+    pub fn count_within(&self, q: &Point<D>, eps: f64, cap: usize) -> usize {
+        match &self.root {
+            None => 0,
+            Some(root) => count(root, &self.points, q, eps * eps, cap),
+        }
+    }
+}
+
+fn build_node<const D: usize>(points: &[Point<D>], ids: Vec<usize>) -> Node<D> {
+    let pts_of: Vec<Point<D>> = ids.iter().map(|&i| points[i]).collect();
+    let bounds = BoundingBox::containing(&pts_of).expect("non-empty node");
+    if ids.len() <= LEAF_SIZE {
+        return Node { bounds, items: ids, children: None };
+    }
+    let axis = (0..D)
+        .max_by(|&a, &b| {
+            (bounds.hi[a] - bounds.lo[a])
+                .partial_cmp(&(bounds.hi[b] - bounds.lo[b]))
+                .unwrap()
+        })
+        .unwrap_or(0);
+    let mut sorted = ids;
+    sorted.sort_by(|&a, &b| {
+        points[a].coords[axis]
+            .partial_cmp(&points[b].coords[axis])
+            .unwrap()
+    });
+    let right_ids = sorted.split_off(sorted.len() / 2);
+    let left_ids = sorted;
+    let (left, right) = if left_ids.len() + right_ids.len() >= PARALLEL_CUTOFF {
+        join(|| build_node(points, left_ids), || build_node(points, right_ids))
+    } else {
+        (build_node(points, left_ids), build_node(points, right_ids))
+    };
+    Node { bounds, items: Vec::new(), children: Some((Box::new(left), Box::new(right))) }
+}
+
+fn collect<const D: usize>(
+    node: &Node<D>,
+    points: &[Point<D>],
+    q: &Point<D>,
+    eps_sq: f64,
+    out: &mut Vec<usize>,
+) {
+    if node.bounds.dist_sq_to_point(q) > eps_sq {
+        return;
+    }
+    if let Some((l, r)) = &node.children {
+        collect(l, points, q, eps_sq, out);
+        collect(r, points, q, eps_sq, out);
+    } else {
+        for &i in &node.items {
+            if points[i].dist_sq(q) <= eps_sq {
+                out.push(i);
+            }
+        }
+    }
+}
+
+fn count<const D: usize>(
+    node: &Node<D>,
+    points: &[Point<D>],
+    q: &Point<D>,
+    eps_sq: f64,
+    cap: usize,
+) -> usize {
+    if node.bounds.dist_sq_to_point(q) > eps_sq {
+        return 0;
+    }
+    if node.bounds.max_dist_sq_to_point(q) <= eps_sq {
+        return node_size(node).min(cap);
+    }
+    if let Some((l, r)) = &node.children {
+        let left = count(l, points, q, eps_sq, cap);
+        if left >= cap {
+            return cap;
+        }
+        (left + count(r, points, q, eps_sq, cap - left)).min(cap)
+    } else {
+        node.items
+            .iter()
+            .filter(|&&i| points[i].dist_sq(q) <= eps_sq)
+            .count()
+            .min(cap)
+    }
+}
+
+fn node_size<const D: usize>(node: &Node<D>) -> usize {
+    match &node.children {
+        None => node.items.len(),
+        Some((l, r)) => node_size(l) + node_size(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn range_queries_match_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts: Vec<Point<3>> = (0..2000)
+            .map(|_| {
+                Point::new([
+                    rng.gen_range(0.0..20.0),
+                    rng.gen_range(0.0..20.0),
+                    rng.gen_range(0.0..20.0),
+                ])
+            })
+            .collect();
+        let tree = PointKdTree::build(&pts);
+        assert_eq!(tree.len(), 2000);
+        for _ in 0..100 {
+            let q = Point::new([
+                rng.gen_range(0.0..20.0),
+                rng.gen_range(0.0..20.0),
+                rng.gen_range(0.0..20.0),
+            ]);
+            let eps = rng.gen_range(0.5..3.0);
+            let mut got = tree.within(&q, eps);
+            got.sort_unstable();
+            let want: Vec<usize> = (0..pts.len())
+                .filter(|&i| pts[i].dist_sq(&q) <= eps * eps)
+                .collect();
+            assert_eq!(got, want);
+            assert_eq!(tree.count_within(&q, eps, usize::MAX), want.len());
+            assert_eq!(tree.count_within(&q, eps, 3), want.len().min(3));
+        }
+    }
+
+    #[test]
+    fn empty_tree_answers_empty() {
+        let tree = PointKdTree::<2>::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.within(&Point::new([0.0, 0.0]), 10.0).is_empty());
+        assert_eq!(tree.count_within(&Point::new([0.0, 0.0]), 10.0, usize::MAX), 0);
+    }
+
+    #[test]
+    fn duplicate_points_are_all_reported() {
+        let pts = vec![Point::new([1.0, 1.0]); 100];
+        let tree = PointKdTree::build(&pts);
+        assert_eq!(tree.within(&Point::new([1.0, 1.0]), 0.0).len(), 100);
+    }
+}

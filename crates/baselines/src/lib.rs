@@ -1,0 +1,115 @@
+//! Baseline DBSCAN implementations used in the evaluation.
+//!
+//! The paper compares its algorithms against slower but simpler approaches;
+//! this crate provides in-process stand-ins with the same *cost structure* as
+//! the systems the paper measured (see DESIGN.md §4 for the substitution
+//! argument):
+//!
+//! * [`brute`] — the O(n²) textbook DBSCAN, used as the correctness oracle in
+//!   tests (never benchmarked at scale).
+//! * [`naive_parallel`] — the paper's own baseline (§7.2): the original
+//!   point-wise DBSCAN of Ester et al., parallelized by answering every
+//!   point's ε-range query against a k-d tree over the points, then
+//!   connecting core points with a union-find. Like HPDBSCAN/PDSDBSCAN its
+//!   range-query cost grows with ε and does not depend on minPts.
+//! * [`disjoint_set`] — a PDSDBSCAN-style variant that interleaves range
+//!   queries with lock-based union-find merging.
+//! * [`sequential`] — an optimized *sequential* grid-based exact DBSCAN (the
+//!   Gan–Tao-style serial baseline the parallel speedups are measured
+//!   against).
+//!
+//! All baselines produce the standard DBSCAN clustering in the same
+//! [`BaselineClustering`] shape, so they can be compared 1:1 with
+//! `pardbscan`'s output in tests and benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod disjoint_set;
+pub mod kdtree_points;
+pub mod naive_parallel;
+pub mod sequential;
+
+pub use brute::brute_force_dbscan;
+pub use disjoint_set::disjoint_set_dbscan;
+pub use kdtree_points::PointKdTree;
+pub use naive_parallel::naive_parallel_dbscan;
+pub use sequential::sequential_grid_dbscan;
+
+/// A clustering in the flat shape shared by all baselines: per-point core
+/// flags and per-point sorted sets of cluster ids (empty ⇒ noise), with
+/// cluster ids canonicalized by order of first appearance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineClustering {
+    /// Per-point core flags.
+    pub core: Vec<bool>,
+    /// Per-point sorted cluster-id sets (empty for noise).
+    pub clusters: Vec<Vec<usize>>,
+    /// Number of distinct clusters.
+    pub num_clusters: usize,
+}
+
+impl BaselineClustering {
+    /// Canonicalizes raw per-point cluster-id sets, mirroring
+    /// `pardbscan::Clustering::from_raw` (cluster ids are assigned in order of
+    /// each cluster's first *core* point) so the two can be compared field by
+    /// field.
+    pub fn from_raw(core: Vec<bool>, raw: Vec<Vec<usize>>) -> Self {
+        let mut remap = std::collections::HashMap::new();
+        for (i, ids) in raw.iter().enumerate() {
+            if core[i] {
+                for &c in ids {
+                    let next = remap.len();
+                    remap.entry(c).or_insert(next);
+                }
+            }
+        }
+        let mut clusters = Vec::with_capacity(raw.len());
+        for ids in &raw {
+            let mut mapped: Vec<usize> = ids
+                .iter()
+                .map(|&c| {
+                    let next = remap.len();
+                    *remap.entry(c).or_insert(next)
+                })
+                .collect();
+            mapped.sort_unstable();
+            mapped.dedup();
+            clusters.push(mapped);
+        }
+        BaselineClustering { core, clusters, num_clusters: remap.len() }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// Returns `true` when the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.core.is_empty()
+    }
+
+    /// Primary (smallest) cluster label per point, −1 for noise.
+    pub fn primary_labels(&self) -> Vec<i64> {
+        self.clusters
+            .iter()
+            .map(|c| c.first().map(|&x| x as i64).unwrap_or(-1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_matches_across_equivalent_raw_ids() {
+        let a = BaselineClustering::from_raw(vec![true, true], vec![vec![42], vec![42]]);
+        let b = BaselineClustering::from_raw(vec![true, true], vec![vec![7], vec![7]]);
+        assert_eq!(a, b);
+        assert_eq!(a.num_clusters, 1);
+        assert_eq!(a.primary_labels(), vec![0, 0]);
+    }
+}

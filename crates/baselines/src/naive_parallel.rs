@@ -1,0 +1,116 @@
+//! The paper's own parallel baseline (§7.2): the original DBSCAN of Ester et
+//! al., parallelized with per-point k-d tree range queries.
+//!
+//! Every point issues an ε-range query against a k-d tree over all points to
+//! decide whether it is core; core points are then connected through the
+//! same neighbour lists with a concurrent union-find, and non-core points
+//! join the clusters of core neighbours. The cost of the range queries grows
+//! with ε and is independent of minPts — exactly the cost structure of
+//! HPDBSCAN/PDSDBSCAN that the paper's Figures 6 and 7 exhibit — and the
+//! paper reports this baseline to be over 10× slower than its fastest
+//! parallel implementation.
+
+use crate::kdtree_points::PointKdTree;
+use crate::BaselineClustering;
+use geom::Point;
+use rayon::prelude::*;
+use unionfind::ConcurrentUnionFind;
+
+/// Runs the point-wise parallel baseline.
+pub fn naive_parallel_dbscan<const D: usize>(
+    points: &[Point<D>],
+    eps: f64,
+    min_pts: usize,
+) -> BaselineClustering {
+    let n = points.len();
+    if n == 0 {
+        return BaselineClustering::from_raw(Vec::new(), Vec::new());
+    }
+    let tree = PointKdTree::build(points);
+
+    // Every point's ε-neighbourhood (the expensive part: ε-dependent,
+    // minPts-independent).
+    let neighborhoods: Vec<Vec<usize>> = points
+        .par_iter()
+        .map(|p| tree.within(p, eps))
+        .collect();
+    let core: Vec<bool> = neighborhoods.par_iter().map(|nb| nb.len() >= min_pts).collect();
+
+    // Union core points with their core neighbours.
+    let uf = ConcurrentUnionFind::new(n);
+    neighborhoods
+        .par_iter()
+        .enumerate()
+        .filter(|(i, _)| core[*i])
+        .for_each(|(i, nb)| {
+            for &j in nb {
+                if core[j] {
+                    uf.union(i, j);
+                }
+            }
+        });
+
+    // Assign clusters.
+    let raw: Vec<Vec<usize>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            if core[i] {
+                vec![uf.find(i)]
+            } else {
+                let mut memberships: Vec<usize> = neighborhoods[i]
+                    .iter()
+                    .filter(|&&j| core[j])
+                    .map(|&j| uf.find(j))
+                    .collect();
+                memberships.sort_unstable();
+                memberships.dedup();
+                memberships
+            }
+        })
+        .collect();
+    BaselineClustering::from_raw(core, raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_dbscan;
+    use geom::Point2;
+    use rand::prelude::*;
+
+    #[test]
+    fn matches_bruteforce_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let pts: Vec<Point2> = (0..300)
+                .map(|_| Point2::new([rng.gen_range(0.0..15.0), rng.gen_range(0.0..15.0)]))
+                .collect();
+            let got = naive_parallel_dbscan(&pts, 1.0, 5);
+            let want = brute_force_dbscan(&pts, 1.0, 5);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_in_3d() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Point<3>> = (0..400)
+            .map(|_| {
+                Point::new([
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                ])
+            })
+            .collect();
+        assert_eq!(
+            naive_parallel_dbscan(&pts, 1.2, 8),
+            brute_force_dbscan(&pts, 1.2, 8)
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(naive_parallel_dbscan::<2>(&[], 1.0, 5).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! An optimized *sequential* grid-based exact DBSCAN, in the style of
+//! Gunawan / de Berg et al. / Gan & Tao's serial implementations.
+//!
+//! This is the serial baseline the paper measures parallel speedup against
+//! ("speedup over the best serial implementation" in Figure 8). It uses the
+//! same grid structure as the parallel algorithms — cells of side ε/√d, core
+//! marking by scanning neighbouring cells, a cell graph with BCP-style
+//! connectivity pruned through a sequential union-find — but every step is a
+//! plain sequential loop.
+
+use crate::BaselineClustering;
+use geom::{BoundingBox, Point};
+use std::collections::HashMap;
+use unionfind::SequentialUnionFind;
+
+/// Runs the sequential grid-based exact DBSCAN.
+pub fn sequential_grid_dbscan<const D: usize>(
+    points: &[Point<D>],
+    eps: f64,
+    min_pts: usize,
+) -> BaselineClustering {
+    let n = points.len();
+    if n == 0 {
+        return BaselineClustering::from_raw(Vec::new(), Vec::new());
+    }
+    let eps_sq = eps * eps;
+    let side = eps / (D as f64).sqrt();
+    let mut origin = points[0].coords;
+    for p in points {
+        for i in 0..D {
+            origin[i] = origin[i].min(p.coords[i]);
+        }
+    }
+    let key_of = |p: &Point<D>| -> [i64; D] {
+        let mut k = [0i64; D];
+        for i in 0..D {
+            k[i] = ((p.coords[i] - origin[i]) / side).floor() as i64;
+        }
+        k
+    };
+
+    // Group points by cell.
+    let mut cells: HashMap<[i64; D], Vec<usize>> = HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        cells.entry(key_of(p)).or_default().push(i);
+    }
+    let keys: Vec<[i64; D]> = cells.keys().copied().collect();
+    let cell_id: HashMap<[i64; D], usize> =
+        keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let members: Vec<&Vec<usize>> = keys.iter().map(|k| &cells[k]).collect();
+    let bbox_of_key = |key: &[i64; D]| -> BoundingBox<D> {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for i in 0..D {
+            lo[i] = origin[i] + key[i] as f64 * side;
+            hi[i] = lo[i] + side;
+        }
+        BoundingBox::new(lo, hi)
+    };
+
+    // Neighbouring non-empty cells of each cell. In 2D the candidate keys are
+    // enumerated directly; in higher dimensions the candidate count grows as
+    // (2·⌈√d⌉+3)^d, so (like the parallel algorithms, §5.1) the non-empty
+    // cells are put in a k-d tree and range-queried instead.
+    let radius = (D as f64).sqrt().ceil() as i64 + 1;
+    let neighbor_cells = |key: &[i64; D]| -> Vec<usize> {
+        let my_box = bbox_of_key(key);
+        let mut out = Vec::new();
+        let mut delta = [-radius; D];
+        loop {
+            if delta.iter().any(|&d| d != 0) {
+                let mut nk = *key;
+                for i in 0..D {
+                    nk[i] += delta[i];
+                }
+                if let Some(&c) = cell_id.get(&nk) {
+                    if my_box.dist_sq_to_box(&bbox_of_key(&nk)) <= eps_sq * (1.0 + 1e-9) {
+                        out.push(c);
+                    }
+                }
+            }
+            let mut dim = 0;
+            loop {
+                if dim == D {
+                    return out;
+                }
+                delta[dim] += 1;
+                if delta[dim] > radius {
+                    delta[dim] = -radius;
+                    dim += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    };
+    let neighbors: Vec<Vec<usize>> = if D <= 2 {
+        keys.iter().map(neighbor_cells).collect()
+    } else {
+        let boxes: Vec<BoundingBox<D>> = keys.iter().map(|k| bbox_of_key(k)).collect();
+        let tree = spatial::CellKdTree::build(&boxes);
+        (0..keys.len())
+            .map(|c| tree.cells_within(&boxes[c], eps, c))
+            .collect()
+    };
+
+    // Mark core points.
+    let mut core = vec![false; n];
+    for (c, ids) in members.iter().enumerate() {
+        if ids.len() >= min_pts {
+            for &i in ids.iter() {
+                core[i] = true;
+            }
+            continue;
+        }
+        for &i in ids.iter() {
+            let mut count = ids.len();
+            'outer: for &h in &neighbors[c] {
+                for &j in members[h] {
+                    if points[i].dist_sq(&points[j]) <= eps_sq {
+                        count += 1;
+                        if count >= min_pts {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            core[i] = count >= min_pts;
+        }
+    }
+
+    // Cluster core cells: BCP over core points with union-find pruning.
+    let core_points_of: Vec<Vec<usize>> = members
+        .iter()
+        .map(|ids| ids.iter().copied().filter(|&i| core[i]).collect())
+        .collect();
+    let mut uf = SequentialUnionFind::new(keys.len());
+    for c in 0..keys.len() {
+        if core_points_of[c].is_empty() {
+            continue;
+        }
+        for &h in &neighbors[c] {
+            if h >= c || core_points_of[h].is_empty() || uf.same_set(c, h) {
+                continue;
+            }
+            let connected = core_points_of[c].iter().any(|&i| {
+                core_points_of[h]
+                    .iter()
+                    .any(|&j| points[i].dist_sq(&points[j]) <= eps_sq)
+            });
+            if connected {
+                uf.union(c, h);
+            }
+        }
+    }
+
+    // Assign clusters.
+    let mut raw: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (c, ids) in members.iter().enumerate() {
+        for &i in ids.iter() {
+            if core[i] {
+                raw[i] = vec![uf.find(c)];
+            }
+        }
+    }
+    for (c, ids) in members.iter().enumerate() {
+        if ids.len() >= min_pts {
+            continue;
+        }
+        for &i in ids.iter() {
+            if core[i] {
+                continue;
+            }
+            let mut memberships = Vec::new();
+            for h in std::iter::once(c).chain(neighbors[c].iter().copied()) {
+                if core_points_of[h].is_empty() {
+                    continue;
+                }
+                let root = uf.find(h);
+                if memberships.contains(&root) {
+                    continue;
+                }
+                if core_points_of[h]
+                    .iter()
+                    .any(|&j| points[i].dist_sq(&points[j]) <= eps_sq)
+                {
+                    memberships.push(root);
+                }
+            }
+            memberships.sort_unstable();
+            raw[i] = memberships;
+        }
+    }
+    BaselineClustering::from_raw(core, raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_dbscan;
+    use geom::Point2;
+    use rand::prelude::*;
+
+    #[test]
+    fn matches_bruteforce_on_random_2d() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5 {
+            let pts: Vec<Point2> = (0..350)
+                .map(|_| Point2::new([rng.gen_range(0.0..15.0), rng.gen_range(0.0..15.0)]))
+                .collect();
+            assert_eq!(
+                sequential_grid_dbscan(&pts, 1.0, 5),
+                brute_force_dbscan(&pts, 1.0, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_5d() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Point<5>> = (0..300)
+            .map(|_| {
+                let mut c = [0.0; 5];
+                for v in c.iter_mut() {
+                    *v = rng.gen_range(0.0..4.0);
+                }
+                Point::new(c)
+            })
+            .collect();
+        assert_eq!(
+            sequential_grid_dbscan(&pts, 1.0, 10),
+            brute_force_dbscan(&pts, 1.0, 10)
+        );
+    }
+
+    #[test]
+    fn single_dense_cell() {
+        let pts: Vec<Point2> = (0..100).map(|i| Point2::new([0.001 * i as f64, 0.0])).collect();
+        let c = sequential_grid_dbscan(&pts, 5.0, 50);
+        assert_eq!(c.num_clusters, 1);
+        assert!(c.core.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(sequential_grid_dbscan::<3>(&[], 1.0, 5).is_empty());
+    }
+}

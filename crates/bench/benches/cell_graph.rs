@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the 2D cell-graph construction methods (BCP vs.
+//! USEC vs. Delaunay, grid vs. box cells) and of the bucketing heuristic on
+//! skewed data — the ablations behind Figure 11 and Figure 6(j).
+
+use bench::{geolife_like, ss_simden};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::skewed_geolife_like;
+use geom::Point;
+use pardbscan::{CellGraphMethod, CellMethod, Dbscan, VariantConfig};
+use std::time::Duration;
+
+fn bench_2d_cell_graph_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_graph_2d_simden_30k");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let mut w = ss_simden::<2>(30_000);
+    w.eps = 400.0;
+    w.min_pts = 100;
+    for cell in [CellMethod::Grid, CellMethod::Box] {
+        for graph in [CellGraphMethod::Bcp, CellGraphMethod::Usec, CellGraphMethod::Delaunay] {
+            let variant = VariantConfig::two_d(cell, graph);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(variant.paper_name()),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| {
+                        Dbscan::exact(&w.points, w.eps, w.min_pts)
+                            .variant(variant)
+                            .run()
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_bucketing_on_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucketing_skewed_geolife_like");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    // The 3D skewed stand-in where bucketing pays off (Figure 6(j)).
+    let w = geolife_like(100_000);
+    let skewed_small: Vec<Point<3>> = skewed_geolife_like(50_000, 5_000.0, 0.9, 5.0, 3);
+    for (name, points, eps, min_pts) in [
+        ("geolife_like_100k", &w.points, w.eps, w.min_pts),
+        ("extreme_skew_50k", &skewed_small, 15.0, 100),
+    ] {
+        for bucketing in [false, true] {
+            let variant = VariantConfig::exact().with_bucketing(bucketing);
+            group.bench_with_input(
+                BenchmarkId::new(name, variant.paper_name()),
+                &variant,
+                |b, &variant| {
+                    b.iter(|| {
+                        Dbscan::exact(points, eps, min_pts)
+                            .variant(variant)
+                            .run()
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_2d_cell_graph_methods, bench_bucketing_on_skew);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the end-to-end DBSCAN variants on the paper's
+//! synthetic workloads (a compact, statistically sound companion to the
+//! figure-reproduction binaries).
+
+use baselines::sequential_grid_dbscan;
+use bench::{ss_simden, ss_varden};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pardbscan::{Dbscan, VariantConfig};
+use std::time::Duration;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan_3d_simden_50k");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let w = ss_simden::<3>(50_000);
+    for variant in [
+        VariantConfig::exact(),
+        VariantConfig::exact().with_bucketing(true),
+        VariantConfig::exact_qt(),
+        VariantConfig::approx(0.01),
+        VariantConfig::approx_qt(0.01),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.paper_name()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    Dbscan::exact(&w.points, w.eps, w.min_pts)
+                        .variant(variant)
+                        .run()
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.bench_function("sequential-grid-baseline", |b| {
+        b.iter(|| sequential_grid_dbscan(&w.points, w.eps, w.min_pts))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("dbscan_5d_varden_50k");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let w = ss_varden::<5>(50_000);
+    for variant in [VariantConfig::exact(), VariantConfig::exact_qt(), VariantConfig::approx(0.01)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.paper_name()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    Dbscan::exact(&w.points, w.eps, w.min_pts)
+                        .variant(variant)
+                        .run()
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the parallel primitives (Table 1 of the
+//! paper): empirical scaling of prefix sum, filter, semisort, integer sort,
+//! merge, the concurrent hash table and the comparison sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parprims::*;
+use rand::prelude::*;
+use std::time::Duration;
+
+fn inputs(n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..n as u64).map(|_| rng.gen_range(0..1_000_000)).collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for &n in &[100_000usize, 1_000_000] {
+        let data = inputs(n);
+        let usizes: Vec<usize> = data.iter().map(|&x| (x % 64) as usize).collect();
+        let pairs: Vec<(u64, u32)> = data.iter().map(|&k| (k % 10_000, k as u32)).collect();
+        let sorted_a: Vec<u64> = {
+            let mut v = data.clone();
+            v.sort_unstable();
+            v
+        };
+        let sorted_b: Vec<u64> = {
+            let mut v = data.iter().map(|x| x + 3).collect::<Vec<_>>();
+            v.sort_unstable();
+            v
+        };
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("prefix_sum", n), &usizes, |b, input| {
+            b.iter(|| prefix_sum(input, 0usize))
+        });
+        group.bench_with_input(BenchmarkId::new("filter", n), &data, |b, input| {
+            b.iter(|| filter(input, |&x| x % 3 == 0))
+        });
+        group.bench_with_input(BenchmarkId::new("semisort", n), &pairs, |b, input| {
+            b.iter(|| semisort_by_key(input.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("integer_sort", n), &usizes, |b, input| {
+            b.iter(|| integer_sort_by_key(input, 64, |&k| k))
+        });
+        group.bench_with_input(BenchmarkId::new("comparison_sort", n), &data, |b, input| {
+            b.iter(|| {
+                let mut v = input.clone();
+                par_sort_unstable(&mut v);
+                v
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("merge", n),
+            &(sorted_a, sorted_b),
+            |b, (x, y)| b.iter(|| merge_sorted(x, y)),
+        );
+        group.bench_with_input(BenchmarkId::new("hash_table_insert", n), &data, |b, input| {
+            b.iter(|| {
+                let map = ConcurrentMap::with_capacity(input.len());
+                use rayon::prelude::*;
+                input.par_iter().enumerate().for_each(|(i, &k)| {
+                    map.insert((k << 20) | i as u64, i);
+                });
+                map.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 10: running time vs. ρ for the approximate algorithms.
+//!
+//! The paper sweeps ρ from 10⁻³ to 10⁻¹ on the 5D seed-spreader datasets and
+//! plots the two approximate variants against the best exact method as a
+//! horizontal reference. Expected shape (§7.2): a small decrease in running
+//! time as ρ grows, with the approximate methods *not* beating the best exact
+//! method at well-chosen parameters.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig10_rho_sweep [--scale S]
+//! ```
+
+use bench::*;
+use pardbscan::VariantConfig;
+
+fn sweep<const D: usize>(workload: &Workload<D>) {
+    println!(
+        "\n## dataset {} (n = {}, eps = {}, minPts = {})",
+        workload.name,
+        workload.points.len(),
+        workload.eps,
+        workload.min_pts
+    );
+    // Best-exact reference line.
+    let exact = run_variant(
+        &workload.points,
+        workload.eps,
+        workload.min_pts,
+        VariantConfig::exact().with_bucketing(true),
+    );
+    println!(
+        "rho,variant,time_s,clusters  (our-best-exact reference: {} s, {} clusters)",
+        secs(exact.elapsed),
+        exact.clustering.num_clusters()
+    );
+    for rho in [0.001, 0.003, 0.01, 0.03, 0.1] {
+        for variant in [VariantConfig::approx(rho), VariantConfig::approx_qt(rho)] {
+            let result = run_variant(&workload.points, workload.eps, workload.min_pts, variant);
+            println!(
+                "{rho},{},{},{}",
+                variant.paper_name(),
+                secs(result.elapsed),
+                result.clustering.num_clusters()
+            );
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    print_header("Figure 10", "running time vs rho (approximate DBSCAN), 5D seed spreader");
+    let n = scaled(100_000, scale);
+    let mut simden = ss_simden::<5>(n);
+    simden.min_pts = 100;
+    sweep(&simden);
+    let mut varden = ss_varden::<5>(n);
+    varden.eps = 3_000.0;
+    varden.min_pts = 10;
+    sweep(&varden);
+}

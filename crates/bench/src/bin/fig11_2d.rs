@@ -1,0 +1,136 @@
+//! Figure 11: the six 2D variants (grid/box × BCP/USEC/Delaunay) on the 2D
+//! seed-spreader datasets — running time vs. ε, vs. minPts, vs. number of
+//! points, and speedup vs. thread count.
+//!
+//! Expected shape (§7.3): every variant is far faster than point-wise
+//! baselines; grid-based construction beats box-based; the Delaunay-based
+//! cell graph is the slowest of the three connectivity methods; the overall
+//! winner is `our-2d-grid-bcp`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig11_2d [--scale S]
+//! ```
+
+use baselines::sequential_grid_dbscan;
+use bench::*;
+use pardbscan::{CellGraphMethod, CellMethod, VariantConfig};
+use std::time::Instant;
+
+fn two_d_variants() -> Vec<VariantConfig> {
+    let mut out = Vec::new();
+    for cell in [CellMethod::Grid, CellMethod::Box] {
+        for graph in [CellGraphMethod::Bcp, CellGraphMethod::Usec, CellGraphMethod::Delaunay] {
+            out.push(VariantConfig::two_d(cell, graph));
+        }
+    }
+    out
+}
+
+fn eps_and_minpts_sweeps(workload: &Workload<2>, eps_values: &[f64], default_eps: f64) {
+    println!(
+        "\n## dataset {} (n = {}): time vs eps (minPts = {})",
+        workload.name,
+        workload.points.len(),
+        workload.min_pts
+    );
+    println!("eps,variant,time_s,clusters");
+    for &eps in eps_values {
+        for variant in two_d_variants() {
+            let result = run_variant(&workload.points, eps, workload.min_pts, variant);
+            println!(
+                "{eps},{},{},{}",
+                variant.paper_name(),
+                secs(result.elapsed),
+                result.clustering.num_clusters()
+            );
+        }
+    }
+
+    println!("\n## dataset {}: time vs minPts (eps = {default_eps})", workload.name);
+    println!("minPts,variant,time_s,clusters");
+    for min_pts in [10usize, 100, 1_000, 10_000] {
+        for variant in two_d_variants() {
+            let result = run_variant(&workload.points, default_eps, min_pts, variant);
+            println!(
+                "{min_pts},{},{},{}",
+                variant.paper_name(),
+                secs(result.elapsed),
+                result.clustering.num_clusters()
+            );
+        }
+    }
+}
+
+fn size_sweep(name: &str, sizes: &[usize], make: impl Fn(usize) -> Workload<2>, eps: f64, min_pts: usize) {
+    println!("\n## dataset {name}: time vs number of points (eps = {eps}, minPts = {min_pts})");
+    println!("n,variant,time_s,clusters");
+    for &n in sizes {
+        let workload = make(n);
+        for variant in two_d_variants() {
+            let result = run_variant(&workload.points, eps, min_pts, variant);
+            println!(
+                "{n},{},{},{}",
+                variant.paper_name(),
+                secs(result.elapsed),
+                result.clustering.num_clusters()
+            );
+        }
+    }
+}
+
+fn thread_sweep(workload: &Workload<2>) {
+    let start = Instant::now();
+    let serial = sequential_grid_dbscan(&workload.points, workload.eps, workload.min_pts);
+    let serial_time = start.elapsed();
+    println!(
+        "\n## dataset {}: speedup vs threads (eps = {}, minPts = {}); serial-grid baseline {} s, {} clusters",
+        workload.name,
+        workload.eps,
+        workload.min_pts,
+        secs(serial_time),
+        serial.num_clusters
+    );
+    println!("threads,variant,time_s,speedup_over_serial");
+    for &threads in &thread_counts() {
+        for variant in two_d_variants() {
+            let result = with_threads(threads, || {
+                run_variant(&workload.points, workload.eps, workload.min_pts, variant)
+            });
+            println!(
+                "{threads},{},{},{:.2}",
+                variant.paper_name(),
+                secs(result.elapsed),
+                serial_time.as_secs_f64() / result.elapsed.as_secs_f64()
+            );
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    print_header("Figure 11", "2D variants: time vs eps / minPts / n, and speedup vs threads");
+    let n = scaled(100_000, scale);
+
+    let mut simden = ss_simden::<2>(n);
+    simden.eps = 400.0;
+    simden.min_pts = 100;
+    let mut varden = ss_varden::<2>(n);
+    varden.eps = 1_000.0;
+    varden.min_pts = 100;
+
+    // (a, e): time vs eps; (b, f): time vs minPts.
+    eps_and_minpts_sweeps(&simden, &[200.0, 400.0, 800.0, 1_600.0, 3_200.0], 400.0);
+    eps_and_minpts_sweeps(&varden, &[500.0, 1_000.0, 2_000.0, 3_000.0], 1_000.0);
+
+    // (c, g): time vs number of points.
+    let sizes: Vec<usize> = [10_000usize, 30_000, 100_000]
+        .iter()
+        .map(|&s| scaled(s, scale))
+        .collect();
+    size_sweep("2D-SS-simden", &sizes, |n| ss_simden::<2>(n), 400.0, 100);
+    size_sweep("2D-SS-varden", &sizes, |n| ss_varden::<2>(n), 1_000.0, 100);
+
+    // (d, h): speedup over the serial baseline vs thread count.
+    thread_sweep(&simden);
+    thread_sweep(&varden);
+}

@@ -1,0 +1,83 @@
+//! Figure 6: running time vs. ε for the d ≥ 3 datasets.
+//!
+//! For every dataset the paper plots the parallel running time of the eight
+//! `our-*` variants (exact / exact-qt / approx / approx-qt, each ±bucketing)
+//! and of the point-wise baselines while sweeping ε around the
+//! "correct-clustering" value. The expected shape (paper §7.2): the `our-*`
+//! methods get *faster* (or stay flat) as ε grows because the grid gets
+//! coarser, while point-wise range-query baselines get *slower* because every
+//! ε-range query returns more points.
+//!
+//! Output: one CSV block per dataset with a row per (ε, variant).
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig6_eps_sweep [--scale S] [--with-baselines]
+//! ```
+
+use bench::*;
+use baselines::naive_parallel_dbscan;
+use std::time::Instant;
+
+fn sweep<const D: usize>(workload: &Workload<D>, eps_values: &[f64], with_baselines: bool) {
+    println!("\n## dataset {} (n = {}, minPts = {})", workload.name, workload.points.len(), workload.min_pts);
+    println!("eps,variant,time_s,clusters,noise");
+    for &eps in eps_values {
+        for variant in standard_variants() {
+            let result = run_variant(&workload.points, eps, workload.min_pts, variant);
+            println!(
+                "{eps},{},{},{},{}",
+                variant.paper_name(),
+                secs(result.elapsed),
+                result.clustering.num_clusters(),
+                result.clustering.num_noise()
+            );
+        }
+        if with_baselines {
+            let start = Instant::now();
+            let baseline = naive_parallel_dbscan(&workload.points, eps, workload.min_pts);
+            println!(
+                "{eps},naive-parallel-baseline,{},{},{}",
+                secs(start.elapsed()),
+                baseline.num_clusters,
+                baseline.clusters.iter().filter(|c| c.is_empty()).count()
+            );
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let with_baselines = std::env::args().any(|a| a == "--with-baselines");
+    print_header("Figure 6", "running time vs eps, d >= 3");
+
+    let n_synth = scaled(100_000, scale);
+
+    // Seed-spreader and uniform datasets use the paper's 10^5-extent domain,
+    // so the eps sweep uses the paper's absolute values.
+    let ss_eps = [500.0, 1_000.0, 1_500.0, 2_000.0, 3_000.0];
+
+    sweep(&ss_simden::<3>(n_synth), &ss_eps, false);
+    sweep(&ss_varden::<3>(n_synth), &ss_eps, false);
+    sweep(&ss_simden::<5>(n_synth), &ss_eps, false);
+    sweep(&ss_varden::<5>(n_synth), &ss_eps, false);
+    sweep(&ss_simden::<7>(n_synth), &ss_eps, false);
+    sweep(&ss_varden::<7>(n_synth), &ss_eps, false);
+
+    // UniformFill uses a √n extent, so its eps sweep is relative; the
+    // point-wise baseline is feasible here and shows the opposite trend.
+    let uniform3 = uniform::<3>(n_synth);
+    let u_eps: Vec<f64> = [0.5, 1.0, 1.5, 2.0, 3.0].iter().map(|f| f * uniform3.eps).collect();
+    sweep(&uniform3, &u_eps, with_baselines);
+    let uniform5 = uniform::<5>(n_synth);
+    let u_eps5: Vec<f64> = [0.5, 1.0, 1.5, 2.0, 3.0].iter().map(|f| f * uniform5.eps).collect();
+    sweep(&uniform5, &u_eps5, with_baselines);
+    let uniform7 = uniform::<7>(n_synth);
+    let u_eps7: Vec<f64> = [0.5, 1.0, 1.5, 2.0, 3.0].iter().map(|f| f * uniform7.eps).collect();
+    sweep(&uniform7, &u_eps7, with_baselines);
+
+    // Real-data stand-ins (Figure 6 (j) and (k)).
+    let geolife = geolife_like(scaled(200_000, scale));
+    sweep(&geolife, &[20.0, 40.0, 80.0, 160.0], false);
+    let household = household_like(scaled(100_000, scale));
+    sweep(&household, &[1_000.0, 1_500.0, 2_000.0, 2_500.0, 3_000.0], false);
+}

@@ -1,0 +1,59 @@
+//! Figure 7: running time vs. minPts for the d ≥ 3 datasets.
+//!
+//! The paper fixes ε at the per-dataset default and sweeps minPts from 10 to
+//! 10,000. Expected shape (§7.2): the `our-*` methods slow down as minPts
+//! grows (MarkCore does O(n · minPts) work), whereas point-wise baselines are
+//! insensitive to minPts because their ε-range queries dominate.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig7_minpts_sweep [--scale S] [--with-baselines]
+//! ```
+
+use bench::*;
+use baselines::naive_parallel_dbscan;
+use std::time::Instant;
+
+fn sweep<const D: usize>(workload: &Workload<D>, with_baselines: bool) {
+    println!("\n## dataset {} (n = {}, eps = {})", workload.name, workload.points.len(), workload.eps);
+    println!("minPts,variant,time_s,clusters,noise");
+    for &min_pts in &[10usize, 100, 1_000, 10_000] {
+        for variant in standard_variants() {
+            let result = run_variant(&workload.points, workload.eps, min_pts, variant);
+            println!(
+                "{min_pts},{},{},{},{}",
+                variant.paper_name(),
+                secs(result.elapsed),
+                result.clustering.num_clusters(),
+                result.clustering.num_noise()
+            );
+        }
+        if with_baselines {
+            let start = Instant::now();
+            let baseline = naive_parallel_dbscan(&workload.points, workload.eps, min_pts);
+            println!(
+                "{min_pts},naive-parallel-baseline,{},{},-",
+                secs(start.elapsed()),
+                baseline.num_clusters
+            );
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let with_baselines = std::env::args().any(|a| a == "--with-baselines");
+    print_header("Figure 7", "running time vs minPts, d >= 3");
+
+    let n_synth = scaled(100_000, scale);
+    sweep(&ss_simden::<3>(n_synth), false);
+    sweep(&ss_varden::<3>(n_synth), false);
+    sweep(&uniform::<3>(n_synth), with_baselines);
+    sweep(&ss_simden::<5>(n_synth), false);
+    sweep(&ss_varden::<5>(n_synth), false);
+    sweep(&uniform::<5>(n_synth), with_baselines);
+    sweep(&ss_simden::<7>(n_synth), false);
+    sweep(&ss_varden::<7>(n_synth), false);
+    sweep(&uniform::<7>(n_synth), with_baselines);
+    sweep(&geolife_like(scaled(200_000, scale)), false);
+    sweep(&household_like(scaled(100_000, scale)), false);
+}

@@ -1,0 +1,83 @@
+//! Figure 8: speedup over the best sequential implementation vs. thread
+//! count, for the d ≥ 3 datasets.
+//!
+//! The serial baseline is the optimized sequential grid DBSCAN
+//! (`baselines::sequential_grid_dbscan`, the Gan–Tao-style serial code). Each
+//! parallel variant is run under thread pools of increasing size and its
+//! speedup over that serial time is reported. Expected shape (§7.2):
+//! near-linear scaling for the `our-*` variants, with parallel point-wise
+//! baselines scaling but failing to beat the serial grid code.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig8_speedup [--scale S]
+//! ```
+
+use baselines::{naive_parallel_dbscan, sequential_grid_dbscan};
+use bench::*;
+use pardbscan::VariantConfig;
+use std::time::Instant;
+
+fn speedup_curves<const D: usize>(workload: &Workload<D>, include_pointwise_baseline: bool) {
+    let start = Instant::now();
+    let serial = sequential_grid_dbscan(&workload.points, workload.eps, workload.min_pts);
+    let serial_time = start.elapsed();
+    println!(
+        "\n## dataset {} (n = {}, eps = {}, minPts = {}); serial-grid baseline: {} s, {} clusters",
+        workload.name,
+        workload.points.len(),
+        workload.eps,
+        workload.min_pts,
+        secs(serial_time),
+        serial.num_clusters
+    );
+    println!("threads,variant,time_s,speedup_over_serial");
+
+    let variants: Vec<VariantConfig> = vec![
+        VariantConfig::exact(),
+        VariantConfig::exact().with_bucketing(true),
+        VariantConfig::exact_qt(),
+        VariantConfig::exact_qt().with_bucketing(true),
+        VariantConfig::approx(0.01),
+        VariantConfig::approx_qt(0.01),
+    ];
+    for &threads in &thread_counts() {
+        for &variant in &variants {
+            let result = with_threads(threads, || {
+                run_variant(&workload.points, workload.eps, workload.min_pts, variant)
+            });
+            println!(
+                "{threads},{},{},{:.2}",
+                variant.paper_name(),
+                secs(result.elapsed),
+                serial_time.as_secs_f64() / result.elapsed.as_secs_f64()
+            );
+        }
+        if include_pointwise_baseline {
+            let elapsed = with_threads(threads, || {
+                let start = Instant::now();
+                let _ = naive_parallel_dbscan(&workload.points, workload.eps, workload.min_pts);
+                start.elapsed()
+            });
+            println!(
+                "{threads},naive-parallel-baseline,{},{:.2}",
+                secs(elapsed),
+                serial_time.as_secs_f64() / elapsed.as_secs_f64()
+            );
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    print_header("Figure 8", "speedup over best serial implementation vs thread count");
+
+    let n_synth = scaled(100_000, scale);
+    speedup_curves(&ss_simden::<3>(n_synth), false);
+    speedup_curves(&ss_varden::<3>(n_synth), false);
+    speedup_curves(&uniform::<3>(n_synth), true);
+    speedup_curves(&ss_simden::<5>(n_synth), false);
+    speedup_curves(&ss_varden::<5>(n_synth), false);
+    speedup_curves(&ss_simden::<7>(n_synth), false);
+    speedup_curves(&geolife_like(scaled(150_000, scale)), false);
+    speedup_curves(&household_like(scaled(80_000, scale)), false);
+}

@@ -1,0 +1,62 @@
+//! Figure 9: self-relative speedup vs. thread count on 3D-SS-varden.
+//!
+//! Each implementation is compared against *its own* single-thread time.
+//! Expected shape (§7.2): the `our-*` variants and the point-wise parallel
+//! baselines all show good self-relative scaling (the baselines scale too —
+//! they are just much slower in absolute terms, which Figure 8 shows).
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig9_self_speedup [--scale S]
+//! ```
+
+use baselines::{disjoint_set_dbscan, naive_parallel_dbscan};
+use bench::*;
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_env();
+    print_header("Figure 9", "self-relative speedup vs thread count, 3D-SS-varden");
+
+    let workload = ss_varden::<3>(scaled(100_000, scale));
+    println!(
+        "# n = {}, eps = {}, minPts = {}",
+        workload.points.len(),
+        workload.eps,
+        workload.min_pts
+    );
+    println!("variant,threads,time_s,self_relative_speedup");
+
+    // Our variants.
+    for variant in standard_variants() {
+        let mut single = None;
+        for &threads in &thread_counts() {
+            let result = with_threads(threads, || {
+                run_variant(&workload.points, workload.eps, workload.min_pts, variant)
+            });
+            let t = result.elapsed.as_secs_f64();
+            let base = *single.get_or_insert(t);
+            println!("{},{threads},{:.3},{:.2}", variant.paper_name(), t, base / t);
+        }
+    }
+
+    // Point-wise parallel baselines (hpdbscan / pdsdbscan stand-ins). These
+    // are much slower in absolute time, so they run on a subsample (capped at
+    // 30k points regardless of --scale) to keep the figure's runtime bounded;
+    // self-relative speedup is unaffected.
+    let sub = &workload.points[..workload.points.len().min(scaled(30_000, scale)).min(30_000)];
+    for (name, f) in [
+        ("naive-parallel-baseline", naive_parallel_dbscan as fn(&[geom::Point<3>], f64, usize) -> baselines::BaselineClustering),
+        ("disjoint-set-baseline", disjoint_set_dbscan as fn(&[geom::Point<3>], f64, usize) -> baselines::BaselineClustering),
+    ] {
+        let mut single = None;
+        for &threads in &thread_counts() {
+            let elapsed = with_threads(threads, || {
+                let start = Instant::now();
+                let _ = f(sub, workload.eps, workload.min_pts);
+                start.elapsed().as_secs_f64()
+            });
+            let base = *single.get_or_insert(elapsed);
+            println!("{name},{threads},{elapsed:.3},{:.2}", base / elapsed);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Table 2: large-scale datasets.
+//!
+//! The paper runs `our-exact` on its largest datasets (GeoLife, Cosmo50,
+//! OpenStreetMap, TeraClickLog) across an ε sweep and compares against the
+//! distributed RP-DBSCAN. RP-DBSCAN is a Spark system outside the scope of a
+//! single-node library, so this binary reproduces the two comparisons that
+//! are meaningful in-process (see DESIGN.md §4):
+//!
+//! * `our-exact` at the largest sizes this machine handles comfortably, on
+//!   the GeoLife-like skewed stand-in and the TeraClickLog-like single-cell
+//!   stand-in (where, at the published parameters, every point lands in one
+//!   cell and the run is trivially fast — the same observation the paper
+//!   makes about TeraClickLog), plus large seed-spreader datasets standing in
+//!   for Cosmo50/OpenStreetMap.
+//! * the point-wise parallel baselines on a subsample, to quantify the
+//!   orders-of-magnitude gap that the paper reports against the other
+//!   parallel systems.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2_large_scale [--scale S]
+//! ```
+
+use baselines::{disjoint_set_dbscan, naive_parallel_dbscan};
+use bench::*;
+use pardbscan::VariantConfig;
+use std::time::Instant;
+
+fn our_exact_row<const D: usize>(workload: &Workload<D>, eps_values: &[f64]) {
+    println!(
+        "\n## {} (n = {}, minPts = {})",
+        workload.name,
+        workload.points.len(),
+        workload.min_pts
+    );
+    println!("eps,implementation,time_s,clusters");
+    for &eps in eps_values {
+        let result = run_variant(&workload.points, eps, workload.min_pts, VariantConfig::exact());
+        println!(
+            "{eps},our-exact,{},{}",
+            secs(result.elapsed),
+            result.clustering.num_clusters()
+        );
+    }
+}
+
+fn baseline_rows<const D: usize>(workload: &Workload<D>, eps: f64, subsample: usize) {
+    let sub = &workload.points[..workload.points.len().min(subsample)];
+    println!(
+        "\n## {} — parallel point-wise baselines on a {}-point subsample (eps = {eps}, minPts = {})",
+        workload.name,
+        sub.len(),
+        workload.min_pts
+    );
+    println!("implementation,time_s,clusters");
+    let ours = run_variant(sub, eps, workload.min_pts, VariantConfig::exact());
+    println!("our-exact,{},{}", secs(ours.elapsed), ours.clustering.num_clusters());
+    let start = Instant::now();
+    let naive = naive_parallel_dbscan(sub, eps, workload.min_pts);
+    println!("naive-parallel-baseline,{},{}", secs(start.elapsed()), naive.num_clusters);
+    let start = Instant::now();
+    let pds = disjoint_set_dbscan(sub, eps, workload.min_pts);
+    println!("disjoint-set-baseline,{},{}", secs(start.elapsed()), pds.num_clusters);
+}
+
+fn main() {
+    let scale = scale_from_env();
+    print_header(
+        "Table 2",
+        "large-scale datasets: our-exact across eps, plus the point-wise baseline gap",
+    );
+
+    // GeoLife-like (skewed): the paper's eps sweep {20, 40, 80, 160}.
+    let geolife = geolife_like(scaled(1_000_000, scale));
+    our_exact_row(&geolife, &[20.0, 40.0, 80.0, 160.0]);
+    baseline_rows(&geolife, 40.0, scaled(30_000, scale));
+
+    // Cosmo50 / OpenStreetMap stand-ins: large clustered synthetic datasets.
+    let cosmo = ss_simden::<3>(scaled(1_000_000, scale));
+    our_exact_row(&cosmo, &[500.0, 1_000.0, 2_000.0]);
+    let osm = ss_varden::<2>(scaled(1_000_000, scale));
+    our_exact_row(&osm, &[1_000.0, 2_000.0]);
+
+    // TeraClickLog-like: 13 dimensions, all points in one cell at the
+    // published parameters.
+    let tcl = teraclicklog_like(scaled(1_000_000, scale));
+    our_exact_row(&tcl, &[1_500.0, 3_000.0, 6_000.0, 12_000.0]);
+    baseline_rows(&tcl, 1_500.0, scaled(20_000, scale));
+}

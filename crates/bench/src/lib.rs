@@ -1,0 +1,246 @@
+//! Benchmark harness shared by the figure-reproduction binaries and the
+//! Criterion micro-benchmarks.
+//!
+//! Every table and figure of the paper's evaluation (§7) has a binary in
+//! `src/bin/` that regenerates its series (see EXPERIMENTS.md for the
+//! mapping). The helpers here provide:
+//!
+//! * the dataset catalogue at laptop scale (the paper uses 10M-point synthetic
+//!   datasets and multi-billion-point real ones; the generators are the same,
+//!   the default sizes are smaller and controllable through `--scale` /
+//!   the `PARDBSCAN_SCALE` environment variable),
+//! * timed execution of a named algorithm variant,
+//! * execution under a bounded rayon thread pool (for the speedup figures),
+//! * uniform CSV-ish output so the series can be plotted directly.
+
+#![forbid(unsafe_code)]
+
+use datagen::{seed_spreader, single_cell_like, skewed_geolife_like, uniform_fill, SeedSpreaderConfig};
+use geom::Point;
+use pardbscan::{Clustering, Dbscan, VariantConfig};
+use std::time::{Duration, Instant};
+
+/// Scale factor applied to the default dataset sizes. `1.0` keeps the
+/// defaults (hundreds of thousands of points); the paper's sizes would be
+/// roughly `scale = 100`.
+pub fn scale_from_env() -> f64 {
+    std::env::var("PARDBSCAN_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .or_else(|| {
+            std::env::args()
+                .skip_while(|a| a != "--scale")
+                .nth(1)
+                .and_then(|s| s.parse::<f64>().ok())
+        })
+        .unwrap_or(1.0)
+        .max(0.001)
+}
+
+/// Applies the scale factor to a baseline point count.
+pub fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64) * scale).round().max(64.0) as usize
+}
+
+/// A named dataset plus the (ε, minPts) the paper uses for it (rescaled to
+/// the generator extents used here).
+pub struct Workload<const D: usize> {
+    /// Dataset name, following the paper's naming (e.g. `3D-SS-simden`).
+    pub name: String,
+    /// The points.
+    pub points: Vec<Point<D>>,
+    /// Default ε for the "correct clustering".
+    pub eps: f64,
+    /// Default minPts for the "correct clustering".
+    pub min_pts: usize,
+}
+
+/// The paper's synthetic dataset families for one dimension, at laptop scale.
+/// `n` is the point count before scaling.
+pub fn ss_simden<const D: usize>(n: usize) -> Workload<D> {
+    let cfg = SeedSpreaderConfig::simden(n, 0xD1);
+    Workload {
+        name: format!("{D}D-SS-simden"),
+        points: seed_spreader(&cfg),
+        eps: 1_000.0,
+        min_pts: 10,
+    }
+}
+
+/// Variable-density seed-spreader workload.
+pub fn ss_varden<const D: usize>(n: usize) -> Workload<D> {
+    let cfg = SeedSpreaderConfig::varden(n, 0xD2);
+    Workload {
+        name: format!("{D}D-SS-varden"),
+        points: seed_spreader(&cfg),
+        eps: 2_000.0,
+        min_pts: 10,
+    }
+}
+
+/// UniformFill workload (side √n as in the paper).
+pub fn uniform<const D: usize>(n: usize) -> Workload<D> {
+    let side = (n as f64).sqrt().max(1.0);
+    Workload {
+        name: format!("{D}D-UniformFill"),
+        points: uniform_fill(n, side, 0xD3),
+        // The paper uses eps=2000 on a 10^5-extent integer domain; with the
+        // √n extent the equivalent neighbourhood is a few units.
+        eps: side / 50.0,
+        min_pts: 10,
+    }
+}
+
+/// GeoLife stand-in: heavily skewed 3D data (DESIGN.md §4).
+pub fn geolife_like(n: usize) -> Workload<3> {
+    Workload {
+        name: "3D-GeoLife-like".to_string(),
+        points: skewed_geolife_like(n, 10_000.0, 0.85, 10.0, 0xD4),
+        eps: 40.0,
+        min_pts: 100,
+    }
+}
+
+/// Household stand-in: 7D clustered data at the Household scale ratio.
+pub fn household_like(n: usize) -> Workload<7> {
+    let cfg = SeedSpreaderConfig::simden(n, 0xD5);
+    Workload {
+        name: "7D-Household-like".to_string(),
+        points: seed_spreader(&cfg),
+        eps: 2_000.0,
+        min_pts: 100,
+    }
+}
+
+/// TeraClickLog stand-in: 13-dimensional, all points in a single cell at the
+/// published parameters (DESIGN.md §4).
+pub fn teraclicklog_like(n: usize) -> Workload<13> {
+    Workload {
+        name: "13D-TeraClickLog-like".to_string(),
+        points: single_cell_like(n, 1_500.0, 0xD6),
+        eps: 1_500.0,
+        min_pts: 100,
+    }
+}
+
+/// Result of one timed run.
+pub struct RunResult {
+    /// Wall-clock time of the clustering call.
+    pub elapsed: Duration,
+    /// The clustering itself (for sanity statistics).
+    pub clustering: Clustering,
+}
+
+/// Runs one named variant on a workload with explicit parameters.
+pub fn run_variant<const D: usize>(
+    points: &[Point<D>],
+    eps: f64,
+    min_pts: usize,
+    variant: VariantConfig,
+) -> RunResult {
+    let start = Instant::now();
+    let clustering = Dbscan::exact(points, eps, min_pts)
+        .variant(variant)
+        .run()
+        .expect("benchmark configurations are valid");
+    RunResult { elapsed: start.elapsed(), clustering }
+}
+
+/// Runs `f` on a dedicated rayon pool with `threads` worker threads. Used by
+/// the speedup experiments (Figures 8, 9 and 11(d,h)).
+pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build thread pool");
+    pool.install(f)
+}
+
+/// The thread counts used for speedup curves on this machine: 1, 2, 4, …, up
+/// to the number of logical CPUs.
+pub fn thread_counts() -> Vec<usize> {
+    let max = num_cpus::get().max(1);
+    let mut counts = vec![1usize];
+    while *counts.last().unwrap() * 2 <= max {
+        let next = counts.last().unwrap() * 2;
+        counts.push(next);
+    }
+    if *counts.last().unwrap() != max {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Prints a header line for a figure/table binary.
+pub fn print_header(figure: &str, description: &str) {
+    println!("# {figure}: {description}");
+    println!("# machine: {} logical cores", num_cpus::get());
+}
+
+/// The standard exact/approx variant set benchmarked in the d ≥ 3 figures,
+/// mirroring the paper's legend.
+pub fn standard_variants() -> Vec<VariantConfig> {
+    vec![
+        VariantConfig::exact(),
+        VariantConfig::exact().with_bucketing(true),
+        VariantConfig::exact_qt(),
+        VariantConfig::exact_qt().with_bucketing(true),
+        VariantConfig::approx(0.01),
+        VariantConfig::approx(0.01).with_bucketing(true),
+        VariantConfig::approx_qt(0.01),
+        VariantConfig::approx_qt(0.01).with_bucketing(true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_generate_points_with_paper_names() {
+        let w = ss_simden::<3>(1_000);
+        assert_eq!(w.points.len(), 1_000);
+        assert_eq!(w.name, "3D-SS-simden");
+        let w = ss_varden::<2>(500);
+        assert_eq!(w.name, "2D-SS-varden");
+        let w = uniform::<5>(500);
+        assert_eq!(w.name, "5D-UniformFill");
+        assert_eq!(geolife_like(100).points.len(), 100);
+        assert_eq!(teraclicklog_like(100).points.len(), 100);
+        assert_eq!(household_like(100).points.len(), 100);
+    }
+
+    #[test]
+    fn thread_counts_are_increasing_and_end_at_cpu_count() {
+        let counts = thread_counts();
+        assert_eq!(counts[0], 1);
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*counts.last().unwrap(), num_cpus::get().max(1));
+    }
+
+    #[test]
+    fn run_variant_times_a_small_clustering() {
+        let w = ss_simden::<2>(2_000);
+        let result = run_variant(&w.points, w.eps, w.min_pts, VariantConfig::exact());
+        assert!(result.clustering.len() == 2_000);
+        assert!(result.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn with_threads_restricts_the_pool() {
+        let observed = with_threads(2, || rayon::current_num_threads());
+        assert_eq!(observed, 2);
+    }
+
+    #[test]
+    fn scaling_helpers() {
+        assert_eq!(scaled(1000, 1.0), 1000);
+        assert_eq!(scaled(1000, 0.5), 500);
+        assert!(scaled(10, 0.001) >= 64);
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal CSV input/output for point sets, used by the runnable examples to
+//! persist generated datasets and clustering results.
+
+use geom::Point;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes `points` to `path`, one comma-separated row per point.
+pub fn write_csv<const D: usize>(path: &Path, points: &[Point<D>]) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for p in points {
+        let row: Vec<String> = p.coords.iter().map(|c| format!("{c}")).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Reads points from a CSV file previously written by [`write_csv`] (or any
+/// headerless file with at least `D` numeric columns; extra columns are
+/// ignored). Rows that fail to parse are reported as errors.
+pub fn read_csv<const D: usize>(path: &Path) -> io::Result<Vec<Point<D>>> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < D {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected {} columns, found {}", lineno + 1, D, fields.len()),
+            ));
+        }
+        let mut coords = [0.0; D];
+        for (i, c) in coords.iter_mut().enumerate() {
+            *c = fields[i].trim().parse::<f64>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: column {}: {}", lineno + 1, i + 1, e),
+                )
+            })?;
+        }
+        out.push(Point::new(coords));
+    }
+    Ok(out)
+}
+
+/// Writes per-point cluster labels (one integer per row, −1 for noise) next
+/// to the points, producing rows of the form `x,y,...,label`.
+pub fn write_labeled_csv<const D: usize>(
+    path: &Path,
+    points: &[Point<D>],
+    labels: &[i64],
+) -> io::Result<()> {
+    assert_eq!(points.len(), labels.len());
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for (p, l) in points.iter().zip(labels) {
+        let row: Vec<String> = p.coords.iter().map(|c| format!("{c}")).collect();
+        writeln!(w, "{},{}", row.join(","), l)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_points() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pardbscan_io_test_roundtrip.csv");
+        let pts = vec![
+            Point::new([1.5, -2.25, 3.0]),
+            Point::new([0.0, 0.125, 1e6]),
+        ];
+        write_csv(&path, &pts).unwrap();
+        let back: Vec<Point<3>> = read_csv(&path).unwrap();
+        assert_eq!(back, pts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pardbscan_io_test_malformed.csv");
+        std::fs::write(&path, "1.0,2.0\n3.0,not_a_number\n").unwrap();
+        assert!(read_csv::<2>(&path).is_err());
+        std::fs::write(&path, "1.0\n").unwrap();
+        assert!(read_csv::<2>(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn labeled_output_has_one_row_per_point() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pardbscan_io_test_labeled.csv");
+        let pts = vec![Point::new([0.0, 1.0]), Point::new([2.0, 3.0])];
+        write_labeled_csv(&path, &pts, &[0, -1]).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 2);
+        assert!(contents.lines().next().unwrap().ends_with(",0"));
+        std::fs::remove_file(&path).ok();
+    }
+}

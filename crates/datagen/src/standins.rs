@@ -1,0 +1,111 @@
+//! Synthetic stand-ins for the paper's real-world datasets.
+//!
+//! The paper's large-dataset experiments depend on two structural properties
+//! of the real data rather than on the data itself:
+//!
+//! * **GeoLife** is extremely skewed: most of the 24.9M GPS points fall into
+//!   a tiny geographic area, so a few grid cells are enormous, BCP-based
+//!   connectivity queries on them become quadratic-cost hot spots, and the
+//!   bucketing optimization pays off (paper §7.2, Figure 6(j)).
+//!   [`skewed_geolife_like`] reproduces that property: a configurable
+//!   fraction of the points is packed into a region a few ε wide while the
+//!   rest spreads uniformly over the full domain.
+//! * **TeraClickLog** at the published parameters (ε = 1500, minPts = 100)
+//!   puts *all* points into a single cell, so every point is core and there
+//!   is exactly one cluster (paper §7.2, Table 2 discussion).
+//!   [`single_cell_like`] reproduces that degeneracy for any dimension.
+
+use geom::Point;
+use rand::prelude::*;
+
+/// A heavily skewed dataset: `hot_fraction` of the `n` points fall inside a
+/// ball of radius `hot_radius` at the domain centre, the rest are uniform in
+/// `[0, extent]^D`.
+pub fn skewed_geolife_like<const D: usize>(
+    n: usize,
+    extent: f64,
+    hot_fraction: f64,
+    hot_radius: f64,
+    seed: u64,
+) -> Vec<Point<D>> {
+    assert!((0.0..=1.0).contains(&hot_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let center = extent / 2.0;
+    for _ in 0..n {
+        let mut coords = [0.0; D];
+        if rng.gen_bool(hot_fraction) {
+            for c in coords.iter_mut() {
+                *c = (center + rng.gen_range(-hot_radius..hot_radius)).clamp(0.0, extent);
+            }
+        } else {
+            for c in coords.iter_mut() {
+                *c = rng.gen_range(0.0..extent);
+            }
+        }
+        out.push(Point::new(coords));
+    }
+    out
+}
+
+/// A dataset whose points all lie within a single DBSCAN grid cell for the
+/// given `eps` (cell side ε/√D): every point is within ε of every other, so
+/// with any minPts ≤ n all points are core and form one cluster.
+pub fn single_cell_like<const D: usize>(n: usize, eps: f64, seed: u64) -> Vec<Point<D>> {
+    let side = eps / (D as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut coords = [0.0; D];
+            for c in coords.iter_mut() {
+                // Strictly inside one cell anchored at the origin.
+                *c = rng.gen_range(0.0..side * 0.999);
+            }
+            Point::new(coords)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_dataset_is_actually_skewed() {
+        let n = 20_000;
+        let extent = 1000.0;
+        let pts = skewed_geolife_like::<2>(n, extent, 0.8, 5.0, 1);
+        assert_eq!(pts.len(), n);
+        let center = extent / 2.0;
+        let hot = pts
+            .iter()
+            .filter(|p| (p.x() - center).abs() <= 5.0 && (p.y() - center).abs() <= 5.0)
+            .count();
+        assert!(hot as f64 > 0.75 * n as f64, "only {hot} points in the hot spot");
+    }
+
+    #[test]
+    fn single_cell_points_are_pairwise_within_eps() {
+        let eps = 2.0;
+        let pts = single_cell_like::<3>(200, eps, 3);
+        for (i, p) in pts.iter().enumerate() {
+            for q in &pts[i + 1..] {
+                assert!(p.within(q, eps));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let a = skewed_geolife_like::<3>(1000, 100.0, 0.9, 1.0, 7);
+        let b = skewed_geolife_like::<3>(1000, 100.0, 0.9, 1.0, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| (0..3).all(|i| p.coords[i] >= 0.0 && p.coords[i] <= 100.0)));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(skewed_geolife_like::<2>(0, 10.0, 0.5, 1.0, 0).is_empty());
+        assert_eq!(single_cell_like::<2>(1, 1.0, 0).len(), 1);
+    }
+}

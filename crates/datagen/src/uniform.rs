@@ -1,0 +1,83 @@
+//! The `UniformFill` dataset: points distributed uniformly at random inside
+//! a bounding hypergrid. The paper uses side length √n; [`uniform_fill`]
+//! takes the side length explicitly and [`uniform_fill_sqrt_n`] applies the
+//! paper's convention.
+
+use geom::Point;
+use rand::prelude::*;
+use rayon::prelude::*;
+
+/// `n` points uniform in `[0, extent]^D`, deterministic in `seed`.
+pub fn uniform_fill<const D: usize>(n: usize, extent: f64, seed: u64) -> Vec<Point<D>> {
+    // Chunked so generation is parallel yet deterministic: each chunk derives
+    // its own RNG from (seed, chunk index).
+    const CHUNK: usize = 8192;
+    let nchunks = n.div_ceil(CHUNK);
+    (0..nchunks)
+        .into_par_iter()
+        .flat_map_iter(|chunk| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (chunk as u64).wrapping_mul(0x9E37_79B9));
+            let count = CHUNK.min(n - chunk * CHUNK);
+            (0..count)
+                .map(|_| {
+                    let mut coords = [0.0; D];
+                    for c in coords.iter_mut() {
+                        *c = rng.gen_range(0.0..extent);
+                    }
+                    Point::new(coords)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// The paper's `UniformFill` convention: side length √n.
+pub fn uniform_fill_sqrt_n<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    uniform_fill(n, (n as f64).sqrt().max(1.0), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_count_and_bounds() {
+        let pts = uniform_fill::<3>(10_000, 50.0, 3);
+        assert_eq!(pts.len(), 10_000);
+        assert!(pts.iter().all(|p| (0..3).all(|i| p.coords[i] >= 0.0 && p.coords[i] < 50.0)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform_fill::<2>(5000, 10.0, 1), uniform_fill::<2>(5000, 10.0, 1));
+        assert_ne!(uniform_fill::<2>(5000, 10.0, 1), uniform_fill::<2>(5000, 10.0, 2));
+    }
+
+    #[test]
+    fn sqrt_n_extent() {
+        let pts = uniform_fill_sqrt_n::<2>(400, 9);
+        assert_eq!(pts.len(), 400);
+        assert!(pts.iter().all(|p| p.x() < 20.0 && p.y() < 20.0));
+    }
+
+    #[test]
+    fn roughly_uniform_occupancy() {
+        // Split the square into 4 quadrants; each should hold ~25% of points.
+        let n = 40_000;
+        let pts = uniform_fill::<2>(n, 100.0, 5);
+        let mut counts = [0usize; 4];
+        for p in &pts {
+            let q = (p.x() >= 50.0) as usize + 2 * (p.y() >= 50.0) as usize;
+            counts[q] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.02, "quadrant fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn zero_points() {
+        assert!(uniform_fill::<2>(0, 10.0, 0).is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Trajectory hot-spot detection on heavily skewed location data.
+//!
+//! This mirrors the paper's GeoLife scenario: GPS-like (x, y, altitude)
+//! points whose spatial distribution is extremely skewed — most of the data
+//! falls inside one metropolitan area. Skew is exactly the regime where the
+//! BCP-based cell graph can hit expensive connectivity queries and the
+//! bucketing heuristic pays off (paper §7.2, Figure 6(j)).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p pardbscan --example trajectory_hotspots
+//! ```
+
+use datagen::skewed_geolife_like;
+use geom::Point;
+use pardbscan::{Dbscan, VariantConfig};
+use std::time::Instant;
+
+fn main() {
+    // 200k synthetic GPS points, 85% of which fall in a ~10-unit-wide hot
+    // spot at the centre of a 10000-unit domain.
+    let n = 200_000;
+    let points: Vec<Point<3>> = skewed_geolife_like(n, 10_000.0, 0.85, 10.0, 7);
+    let eps = 25.0;
+    let min_pts = 100;
+
+    println!("trajectory hot-spot detection on {n} skewed points (eps={eps}, minPts={min_pts})");
+    println!("{:<28} {:>10} {:>10} {:>10}", "variant", "time (ms)", "clusters", "noise");
+
+    let mut reference = None;
+    for variant in [
+        VariantConfig::exact(),
+        VariantConfig::exact().with_bucketing(true),
+        VariantConfig::exact_qt(),
+        VariantConfig::exact_qt().with_bucketing(true),
+    ] {
+        let start = Instant::now();
+        let clustering = Dbscan::exact(&points, eps, min_pts)
+            .variant(variant)
+            .run()
+            .expect("valid configuration");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<28} {:>10.1} {:>10} {:>10}",
+            variant.paper_name(),
+            ms,
+            clustering.num_clusters(),
+            clustering.num_noise()
+        );
+        if let Some(reference) = &reference {
+            assert_eq!(&clustering, reference, "all exact variants agree");
+        } else {
+            reference = Some(clustering);
+        }
+    }
+
+    // Report the hot spots: clusters ranked by population.
+    let clustering = reference.expect("at least one run");
+    let mut clusters: Vec<(usize, usize)> = clustering
+        .cluster_members()
+        .into_iter()
+        .enumerate()
+        .map(|(id, members)| (id, members.len()))
+        .collect();
+    clusters.sort_by_key(|&(_, size)| std::cmp::Reverse(size));
+    println!("\ntop hot spots:");
+    for (id, size) in clusters.iter().take(5) {
+        println!("  cluster {id}: {size} points");
+    }
+}

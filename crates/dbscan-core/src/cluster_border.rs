@@ -1,0 +1,147 @@
+//! ClusterBorder — Algorithm 4 of the paper.
+//!
+//! Non-core points only exist in cells with fewer than minPts points. Each
+//! such point joins the cluster of every core point within ε of it, found by
+//! scanning the core points of its own cell and of the neighbouring cells.
+//! A border point can therefore belong to several clusters; a non-core point
+//! within ε of no core point is noise.
+
+use crate::context::Context;
+use rayon::prelude::*;
+
+/// Runs ClusterBorder. `core_clusters[pid]` is the raw cluster id of core
+/// point `pid` (from [`crate::cluster_core::cluster_core`]); the return value
+/// extends it to a per-point *set* of raw cluster ids covering core, border
+/// and noise points (noise ⇒ empty set).
+pub(crate) fn cluster_border<const D: usize>(
+    ctx: &Context<D>,
+    core_clusters: &[Option<usize>],
+) -> Vec<Vec<usize>> {
+    let n = ctx.partition.num_points();
+    let eps_sq = ctx.eps * ctx.eps;
+
+    // Raw cluster id of each *cell* (all core points of a cell share one).
+    let cell_cluster: Vec<Option<usize>> = (0..ctx.num_cells())
+        .into_par_iter()
+        .map(|c| {
+            ctx.partition
+                .cell_point_ids(c)
+                .iter()
+                .find(|&&pid| ctx.core_flags[pid])
+                .map(|&pid| core_clusters[pid].expect("core point has a cluster"))
+        })
+        .collect();
+
+    let border_assignments: Vec<Vec<(usize, Vec<usize>)>> = (0..ctx.num_cells())
+        .into_par_iter()
+        .map(|c| {
+            // Cells with ≥ minPts points contain only core points.
+            if ctx.partition.cells[c].len >= ctx.min_pts {
+                return Vec::new();
+            }
+            let ids = ctx.partition.cell_point_ids(c);
+            let pts = ctx.partition.cell_points(c);
+            ids.par_iter()
+                .zip(pts.par_iter())
+                .filter(|(&pid, _)| !ctx.core_flags[pid])
+                .map(|(&pid, p)| {
+                    let mut memberships = Vec::new();
+                    // The point's own cell first, then the neighbouring cells.
+                    for h in std::iter::once(c).chain(ctx.neighbors[c].iter().copied()) {
+                        let Some(cluster) = cell_cluster[h] else { continue };
+                        if memberships.contains(&cluster) {
+                            continue;
+                        }
+                        let hit = ctx.core_points[h].iter().any(|q| p.dist_sq(q) <= eps_sq);
+                        if hit {
+                            memberships.push(cluster);
+                        }
+                    }
+                    memberships.sort_unstable();
+                    (pid, memberships)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Assemble the final per-point sets.
+    let mut clusters: Vec<Vec<usize>> = (0..n)
+        .map(|pid| core_clusters[pid].map(|c| vec![c]).unwrap_or_default())
+        .collect();
+    for cell_assignments in border_assignments {
+        for (pid, memberships) in cell_assignments {
+            clusters[pid] = memberships;
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_core::{cluster_core, ClusterCoreOptions};
+    use crate::mark_core::mark_core;
+    use crate::params::{CellGraphMethod, CellMethod, MarkCoreMethod};
+    use geom::Point2;
+
+    fn run_pipeline(pts: &[Point2], eps: f64, min_pts: usize) -> (Vec<bool>, Vec<Vec<usize>>) {
+        let mut ctx = Context::build(pts, eps, min_pts, CellMethod::Grid);
+        mark_core(&mut ctx, MarkCoreMethod::Scan);
+        let core_clusters = cluster_core(
+            &ctx,
+            &ClusterCoreOptions { method: CellGraphMethod::Bcp, bucketing: false, rho: None },
+        );
+        let sets = cluster_border(&ctx, &core_clusters);
+        (ctx.core_flags, sets)
+    }
+
+    #[test]
+    fn border_point_joins_both_adjacent_clusters() {
+        // Two vertical chains of points two apart in x, and a bridge point
+        // exactly between their lower ends. With eps = 1 and minPts = 4 every
+        // chain point is core (≥ 3 chain neighbours within 1.0 plus itself),
+        // the chains are two separate clusters (they are 2.0 apart), and the
+        // bridge sees exactly one core point of each chain (distance 1.0) plus
+        // itself — too few to be core, so it is a border point of both
+        // clusters.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point2::new([0.0, 0.3 * i as f64]));
+        }
+        for i in 0..10 {
+            pts.push(Point2::new([2.0, 0.3 * i as f64]));
+        }
+        pts.push(Point2::new([1.0, 0.0]));
+        let (core, sets) = run_pipeline(&pts, 1.0, 4);
+        let bridge_idx = pts.len() - 1;
+        assert!(core[..20].iter().all(|&c| c), "chain points must be core");
+        assert!(!core[bridge_idx], "bridge point must not be core");
+        assert_eq!(sets[bridge_idx].len(), 2, "bridge belongs to both clusters");
+        // The two chains are distinct clusters.
+        assert_ne!(sets[0][0], sets[10][0]);
+    }
+
+    #[test]
+    fn lone_points_are_noise() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point2::new([0.01 * i as f64, 0.0]));
+        }
+        pts.push(Point2::new([100.0, 100.0]));
+        let (core, sets) = run_pipeline(&pts, 1.0, 5);
+        let lone = pts.len() - 1;
+        assert!(!core[lone]);
+        assert!(sets[lone].is_empty(), "far point is noise");
+        assert!(sets[..10].iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn core_points_keep_exactly_one_cluster() {
+        let pts: Vec<Point2> = (0..30).map(|i| Point2::new([0.05 * i as f64, 0.0])).collect();
+        let (core, sets) = run_pipeline(&pts, 1.0, 3);
+        for (i, s) in sets.iter().enumerate() {
+            assert!(core[i]);
+            assert_eq!(s.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Cell connectivity queries for the cell-graph construction (§4.4, §5.2).
+//!
+//! Two core cells are connected in the cell graph iff their closest pair of
+//! *core points* is within ε. This module provides the three query
+//! implementations the paper evaluates:
+//!
+//! * [`bcp_connected`] — bichromatic closest pair with the two optimizations
+//!   of §4.4: points farther than ε from the other cell's box are filtered
+//!   out first, and the pair scan proceeds block by block, aborting as soon
+//!   as a pair within ε is found.
+//! * [`quadtree_connected`] — the §5.2 variant: an early-terminating range
+//!   query against a quadtree built over the neighbouring cell's core
+//!   points (also used, with the approximate query, by approximate DBSCAN).
+//! * [`usec_connected`] — 2D unit-spherical emptiness checking with line
+//!   separation: the wavefront of one cell's ε-circles across the separating
+//!   boundary is queried with the other cell's core points.
+
+use geom::{BoundingBox, Point, Point2, Side, Wavefront};
+use spatial::SubdivisionTree;
+
+/// Block size of the blocked early-termination BCP scan. Pairs are examined
+/// one block-pair at a time so that a connection discovered early avoids most
+/// of the quadratic work, while each block-pair is still a tight vectorizable
+/// loop.
+const BCP_BLOCK: usize = 64;
+
+/// Returns `true` if some pair `(p, q)` with `p ∈ a`, `q ∈ b` has
+/// `d(p, q) ≤ eps`, using ε-box filtering and blocked early termination.
+pub(crate) fn bcp_connected<const D: usize>(
+    a: &[Point<D>],
+    a_bbox: &BoundingBox<D>,
+    b: &[Point<D>],
+    b_bbox: &BoundingBox<D>,
+    eps: f64,
+) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    let eps_sq = eps * eps;
+    // Optimization 1 (Gan & Tao): drop points farther than ε from the other
+    // cell's bounding box — they cannot participate in a ≤ ε pair.
+    let a_filtered: Vec<&Point<D>> = a
+        .iter()
+        .filter(|p| b_bbox.dist_sq_to_point(p) <= eps_sq)
+        .collect();
+    if a_filtered.is_empty() {
+        return false;
+    }
+    let b_filtered: Vec<&Point<D>> = b
+        .iter()
+        .filter(|p| a_bbox.dist_sq_to_point(p) <= eps_sq)
+        .collect();
+    if b_filtered.is_empty() {
+        return false;
+    }
+    // Optimization 2: blocked early termination.
+    for a_block in a_filtered.chunks(BCP_BLOCK) {
+        for b_block in b_filtered.chunks(BCP_BLOCK) {
+            for p in a_block {
+                for q in b_block {
+                    if p.dist_sq(q) <= eps_sq {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The exact bichromatic closest pair (point indices into `a` / `b` plus the
+/// distance). Exposed for tests and for callers that need the actual pair
+/// rather than the ≤ ε decision.
+pub fn bichromatic_closest_pair<const D: usize>(
+    a: &[Point<D>],
+    b: &[Point<D>],
+) -> Option<(usize, usize, f64)> {
+    let mut best: Option<(usize, usize, f64)> = None;
+    for (i, p) in a.iter().enumerate() {
+        for (j, q) in b.iter().enumerate() {
+            let d = p.dist_sq(q);
+            if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                best = Some((i, j, d));
+            }
+        }
+    }
+    best.map(|(i, j, d)| (i, j, d.sqrt()))
+}
+
+/// Early-terminating connectivity query against a quadtree over the
+/// neighbouring cell's core points. With `rho = None` the test is exact;
+/// with `rho = Some(ρ)` it follows the approximate RangeCount semantics
+/// (§5.2): a `true` answer guarantees a core point within ε(1+ρ), a `false`
+/// answer guarantees none within ε.
+pub(crate) fn quadtree_connected<const D: usize>(
+    a: &[Point<D>],
+    b_tree: &SubdivisionTree<D>,
+    b_bbox: &BoundingBox<D>,
+    eps: f64,
+    rho: Option<f64>,
+) -> bool {
+    let eps_sq = eps * eps;
+    for p in a {
+        // Cheap pre-filter mirroring the BCP one.
+        if b_bbox.dist_sq_to_point(p) > eps_sq {
+            continue;
+        }
+        let hit = match rho {
+            None => b_tree.any_within(p, eps),
+            Some(r) => b_tree.any_within_approx(p, eps, r),
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+/// Finds an axis and coordinate of an axis-parallel line separating the two
+/// (disjoint) cell boxes: all of `a` lies at or below the line along the
+/// returned axis and all of `b` at or above it, or vice versa (the boolean is
+/// `true` when `a` is the lower side). Returns `None` if the boxes overlap in
+/// every axis (which cannot happen for cells of the same partition).
+pub(crate) fn separating_line<const D: usize>(
+    a: &BoundingBox<D>,
+    b: &BoundingBox<D>,
+) -> Option<(usize, f64, bool)> {
+    for axis in 0..D {
+        if a.hi[axis] <= b.lo[axis] {
+            return Some((axis, 0.5 * (a.hi[axis] + b.lo[axis]), true));
+        }
+        if b.hi[axis] <= a.lo[axis] {
+            return Some((axis, 0.5 * (b.hi[axis] + a.lo[axis]), false));
+        }
+    }
+    None
+}
+
+/// USEC with line separation (2D only): builds the wavefront of `a`'s
+/// ε-circles over the boundary separating the two cells and asks whether any
+/// point of `b` falls inside it. Falls back to [`bcp_connected`] in the
+/// (impossible for disjoint cells) case where no separating axis exists.
+pub(crate) fn usec_connected(
+    a: &[Point2],
+    a_bbox: &BoundingBox<2>,
+    b: &[Point2],
+    b_bbox: &BoundingBox<2>,
+    eps: f64,
+) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    let Some((axis, line, a_is_low)) = separating_line(a_bbox, b_bbox) else {
+        return bcp_connected(a, a_bbox, b, b_bbox, eps);
+    };
+    let side = match (axis, a_is_low) {
+        (0, true) => Side::CentersLeft,
+        (0, false) => Side::CentersRight,
+        (1, true) => Side::CentersBelow,
+        (1, false) => Side::CentersAbove,
+        _ => unreachable!("2D data has axes 0 and 1 only"),
+    };
+    let wavefront = Wavefront::build(a, eps, line, side);
+    wavefront.any_contained(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn brute_connected<const D: usize>(a: &[Point<D>], b: &[Point<D>], eps: f64) -> bool {
+        a.iter().any(|p| b.iter().any(|q| p.within(q, eps)))
+    }
+
+    fn random_cell(
+        rng: &mut StdRng,
+        lo: [f64; 2],
+        side: f64,
+        n: usize,
+    ) -> (Vec<Point2>, BoundingBox<2>) {
+        let pts: Vec<Point2> = (0..n)
+            .map(|_| {
+                Point2::new([
+                    rng.gen_range(lo[0]..lo[0] + side),
+                    rng.gen_range(lo[1]..lo[1] + side),
+                ])
+            })
+            .collect();
+        (pts, BoundingBox::new(lo, [lo[0] + side, lo[1] + side]))
+    }
+
+    #[test]
+    fn bcp_and_usec_and_quadtree_agree_with_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let eps = 1.0;
+        let side = eps / (2.0f64).sqrt();
+        for trial in 0..300 {
+            // Two adjacent or near-adjacent cells (random offset of 1..3 cell
+            // widths in a random direction).
+            let na = rng.gen_range(1..25);
+            let (a, a_bbox) = random_cell(&mut rng, [0.0, 0.0], side, na);
+            let dx = if rng.gen_bool(0.7) { rng.gen_range(1..3) as f64 * side } else { 0.0 };
+            let dy = if dx == 0.0 {
+                rng.gen_range(1..3) as f64 * side
+            } else {
+                rng.gen_range(0..3) as f64 * side
+            };
+            let nb = rng.gen_range(1..25);
+            let (b, b_bbox) = random_cell(&mut rng, [dx, dy], side, nb);
+            let want = brute_connected(&a, &b, eps);
+
+            assert_eq!(bcp_connected(&a, &a_bbox, &b, &b_bbox, eps), want, "bcp trial {trial}");
+            assert_eq!(usec_connected(&a, &a_bbox, &b, &b_bbox, eps), want, "usec trial {trial}");
+
+            let b_tree = SubdivisionTree::build_exact(&b, b_bbox);
+            assert_eq!(
+                quadtree_connected(&a, &b_tree, &b_bbox, eps, None),
+                want,
+                "quadtree trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn bcp_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let eps = 2.0;
+        for _ in 0..100 {
+            let (a, a_bbox) = random_cell(&mut rng, [0.0, 0.0], 1.4, 10);
+            let (b, b_bbox) = random_cell(&mut rng, [2.0, 0.5], 1.4, 10);
+            assert_eq!(
+                bcp_connected(&a, &a_bbox, &b, &b_bbox, eps),
+                bcp_connected(&b, &b_bbox, &a, &a_bbox, eps)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_bcp_returns_the_closest_pair() {
+        let a = vec![Point2::new([0.0, 0.0]), Point2::new([5.0, 0.0])];
+        let b = vec![Point2::new([3.0, 4.0]), Point2::new([6.0, 0.0])];
+        let (i, j, d) = bichromatic_closest_pair(&a, &b).unwrap();
+        assert_eq!((i, j), (1, 1));
+        assert!((d - 1.0).abs() < 1e-12);
+        assert!(bichromatic_closest_pair::<2>(&[], &b).is_none());
+    }
+
+    #[test]
+    fn empty_cells_are_never_connected() {
+        let bbox = BoundingBox::new([0.0, 0.0], [1.0, 1.0]);
+        let pts = vec![Point2::new([0.5, 0.5])];
+        assert!(!bcp_connected::<2>(&[], &bbox, &pts, &bbox, 1.0));
+        assert!(!usec_connected(&pts, &bbox, &[], &bbox, 1.0));
+    }
+
+    #[test]
+    fn separating_line_finds_the_right_axis() {
+        let a = BoundingBox::new([0.0, 0.0], [1.0, 1.0]);
+        let b = BoundingBox::new([2.0, 0.0], [3.0, 1.0]);
+        let (axis, line, a_low) = separating_line(&a, &b).unwrap();
+        assert_eq!(axis, 0);
+        assert!(a_low);
+        assert!((line - 1.5).abs() < 1e-12);
+
+        let c = BoundingBox::new([0.0, -3.0], [1.0, -2.0]);
+        let (axis, _, a_low) = separating_line(&a, &c).unwrap();
+        assert_eq!(axis, 1);
+        assert!(!a_low);
+
+        // Overlapping boxes: no separating axis.
+        let d = BoundingBox::new([0.5, 0.5], [1.5, 1.5]);
+        assert!(separating_line(&a, &d).is_none());
+    }
+
+    #[test]
+    fn quadtree_approximate_connectivity_respects_shell() {
+        let eps = 1.0;
+        let rho = 0.5;
+        let a = vec![Point2::new([0.0, 0.0])];
+        let _a_bbox = BoundingBox::new([0.0, 0.0], [0.5, 0.5]);
+        // Clearly within eps.
+        let near = vec![Point2::new([0.9, 0.0])];
+        let near_bbox = BoundingBox::new([0.8, 0.0], [1.0, 0.5]);
+        let near_tree = SubdivisionTree::build_approximate(&near, near_bbox, rho);
+        assert!(quadtree_connected(&a, &near_tree, &near_bbox, eps, Some(rho)));
+        // Clearly beyond eps(1+rho).
+        let far = vec![Point2::new([2.0, 0.0])];
+        let far_bbox = BoundingBox::new([1.9, 0.0], [2.1, 0.5]);
+        let far_tree = SubdivisionTree::build_approximate(&far, far_bbox, rho);
+        assert!(!quadtree_connected(&a, &far_tree, &far_bbox, eps, Some(rho)));
+    }
+
+    #[test]
+    fn high_dimensional_bcp_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let eps = 1.0;
+        for _ in 0..100 {
+            let a: Vec<Point<5>> = (0..15)
+                .map(|_| {
+                    let mut c = [0.0; 5];
+                    for v in c.iter_mut() {
+                        *v = rng.gen_range(0.0..1.0);
+                    }
+                    Point::new(c)
+                })
+                .collect();
+            let b: Vec<Point<5>> = (0..15)
+                .map(|_| {
+                    let mut c = [0.0; 5];
+                    for v in c.iter_mut() {
+                        *v = rng.gen_range(0.5..2.0);
+                    }
+                    Point::new(c)
+                })
+                .collect();
+            let a_bbox = BoundingBox::containing(&a).unwrap();
+            let b_bbox = BoundingBox::containing(&b).unwrap();
+            assert_eq!(
+                bcp_connected(&a, &a_bbox, &b, &b_bbox, eps),
+                brute_connected(&a, &b, eps)
+            );
+        }
+    }
+}

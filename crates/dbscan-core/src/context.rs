@@ -1,0 +1,236 @@
+//! Internal pipeline state shared by the DBSCAN phases.
+//!
+//! The phases of Algorithm 1 communicate through this context: the cell
+//! partition (Algorithm 1 line 2), the per-cell lists of neighbouring cells,
+//! the core flags produced by MarkCore (line 3), and the per-cell lists of
+//! core points consumed by ClusterCore and ClusterBorder (lines 4–5).
+
+use crate::params::CellMethod;
+use geom::Point;
+use rayon::prelude::*;
+use spatial::{box_partition, grid_partition, CellKdTree, CellPartition};
+
+/// Shared state of one DBSCAN run.
+pub(crate) struct Context<const D: usize> {
+    /// The ε parameter.
+    pub eps: f64,
+    /// The minPts parameter.
+    pub min_pts: usize,
+    /// The cell partition of the input points.
+    pub partition: CellPartition<D>,
+    /// For every cell, the ids of the non-empty cells that may contain points
+    /// within ε of it (excluding the cell itself), sorted.
+    pub neighbors: Vec<Vec<usize>>,
+    /// Core flag per *original* point id (filled in by MarkCore).
+    pub core_flags: Vec<bool>,
+    /// For every cell, its core points (filled in after MarkCore).
+    pub core_points: Vec<Vec<Point<D>>>,
+}
+
+impl<const D: usize> Context<D> {
+    /// Builds the partition and the neighbour lists.
+    ///
+    /// Neighbour cells are found with grid-key enumeration when the grid
+    /// method is used (the paper's 2D approach, constant candidates per
+    /// cell), and with the k-d tree over cells otherwise (§5.1; also the only
+    /// option for the irregular box cells).
+    pub fn build(points: &[Point<D>], eps: f64, min_pts: usize, cell_method: CellMethod) -> Self {
+        let partition = match cell_method {
+            CellMethod::Grid => grid_partition(points, eps),
+            CellMethod::Box => {
+                // The caller (`Dbscan::run`) guarantees D == 2 here.
+                let pts2: Vec<geom::Point2> = points
+                    .iter()
+                    .map(|p| geom::Point2::new([p.coords[0], p.coords[1]]))
+                    .collect();
+                let part2 = box_partition(&pts2, eps);
+                // Convert the 2D partition back into the generic-D shape.
+                CellPartition {
+                    eps: part2.eps,
+                    points: part2
+                        .points
+                        .iter()
+                        .map(|p| {
+                            let mut c = [0.0; D];
+                            c[0] = p.x();
+                            c[1] = p.y();
+                            Point::new(c)
+                        })
+                        .collect(),
+                    point_ids: part2.point_ids,
+                    cells: part2
+                        .cells
+                        .iter()
+                        .map(|info| spatial::CellInfo {
+                            start: info.start,
+                            len: info.len,
+                            bbox: {
+                                let mut lo = [0.0; D];
+                                let mut hi = [0.0; D];
+                                lo[0] = info.bbox.lo[0];
+                                lo[1] = info.bbox.lo[1];
+                                hi[0] = info.bbox.hi[0];
+                                hi[1] = info.bbox.hi[1];
+                                geom::BoundingBox::new(lo, hi)
+                            },
+                            key: None,
+                        })
+                        .collect(),
+                    grid_index: None,
+                }
+            }
+        };
+
+        let neighbors = compute_neighbors(&partition, eps);
+        let n = points.len();
+        Context {
+            eps,
+            min_pts,
+            partition,
+            neighbors,
+            core_flags: vec![false; n],
+            core_points: Vec::new(),
+        }
+    }
+
+    /// Number of cells in the partition.
+    pub fn num_cells(&self) -> usize {
+        self.partition.num_cells()
+    }
+
+    /// Populates `core_points` from `core_flags` (called after MarkCore).
+    pub fn collect_core_points(&mut self) {
+        let partition = &self.partition;
+        let core_flags = &self.core_flags;
+        self.core_points = (0..partition.num_cells())
+            .into_par_iter()
+            .map(|c| {
+                partition
+                    .cell_points(c)
+                    .iter()
+                    .zip(partition.cell_point_ids(c))
+                    .filter(|(_, &pid)| core_flags[pid])
+                    .map(|(p, _)| *p)
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Number of core points in cell `c` (valid after
+    /// [`Context::collect_core_points`]).
+    pub fn core_count(&self, c: usize) -> usize {
+        self.core_points[c].len()
+    }
+
+    /// Returns `true` if cell `c` contains at least one core point.
+    pub fn is_core_cell(&self, c: usize) -> bool {
+        !self.core_points[c].is_empty()
+    }
+}
+
+/// Computes, for every cell, the sorted ids of the other cells whose boxes
+/// are within ε.
+///
+/// In 2D the grid-key enumeration of §4.1 is used (a constant number of
+/// candidate keys looked up in the concurrent hash table). For d ≥ 3 the
+/// number of candidate keys grows exponentially with d, so — exactly as the
+/// paper prescribes in §5.1 — the non-empty cells are put in a k-d tree and
+/// each cell range-queries it for the non-empty neighbours. The box method
+/// has irregular cells with no key arithmetic, so it always uses the k-d
+/// tree.
+fn compute_neighbors<const D: usize>(partition: &CellPartition<D>, eps: f64) -> Vec<Vec<usize>> {
+    if partition.num_cells() == 0 {
+        return Vec::new();
+    }
+    match &partition.grid_index {
+        Some(index) if D <= 2 => (0..partition.num_cells())
+            .into_par_iter()
+            .map(|c| {
+                let key = partition.cells[c].key.expect("grid cells have keys");
+                let mut nbrs = index.neighbor_cells(&key);
+                nbrs.sort_unstable();
+                nbrs
+            })
+            .collect(),
+        _ => {
+            let boxes: Vec<geom::BoundingBox<D>> =
+                partition.cells.iter().map(|c| c.bbox).collect();
+            let tree = CellKdTree::build(&boxes);
+            (0..partition.num_cells())
+                .into_par_iter()
+                .map(|c| tree.cells_within(&boxes[c], eps, c))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point2;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, extent: f64, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    /// Brute-force neighbour reference: cells whose boxes are within eps.
+    fn reference_neighbors<const D: usize>(
+        partition: &CellPartition<D>,
+        eps: f64,
+    ) -> Vec<Vec<usize>> {
+        (0..partition.num_cells())
+            .map(|c| {
+                (0..partition.num_cells())
+                    .filter(|&o| {
+                        o != c
+                            && partition.cells[c]
+                                .bbox
+                                .dist_sq_to_box(&partition.cells[o].bbox)
+                                <= eps * eps * (1.0 + 1e-9)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_neighbors_match_bruteforce() {
+        let pts = random_points(1000, 30.0, 3);
+        let ctx = Context::build(&pts, 2.0, 10, CellMethod::Grid);
+        let reference = reference_neighbors(&ctx.partition, 2.0);
+        assert_eq!(ctx.neighbors, reference);
+    }
+
+    #[test]
+    fn box_neighbors_cover_every_epsilon_close_pair_of_cells() {
+        let pts = random_points(800, 25.0, 5);
+        let ctx = Context::build(&pts, 1.5, 10, CellMethod::Box);
+        // The kd-tree path uses an exact eps cutoff; the brute-force reference
+        // uses a slightly inflated one, so check containment rather than
+        // equality (a cell at distance exactly eps may legitimately differ by
+        // a rounding ulp).
+        let reference = reference_neighbors(&ctx.partition, 1.5);
+        for (mine, wanted) in ctx.neighbors.iter().zip(&reference) {
+            for m in mine {
+                assert!(wanted.contains(m));
+            }
+        }
+    }
+
+    #[test]
+    fn collect_core_points_filters_by_flag() {
+        let pts = random_points(200, 10.0, 7);
+        let mut ctx = Context::build(&pts, 1.0, 5, CellMethod::Grid);
+        // Mark every other original point as core.
+        for i in (0..pts.len()).step_by(2) {
+            ctx.core_flags[i] = true;
+        }
+        ctx.collect_core_points();
+        let total: usize = (0..ctx.num_cells()).map(|c| ctx.core_count(c)).sum();
+        assert_eq!(total, pts.len() / 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Clustering results.
+//!
+//! DBSCAN's output (see §2 of the paper) assigns every core point to exactly
+//! one cluster; a non-core point within ε of core points of one or more
+//! clusters is a *border* point of all of those clusters (so its label is a
+//! set); points in no cluster are *noise*. [`Clustering`] stores the complete
+//! set-valued assignment plus the core flags, and offers flattened views
+//! (primary labels) for callers that want the usual "one label per point"
+//! shape.
+
+use parprims::count_if;
+
+/// The label of a single point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointLabel {
+    /// A core point and the cluster it belongs to.
+    Core(usize),
+    /// A border point and the (non-empty, sorted) clusters it belongs to.
+    Border(Vec<usize>),
+    /// A noise point (not within ε of any core point).
+    Noise,
+}
+
+/// The result of a DBSCAN run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    core: Vec<bool>,
+    /// Sorted cluster ids per point (empty ⇒ noise).
+    clusters: Vec<Vec<usize>>,
+    num_clusters: usize,
+}
+
+impl Clustering {
+    /// Builds a clustering from per-point core flags and per-point cluster-id
+    /// sets (not necessarily canonical). Cluster ids are renumbered so that
+    /// cluster `k` is the one containing the (k+1)-th smallest "first core
+    /// point" — i.e. ids are assigned by scanning the points in order and
+    /// numbering each cluster when its first *core* point is encountered.
+    /// Every DBSCAN cluster contains a core point, so this enumerates every
+    /// cluster, and because it depends only on the partition (never on the
+    /// order in which a border point's memberships were discovered), two runs
+    /// that produce the same partition compare equal with `==` regardless of
+    /// internal (parallel) execution order.
+    pub fn from_raw(core: Vec<bool>, raw_clusters: Vec<Vec<usize>>) -> Self {
+        assert_eq!(core.len(), raw_clusters.len());
+        let mut remap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for (i, ids) in raw_clusters.iter().enumerate() {
+            if core[i] {
+                for &c in ids {
+                    let next = remap.len();
+                    remap.entry(c).or_insert(next);
+                }
+            }
+        }
+        let mut clusters = Vec::with_capacity(raw_clusters.len());
+        for ids in &raw_clusters {
+            let mut mapped: Vec<usize> = ids
+                .iter()
+                .map(|&c| {
+                    // Raw ids not owned by any core point cannot occur for a
+                    // valid DBSCAN output; the fallback keeps the constructor
+                    // total for hand-built inputs in tests.
+                    let next = remap.len();
+                    *remap.entry(c).or_insert(next)
+                })
+                .collect();
+            mapped.sort_unstable();
+            mapped.dedup();
+            clusters.push(mapped);
+        }
+        let num_clusters = remap.len();
+        Clustering { core, clusters, num_clusters }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// Returns `true` if the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.core.is_empty()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Whether point `i` is a core point.
+    pub fn is_core(&self, i: usize) -> bool {
+        self.core[i]
+    }
+
+    /// Per-point core flags.
+    pub fn core_flags(&self) -> &[bool] {
+        &self.core
+    }
+
+    /// Number of core points.
+    pub fn num_core_points(&self) -> usize {
+        count_if(&self.core, |&c| c)
+    }
+
+    /// The set of clusters point `i` belongs to (empty for noise; a single
+    /// id for core points; one or more ids for border points).
+    pub fn clusters_of(&self, i: usize) -> &[usize] {
+        &self.clusters[i]
+    }
+
+    /// The label of point `i`.
+    pub fn label(&self, i: usize) -> PointLabel {
+        if self.core[i] {
+            PointLabel::Core(self.clusters[i][0])
+        } else if self.clusters[i].is_empty() {
+            PointLabel::Noise
+        } else {
+            PointLabel::Border(self.clusters[i].clone())
+        }
+    }
+
+    /// Whether point `i` is noise.
+    pub fn is_noise(&self, i: usize) -> bool {
+        self.clusters[i].is_empty()
+    }
+
+    /// Flattened per-point labels: the smallest cluster id for clustered
+    /// points, −1 for noise. Border points that belong to several clusters
+    /// are collapsed to their smallest cluster id.
+    pub fn primary_labels(&self) -> Vec<i64> {
+        self.clusters
+            .iter()
+            .map(|c| c.first().map(|&x| x as i64).unwrap_or(-1))
+            .collect()
+    }
+
+    /// The members (point ids) of each cluster, indexed by cluster id.
+    pub fn cluster_members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.num_clusters];
+        for (i, cs) in self.clusters.iter().enumerate() {
+            for &c in cs {
+                members[c].push(i);
+            }
+        }
+        members
+    }
+
+    /// Number of noise points.
+    pub fn num_noise(&self) -> usize {
+        count_if(&self.clusters, |c| c.is_empty())
+    }
+
+    /// Checks whether two clusterings describe the same partition: the same
+    /// core flags and, for every point, the same set of clusters up to a
+    /// consistent renaming of cluster ids. (Because [`Clustering::from_raw`]
+    /// canonicalizes ids, this is equivalent to `==`; the method exists to
+    /// make the intent of test assertions explicit.)
+    pub fn same_clustering(&self, other: &Clustering) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_renumbering_makes_runs_comparable() {
+        // Same partition with different internal ids must compare equal.
+        let a = Clustering::from_raw(
+            vec![true, true, false, false],
+            vec![vec![7], vec![7], vec![7, 9], vec![]],
+        );
+        let b = Clustering::from_raw(
+            vec![true, true, false, false],
+            vec![vec![0], vec![0], vec![0, 3], vec![]],
+        );
+        assert_eq!(a, b);
+        assert!(a.same_clustering(&b));
+        assert_eq!(a.num_clusters(), 2);
+    }
+
+    #[test]
+    fn labels_distinguish_core_border_noise() {
+        let c = Clustering::from_raw(
+            vec![true, false, false],
+            vec![vec![5], vec![5], vec![]],
+        );
+        assert_eq!(c.label(0), PointLabel::Core(0));
+        assert_eq!(c.label(1), PointLabel::Border(vec![0]));
+        assert_eq!(c.label(2), PointLabel::Noise);
+        assert!(c.is_noise(2));
+        assert!(!c.is_noise(1));
+        assert_eq!(c.primary_labels(), vec![0, 0, -1]);
+        assert_eq!(c.num_noise(), 1);
+        assert_eq!(c.num_core_points(), 1);
+    }
+
+    #[test]
+    fn cluster_members_include_border_points_in_every_cluster() {
+        let c = Clustering::from_raw(
+            vec![true, true, false],
+            vec![vec![1], vec![2], vec![1, 2]],
+        );
+        let members = c.cluster_members();
+        assert_eq!(members.len(), 2);
+        assert!(members[0].contains(&0) && members[0].contains(&2));
+        assert!(members[1].contains(&1) && members[1].contains(&2));
+    }
+
+    #[test]
+    fn different_partitions_are_not_equal() {
+        let a = Clustering::from_raw(vec![true, true], vec![vec![0], vec![0]]);
+        let b = Clustering::from_raw(vec![true, true], vec![vec![0], vec![1]]);
+        assert_ne!(a, b);
+        assert!(!a.same_clustering(&b));
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::from_raw(vec![], vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.num_noise(), 0);
+    }
+}

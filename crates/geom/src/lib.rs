@@ -1,0 +1,29 @@
+//! Geometry kernels for parallel DBSCAN.
+//!
+//! * [`point`] — fixed-dimension points, squared/Euclidean distances,
+//!   axis-aligned bounding boxes and box–point / box–ball distance tests.
+//! * [`predicates`] — 2D orientation and in-circumcircle predicates used by
+//!   the Delaunay triangulation.
+//! * [`morton`] — Morton (Z-order) codes, used to give the incremental
+//!   Delaunay construction spatial locality and for deterministic tie-breaks.
+//! * [`delaunay`] — 2D Delaunay triangulation (Bowyer–Watson incremental with
+//!   Morton-order insertion), used by the `our-2d-*-delaunay` cell-graph
+//!   construction of §4.4.
+//! * [`wavefront`] — the unit-spherical emptiness checking (USEC) with line
+//!   separation structure of §4.4: the upper envelope ("wavefront") of the
+//!   ε-circles of a cell's core points above one of its boundaries, plus the
+//!   containment query used to decide cell connectivity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delaunay;
+pub mod morton;
+pub mod point;
+pub mod predicates;
+pub mod wavefront;
+
+pub use delaunay::DelaunayTriangulation;
+pub use morton::{morton_code_2d, morton_order};
+pub use point::{BoundingBox, Point, Point2};
+pub use wavefront::{Side, Wavefront};

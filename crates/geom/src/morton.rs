@@ -1,0 +1,91 @@
+//! Morton (Z-order) codes for 2D points.
+//!
+//! The incremental Delaunay construction inserts points in an order with
+//! spatial locality so that walking point location from the previously
+//! inserted point's triangle is cheap; sorting by Morton code of the
+//! quantized coordinates is the standard way to get that locality.
+
+use crate::point::Point2;
+
+/// Interleaves the low 32 bits of `x` and `y` into a 64-bit Morton code
+/// (x occupies the even bit positions).
+pub fn interleave_bits(x: u32, y: u32) -> u64 {
+    fn spread(v: u32) -> u64 {
+        let mut v = v as u64;
+        v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+        v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+        v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    spread(x) | (spread(y) << 1)
+}
+
+/// Morton code of a point relative to the bounding square `[lo, lo + extent]`,
+/// quantized to 2^21 buckets per axis (fits a 42-bit code; collisions are
+/// only a performance concern, never a correctness one).
+pub fn morton_code_2d(p: Point2, lo: [f64; 2], extent: f64) -> u64 {
+    const BUCKETS: f64 = (1u64 << 21) as f64;
+    let scale = if extent > 0.0 { BUCKETS / extent } else { 0.0 };
+    let qx = ((p.x() - lo[0]) * scale).clamp(0.0, BUCKETS - 1.0) as u32;
+    let qy = ((p.y() - lo[1]) * scale).clamp(0.0, BUCKETS - 1.0) as u32;
+    interleave_bits(qx, qy)
+}
+
+/// Returns a permutation of `0..points.len()` that visits the points in
+/// Morton order over their common bounding square.
+pub fn morton_order(points: &[Point2]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let bb = crate::point::BoundingBox::containing(points).expect("non-empty");
+    let extent = (bb.hi[0] - bb.lo[0]).max(bb.hi[1] - bb.lo[1]).max(f64::MIN_POSITIVE);
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    let codes: Vec<u64> = points
+        .iter()
+        .map(|p| morton_code_2d(*p, bb.lo, extent))
+        .collect();
+    order.sort_by_key(|&i| codes[i]);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_small_values() {
+        assert_eq!(interleave_bits(0, 0), 0);
+        assert_eq!(interleave_bits(1, 0), 0b01);
+        assert_eq!(interleave_bits(0, 1), 0b10);
+        assert_eq!(interleave_bits(3, 3), 0b1111);
+        assert_eq!(interleave_bits(0b101, 0b011), 0b011011);
+    }
+
+    #[test]
+    fn morton_order_is_a_permutation() {
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| Point2::new([(i * 37 % 100) as f64, (i * 61 % 100) as f64]))
+            .collect();
+        let mut order = morton_order(&pts);
+        order.sort_unstable();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nearby_points_get_nearby_codes() {
+        let lo = [0.0, 0.0];
+        let a = morton_code_2d(Point2::new([1.0, 1.0]), lo, 1000.0);
+        let b = morton_code_2d(Point2::new([1.5, 1.2]), lo, 1000.0);
+        let c = morton_code_2d(Point2::new([900.0, 950.0]), lo, 1000.0);
+        assert!((a as i128 - b as i128).abs() < (a as i128 - c as i128).abs());
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(morton_order(&[]).is_empty());
+        let same = vec![Point2::new([5.0, 5.0]); 10];
+        assert_eq!(morton_order(&same).len(), 10);
+    }
+}

@@ -1,0 +1,262 @@
+//! Points, distances and axis-aligned bounding boxes in `D` dimensions.
+//!
+//! The DBSCAN algorithms are generic over the compile-time dimension `D`
+//! (`Point<2>`, `Point<3>`, …), matching the paper's evaluation dimensions
+//! d ∈ {2, 3, 5, 7, 13}. Monomorphization keeps the inner distance loops free
+//! of dynamic indexing.
+
+/// A point in `D`-dimensional Euclidean space with `f64` coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    /// The coordinates of the point.
+    pub coords: [f64; D],
+}
+
+/// Convenience alias for 2D points, which the 2D-specific algorithms
+/// (Delaunay, USEC, box cells) operate on.
+pub type Point2 = Point<2>;
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinate array.
+    pub fn new(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    pub fn origin() -> Self {
+        Point { coords: [0.0; D] }
+    }
+
+    /// Coordinate `i`.
+    #[inline]
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+
+    /// Squared Euclidean distance to `other`. This is the hot inner loop of
+    /// MarkCore and the BCP computations, so callers compare against ε²
+    /// instead of taking square roots.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.coords[i] - other.coords[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point<D>) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Returns `true` if `other` lies within distance `eps` (inclusive, as in
+    /// the DBSCAN definition d(p, q) ≤ ε).
+    #[inline]
+    pub fn within(&self, other: &Point<D>, eps: f64) -> bool {
+        self.dist_sq(other) <= eps * eps
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+}
+
+impl Point<2> {
+    /// x coordinate (2D convenience accessor).
+    #[inline]
+    pub fn x(&self) -> f64 {
+        self.coords[0]
+    }
+
+    /// y coordinate (2D convenience accessor).
+    #[inline]
+    pub fn y(&self) -> f64 {
+        self.coords[1]
+    }
+}
+
+/// An axis-aligned bounding box in `D` dimensions, stored as inclusive lower
+/// and upper corners. Used as the key describing a cell (§4.1), as the node
+/// extent in the k-d tree over cells (§5.1) and in the quadtree (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox<const D: usize> {
+    /// Lower corner (inclusive).
+    pub lo: [f64; D],
+    /// Upper corner (inclusive).
+    pub hi: [f64; D],
+}
+
+impl<const D: usize> BoundingBox<D> {
+    /// Creates a box from its corners. Panics in debug builds if any
+    /// `lo[i] > hi[i]`.
+    pub fn new(lo: [f64; D], hi: [f64; D]) -> Self {
+        debug_assert!((0..D).all(|i| lo[i] <= hi[i]), "inverted bounding box");
+        BoundingBox { lo, hi }
+    }
+
+    /// The smallest box containing all `points`. Returns `None` for an empty
+    /// slice.
+    pub fn containing(points: &[Point<D>]) -> Option<Self> {
+        let first = points.first()?;
+        let mut lo = first.coords;
+        let mut hi = first.coords;
+        for p in &points[1..] {
+            for i in 0..D {
+                lo[i] = lo[i].min(p.coords[i]);
+                hi[i] = hi[i].max(p.coords[i]);
+            }
+        }
+        Some(BoundingBox { lo, hi })
+    }
+
+    /// Returns `true` if `p` lies inside the box (inclusive on every face).
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= p.coords[i] && p.coords[i] <= self.hi[i])
+    }
+
+    /// Squared distance from `p` to the closest point of the box (zero if
+    /// `p` is inside). Used to prune k-d tree and quadtree traversals.
+    pub fn dist_sq_to_point(&self, p: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let c = p.coords[i];
+            let d = if c < self.lo[i] {
+                self.lo[i] - c
+            } else if c > self.hi[i] {
+                c - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance from `p` to the farthest point of the box. A box
+    /// whose farthest corner is within ε of `p` is entirely contained in the
+    /// ε-ball, which lets the approximate RangeCount (§5.2) stop early.
+    pub fn max_dist_sq_to_point(&self, p: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let c = p.coords[i];
+            let d = (c - self.lo[i]).abs().max((c - self.hi[i]).abs());
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Returns `true` if the ε-ball around `p` intersects the box.
+    pub fn intersects_ball(&self, p: &Point<D>, eps: f64) -> bool {
+        self.dist_sq_to_point(p) <= eps * eps
+    }
+
+    /// Minimum squared distance between two boxes (zero if they intersect).
+    pub fn dist_sq_to_box(&self, other: &BoundingBox<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = if other.hi[i] < self.lo[i] {
+                self.lo[i] - other.hi[i]
+            } else if other.lo[i] > self.hi[i] {
+                other.lo[i] - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// The centre of the box.
+    pub fn center(&self) -> Point<D> {
+        let mut c = [0.0; D];
+        for i in 0..D {
+            c[i] = 0.5 * (self.lo[i] + self.hi[i]);
+        }
+        Point::new(c)
+    }
+
+    /// Grows the box to also contain `other` and returns the result.
+    pub fn union(&self, other: &BoundingBox<D>) -> BoundingBox<D> {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for i in 0..D {
+            lo[i] = lo[i].min(other.lo[i]);
+            hi[i] = hi[i].max(other.hi[i]);
+        }
+        BoundingBox { lo, hi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let a = Point::new([0.0, 3.0]);
+        let b = Point::new([4.0, 0.0]);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert!(a.within(&b, 5.0));
+        assert!(!a.within(&b, 4.999));
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = Point::new([0.0]);
+        let b = Point::new([2.0]);
+        assert!(a.within(&b, 2.0));
+    }
+
+    #[test]
+    fn higher_dimension_distance() {
+        let a = Point::new([1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = Point::new([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a.dist_sq(&b), 0.0);
+        let c = Point::new([2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!((a.dist_sq(&c) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_containing_points() {
+        let pts = vec![
+            Point::new([1.0, 5.0]),
+            Point::new([-2.0, 3.0]),
+            Point::new([0.5, 7.0]),
+        ];
+        let bb = BoundingBox::containing(&pts).unwrap();
+        assert_eq!(bb.lo, [-2.0, 3.0]);
+        assert_eq!(bb.hi, [1.0, 7.0]);
+        assert!(pts.iter().all(|p| bb.contains(p)));
+        assert!(BoundingBox::<2>::containing(&[]).is_none());
+    }
+
+    #[test]
+    fn box_point_distances() {
+        let bb = BoundingBox::new([0.0, 0.0], [2.0, 2.0]);
+        let inside = Point::new([1.0, 1.0]);
+        assert_eq!(bb.dist_sq_to_point(&inside), 0.0);
+        let outside = Point::new([5.0, 2.0]);
+        assert_eq!(bb.dist_sq_to_point(&outside), 9.0);
+        assert_eq!(bb.max_dist_sq_to_point(&inside), 2.0);
+        assert!(bb.intersects_ball(&outside, 3.0));
+        assert!(!bb.intersects_ball(&outside, 2.9));
+    }
+
+    #[test]
+    fn box_box_distance_and_union() {
+        let a = BoundingBox::new([0.0, 0.0], [1.0, 1.0]);
+        let b = BoundingBox::new([3.0, 0.0], [4.0, 1.0]);
+        assert_eq!(a.dist_sq_to_box(&b), 4.0);
+        assert_eq!(a.dist_sq_to_box(&a), 0.0);
+        let u = a.union(&b);
+        assert_eq!(u.lo, [0.0, 0.0]);
+        assert_eq!(u.hi, [4.0, 1.0]);
+        assert_eq!(u.center().coords, [2.0, 0.5]);
+    }
+}

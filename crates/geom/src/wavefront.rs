@@ -1,0 +1,421 @@
+//! Unit-spherical emptiness checking (USEC) with line separation.
+//!
+//! In the USEC with line separation problem (§4.4 of the paper, after Gan &
+//! Tao and Bose et al.) we are given a horizontal or vertical line ℓ, a set
+//! of "centre" points on one side of ℓ, and a set of query points on the
+//! other side, and we must decide whether any query point lies inside the
+//! union of the ε-radius circles of the centres.
+//!
+//! Because all circles have the same radius and all centres lie on one side
+//! of ℓ, the part of the union on the other side of ℓ is bounded from above
+//! by an x-monotone curve — the *wavefront* — consisting of arcs of the
+//! outermost circles: for each abscissa x, the union covers exactly the
+//! y-interval from ℓ up to `max_c (c_y + sqrt(ε² − (x − c_x)²))`. A query
+//! point q on the far side of ℓ therefore lies in the union iff it is within
+//! ε of the centre whose arc covers q's abscissa, which is a single distance
+//! test after locating the covering arc.
+//!
+//! [`Wavefront::build`] constructs the envelope with a monotone-stack sweep
+//! over the centres in increasing abscissa. The sweep relies on the same
+//! structural fact the paper proves in its Appendix A: the upper arcs of two
+//! equal-radius circles cross at most once, with the left centre owning the
+//! envelope left of the crossing (the arcs are translates of one concave
+//! function, so their difference is strictly monotone). Queries then cost
+//! O(log n) each and are issued in parallel by the caller. The paper instead
+//! merges wavefronts with balanced search trees and answers each cell query
+//! with a pivot-decomposed merge; our sweep has the same O(n log n) overall
+//! cost in the DBSCAN pipeline (the sort dominates) and the same query
+//! interface — the substitution is recorded in DESIGN.md.
+
+use crate::point::Point2;
+
+/// Which side of the separating line the circle *centres* lie on.
+///
+/// The wavefront is the envelope of the circles on the *other* side, which is
+/// where the query points live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Centres are below the horizontal line; queries come from above.
+    CentersBelow,
+    /// Centres are above the horizontal line; queries come from below.
+    CentersAbove,
+    /// Centres are left of the vertical line; queries come from the right.
+    CentersLeft,
+    /// Centres are right of the vertical line; queries come from the left.
+    CentersRight,
+}
+
+/// One arc of the wavefront: `center`'s ε-circle owns the envelope for
+/// abscissae up to `x_end` (and from the end of the previous arc; the exact
+/// start is not needed by queries, which settle containment with a distance
+/// test against `center`).
+#[derive(Debug, Clone, Copy)]
+struct Arc {
+    center: Point2,
+    x_end: f64,
+}
+
+/// The wavefront (upper envelope of equal-radius circles) on one side of an
+/// axis-parallel separating line.
+pub struct Wavefront {
+    /// Arcs in increasing order of abscissa (canonical frame).
+    arcs: Vec<Arc>,
+    eps: f64,
+    side: Side,
+}
+
+impl Wavefront {
+    /// Builds the wavefront of the ε-circles of `centers` with respect to the
+    /// axis-parallel line at coordinate `line` (a y-coordinate for
+    /// `CentersBelow`/`CentersAbove`, an x-coordinate for
+    /// `CentersLeft`/`CentersRight`).
+    ///
+    /// Centres strictly farther than ε from the line contribute nothing on
+    /// the query side and are skipped. The centres need not be pre-sorted.
+    pub fn build(centers: &[Point2], eps: f64, line: f64, side: Side) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        let canon_line = canonical_line(line, side);
+        let mut canon: Vec<Point2> = centers
+            .iter()
+            .map(|&c| to_canonical(c, side))
+            .filter(|c| canon_line - c.y() <= eps)
+            .collect();
+        // Sort by (x, y); for centres sharing an abscissa only the highest one
+        // can ever be on the envelope (their arcs are vertical translates).
+        canon.sort_by(|a, b| {
+            a.x()
+                .partial_cmp(&b.x())
+                .unwrap()
+                .then(a.y().partial_cmp(&b.y()).unwrap())
+        });
+        let mut dedup: Vec<Point2> = Vec::with_capacity(canon.len());
+        for c in canon {
+            if let Some(last) = dedup.last_mut() {
+                if last.x() == c.x() {
+                    *last = c; // keep the highest centre at this abscissa
+                    continue;
+                }
+            }
+            dedup.push(c);
+        }
+
+        // Monotone-stack sweep: each stack entry is (centre, abscissa where
+        // its arc starts).
+        let mut stack: Vec<(Point2, f64)> = Vec::with_capacity(dedup.len());
+        for c in dedup {
+            loop {
+                match stack.last() {
+                    None => {
+                        stack.push((c, c.x() - eps));
+                        break;
+                    }
+                    Some(&(top, top_start)) => {
+                        let cross = crossover(top, c, eps);
+                        if cross <= top_start {
+                            // The new circle already beats `top` at (or
+                            // before) the start of top's arc, so top never
+                            // appears on the envelope.
+                            stack.pop();
+                            continue;
+                        }
+                        stack.push((c, cross));
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut arcs = Vec::with_capacity(stack.len());
+        for (i, &(c, start)) in stack.iter().enumerate() {
+            let natural_end = c.x() + eps;
+            let end = if i + 1 < stack.len() {
+                natural_end.min(stack[i + 1].1)
+            } else {
+                natural_end
+            };
+            if end >= start {
+                arcs.push(Arc { center: c, x_end: end });
+            }
+        }
+        Wavefront { arcs, eps, side }
+    }
+
+    /// Number of arcs on the envelope.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Returns `true` if the wavefront is empty (no centre's circle reaches
+    /// the query side of the line).
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// Returns `true` if query point `q` (which must lie on the query side of
+    /// the separating line, i.e. the side opposite the centres) is within
+    /// distance ε of at least one of the centres.
+    pub fn contains(&self, q: Point2) -> bool {
+        if self.arcs.is_empty() {
+            return false;
+        }
+        let qc = to_canonical(q, self.side);
+        let x = qc.x();
+        let eps_sq = self.eps * self.eps;
+        // Binary search for the first arc whose end reaches x.
+        let idx = self.arcs.partition_point(|a| a.x_end < x);
+        if idx == self.arcs.len() {
+            return false;
+        }
+        // The covering arc (if any) is arcs[idx]; a direct distance test
+        // settles containment, and is also correct in the gap case where x
+        // precedes the arc's start (the distance is then necessarily > ε).
+        if qc.dist_sq(&self.arcs[idx].center) <= eps_sq {
+            return true;
+        }
+        // Numerical guard: a query falling exactly on the breakpoint between
+        // two arcs may be attributed to the wrong side by floating-point
+        // rounding of the breakpoint; check the preceding arc as well.
+        idx > 0 && qc.dist_sq(&self.arcs[idx - 1].center) <= eps_sq
+    }
+
+    /// Returns `true` if *any* of the query points is inside the union of
+    /// circles — the USEC decision problem.
+    pub fn any_contained(&self, queries: &[Point2]) -> bool {
+        queries.iter().any(|&q| self.contains(q))
+    }
+}
+
+/// Height of the upper arc of the ε-circle centred at `c` at abscissa `x`,
+/// or `None` if `x` is outside the circle's x-extent.
+fn arc_height(c: Point2, eps: f64, x: f64) -> Option<f64> {
+    let dx = x - c.x();
+    let rem = eps * eps - dx * dx;
+    if rem < 0.0 {
+        None
+    } else {
+        Some(c.y() + rem.sqrt())
+    }
+}
+
+/// Abscissa at and beyond which the circle of `c` (the right centre) is at
+/// least as high as the circle of `t` (the left centre, `t.x < c.x`) on the
+/// envelope. Returns `c.x - eps` if `c` wins from the start of its extent,
+/// and `t.x + eps` if `t` wins over their whole common extent.
+///
+/// Correctness: the upper arcs are translates of one strictly concave
+/// function, so `f_t − f_c` is strictly decreasing on the common extent and
+/// changes sign at most once (the paper's Appendix A lemma); a bisection is
+/// therefore exact up to floating-point resolution.
+fn crossover(t: Point2, c: Point2, eps: f64) -> f64 {
+    debug_assert!(t.x() < c.x());
+    let common_lo = c.x() - eps;
+    let common_hi = t.x() + eps;
+    if common_lo >= common_hi {
+        // Extents are disjoint: c only covers abscissae past its own start.
+        return common_lo;
+    }
+    let diff = |x: f64| -> f64 {
+        let ft = arc_height(t, eps, x).unwrap_or(f64::NEG_INFINITY);
+        let fc = arc_height(c, eps, x).unwrap_or(f64::NEG_INFINITY);
+        ft - fc
+    };
+    if diff(common_lo) <= 0.0 {
+        // c is already at least as high where its extent begins.
+        return common_lo;
+    }
+    if diff(common_hi) > 0.0 {
+        // t stays higher until its extent ends; c takes over only after that.
+        return common_hi;
+    }
+    let (mut lo, mut hi) = (common_lo, common_hi);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if diff(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Maps a point into the canonical frame where centres are below a
+/// horizontal line and the envelope opens upward.
+fn to_canonical(p: Point2, side: Side) -> Point2 {
+    match side {
+        Side::CentersBelow => p,
+        Side::CentersAbove => Point2::new([p.x(), -p.y()]),
+        Side::CentersLeft => Point2::new([p.y(), p.x()]),
+        Side::CentersRight => Point2::new([p.y(), -p.x()]),
+    }
+}
+
+fn canonical_line(line: f64, side: Side) -> f64 {
+    match side {
+        Side::CentersBelow => line,
+        Side::CentersAbove => -line,
+        Side::CentersLeft => line,
+        Side::CentersRight => -line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new([x, y])
+    }
+
+    /// Brute-force oracle: is any query within eps of any center?
+    fn oracle(centers: &[Point2], queries: &[Point2], eps: f64) -> bool {
+        queries
+            .iter()
+            .any(|q| centers.iter().any(|c| q.within(c, eps)))
+    }
+
+    #[test]
+    fn single_circle_containment() {
+        let centers = vec![p(0.0, -0.5)];
+        let wf = Wavefront::build(&centers, 1.0, 0.0, Side::CentersBelow);
+        assert_eq!(wf.num_arcs(), 1);
+        assert!(wf.contains(p(0.0, 0.3)));
+        assert!(!wf.contains(p(0.0, 0.6)));
+        assert!(!wf.contains(p(2.0, 0.1)));
+    }
+
+    #[test]
+    fn centers_too_deep_are_skipped() {
+        let centers = vec![p(0.0, -5.0)];
+        let wf = Wavefront::build(&centers, 1.0, 0.0, Side::CentersBelow);
+        assert!(wf.is_empty());
+        assert!(!wf.contains(p(0.0, 0.1)));
+    }
+
+    #[test]
+    fn vertically_stacked_centers_keep_the_higher_one() {
+        // Two centres sharing an abscissa: only the higher circle can cover
+        // query-side points, and queries near the edge of its extent must
+        // still be answered correctly.
+        let centers = vec![p(0.0, -0.9), p(0.0, 0.0)];
+        let wf = Wavefront::build(&centers, 1.0, 0.0, Side::CentersBelow);
+        assert!(wf.contains(p(-0.9, 0.05)));
+        assert!(wf.contains(p(0.9, 0.05)));
+        assert!(!wf.contains(p(1.05, 0.05)));
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_instances_horizontal() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..300 {
+            let eps = rng.gen_range(0.5..2.0);
+            let ncenters = rng.gen_range(1..40);
+            let nqueries = rng.gen_range(1..40);
+            let centers: Vec<Point2> = (0..ncenters)
+                .map(|_| p(rng.gen_range(-5.0..5.0), rng.gen_range(-3.0..0.0)))
+                .collect();
+            let queries: Vec<Point2> = (0..nqueries)
+                .map(|_| p(rng.gen_range(-6.0..6.0), rng.gen_range(0.0..3.0)))
+                .collect();
+            let wf = Wavefront::build(&centers, eps, 0.0, Side::CentersBelow);
+            assert_eq!(
+                wf.any_contained(&queries),
+                oracle(&centers, &queries, eps),
+                "trial {trial} disagrees with brute force"
+            );
+        }
+    }
+
+    #[test]
+    fn per_point_containment_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..100 {
+            let eps = 1.0;
+            let centers: Vec<Point2> = (0..20)
+                .map(|_| p(rng.gen_range(0.0..4.0), rng.gen_range(-2.0..0.0)))
+                .collect();
+            let wf = Wavefront::build(&centers, eps, 0.0, Side::CentersBelow);
+            for _ in 0..50 {
+                let q = p(rng.gen_range(-1.0..5.0), rng.gen_range(0.0..2.0));
+                let want = centers.iter().any(|c| q.within(c, eps));
+                assert_eq!(wf.contains(q), want, "query {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_centers_with_same_x_match_bruteforce() {
+        // Stress the equal-abscissa and near-equal-abscissa paths.
+        let mut rng = StdRng::seed_from_u64(321);
+        for _ in 0..200 {
+            let eps = 1.0;
+            let xs = [0.0, 0.0, 0.5, 0.5, 1.0];
+            let centers: Vec<Point2> = xs
+                .iter()
+                .map(|&x| p(x, rng.gen_range(-1.5..0.0)))
+                .collect();
+            let wf = Wavefront::build(&centers, eps, 0.0, Side::CentersBelow);
+            for _ in 0..40 {
+                let q = p(rng.gen_range(-1.5..2.5), rng.gen_range(0.0..1.5));
+                let want = centers.iter().any(|c| q.within(c, eps));
+                assert_eq!(wf.contains(q), want, "query {q:?} centers {centers:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_and_flipped_orientations() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for side in [Side::CentersAbove, Side::CentersLeft, Side::CentersRight] {
+            for _ in 0..50 {
+                let eps = 1.0;
+                let (centers, queries): (Vec<Point2>, Vec<Point2>) = match side {
+                    Side::CentersAbove => (
+                        (0..15).map(|_| p(rng.gen_range(-3.0..3.0), rng.gen_range(0.0..2.0))).collect(),
+                        (0..15).map(|_| p(rng.gen_range(-3.0..3.0), rng.gen_range(-2.0..0.0))).collect(),
+                    ),
+                    Side::CentersLeft => (
+                        (0..15).map(|_| p(rng.gen_range(-2.0..0.0), rng.gen_range(-3.0..3.0))).collect(),
+                        (0..15).map(|_| p(rng.gen_range(0.0..2.0), rng.gen_range(-3.0..3.0))).collect(),
+                    ),
+                    _ => (
+                        (0..15).map(|_| p(rng.gen_range(0.0..2.0), rng.gen_range(-3.0..3.0))).collect(),
+                        (0..15).map(|_| p(rng.gen_range(-2.0..0.0), rng.gen_range(-3.0..3.0))).collect(),
+                    ),
+                };
+                let wf = Wavefront::build(&centers, eps, 0.0, side);
+                assert_eq!(
+                    wf.any_contained(&queries),
+                    oracle(&centers, &queries, eps),
+                    "side {side:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_center_set() {
+        let wf = Wavefront::build(&[], 1.0, 0.0, Side::CentersBelow);
+        assert!(wf.is_empty());
+        assert!(!wf.any_contained(&[p(0.0, 0.5)]));
+    }
+
+    #[test]
+    fn duplicate_centers_are_fine() {
+        let centers = vec![p(1.0, -0.2); 5];
+        let wf = Wavefront::build(&centers, 1.0, 0.0, Side::CentersBelow);
+        assert!(wf.contains(p(1.0, 0.5)));
+        assert!(!wf.contains(p(3.0, 0.5)));
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        // A query exactly at distance eps must count as contained (DBSCAN's
+        // d(p, q) ≤ ε is inclusive).
+        let centers = vec![p(0.0, 0.0)];
+        let wf = Wavefront::build(&centers, 1.0, 0.0, Side::CentersBelow);
+        assert!(wf.contains(p(0.0, 1.0)));
+        assert!(wf.contains(p(1.0, 0.0)));
+    }
+}

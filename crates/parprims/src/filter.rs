@@ -1,0 +1,159 @@
+//! Parallel filter (a.k.a. pack): keep the elements satisfying a predicate,
+//! preserving their input order. O(n) work, O(log n) depth.
+//!
+//! The paper uses filter to discard Delaunay edges longer than ε, to drop
+//! points further than ε from a neighbouring cell before a BCP computation,
+//! and inside the integer sort.
+
+use crate::prefix::prefix_sum_inplace;
+use crate::util::block_ranges;
+use rayon::prelude::*;
+
+/// Returns the elements of `input` for which `pred` holds, in input order.
+pub fn filter<T, F>(input: &[T], pred: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    filter_indexed(input, |_, v| pred(v))
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect()
+}
+
+/// Like [`filter`], but the predicate also receives the element index and the
+/// output carries `(index, element)` pairs. Useful when the caller needs to
+/// know *where* the survivors came from (e.g. which point ids survived the
+/// ε-distance pre-filter before a BCP call).
+pub fn filter_indexed<T, F>(input: &[T], pred: F) -> Vec<(usize, T)>
+where
+    T: Clone + Send + Sync,
+    F: Fn(usize, &T) -> bool + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let ranges = block_ranges(n, 1024);
+    // Phase 1: count the survivors per block.
+    let mut counts: Vec<usize> = ranges
+        .par_iter()
+        .map(|&(s, e)| (s..e).filter(|&i| pred(i, &input[i])).count())
+        .collect();
+    let total = prefix_sum_inplace(&mut counts);
+    // Phase 2: each block writes its survivors at its offset.
+    let mut out: Vec<Option<(usize, T)>> = vec![None; total];
+    let out_blocks = split_counts(&mut out, &counts, total);
+    out_blocks
+        .into_par_iter()
+        .zip(ranges.par_iter())
+        .for_each(|(out_block, &(s, e))| {
+            let mut k = 0usize;
+            for i in s..e {
+                if pred(i, &input[i]) {
+                    out_block[k] = Some((i, input[i].clone()));
+                    k += 1;
+                }
+            }
+        });
+    out.into_iter().map(|o| o.expect("filter slot filled")).collect()
+}
+
+/// Returns the number of elements satisfying `pred` (a filter without the
+/// write pass).
+pub fn count_if<T, F>(input: &[T], pred: F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let ranges = block_ranges(input.len(), 2048);
+    ranges
+        .par_iter()
+        .map(|&(s, e)| input[s..e].iter().filter(|v| pred(v)).count())
+        .sum()
+}
+
+/// Partitions the indices `0..n` into those satisfying `pred` and those not,
+/// each in increasing order. Used to split cells into "core" and "non-core"
+/// work lists.
+pub fn partition_indices<F>(n: usize, pred: F) -> (Vec<usize>, Vec<usize>)
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let idx: Vec<usize> = (0..n).collect();
+    let yes = filter(&idx, |&i| pred(i));
+    let no = filter(&idx, |&i| !pred(i));
+    (yes, no)
+}
+
+/// Splits `out` into per-block sub-slices where block `b` starts at
+/// `offsets[b]` and the final block ends at `total`.
+fn split_counts<'a, T>(
+    out: &'a mut [T],
+    offsets: &[usize],
+    total: usize,
+) -> Vec<&'a mut [T]> {
+    let mut result = Vec::with_capacity(offsets.len());
+    let mut rest = out;
+    let mut consumed = 0usize;
+    for b in 0..offsets.len() {
+        let end = if b + 1 < offsets.len() { offsets[b + 1] } else { total };
+        let len = end - offsets[b];
+        debug_assert_eq!(offsets[b], consumed);
+        let (head, tail) = rest.split_at_mut(len);
+        result.push(head);
+        rest = tail;
+        consumed = end;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_preserves_order() {
+        let input: Vec<u32> = (0..10_000).collect();
+        let got = filter(&input, |&x| x % 3 == 0);
+        let want: Vec<u32> = input.iter().copied().filter(|x| x % 3 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_empty_and_all_and_none() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(filter(&empty, |_| true).is_empty());
+        let input: Vec<u32> = (0..1000).collect();
+        assert_eq!(filter(&input, |_| true), input);
+        assert!(filter(&input, |_| false).is_empty());
+    }
+
+    #[test]
+    fn filter_indexed_reports_original_positions() {
+        let input = vec![10, 20, 30, 40, 50];
+        let got = filter_indexed(&input, |i, _| i % 2 == 1);
+        assert_eq!(got, vec![(1, 20), (3, 40)]);
+    }
+
+    #[test]
+    fn count_if_matches_filter_len() {
+        let input: Vec<u64> = (0..25_000).map(|i| i * i % 97).collect();
+        assert_eq!(
+            count_if(&input, |&x| x < 50),
+            filter(&input, |&x| x < 50).len()
+        );
+    }
+
+    #[test]
+    fn partition_indices_is_a_partition() {
+        let n = 5000;
+        let (yes, no) = partition_indices(n, |i| i % 7 == 0);
+        assert_eq!(yes.len() + no.len(), n);
+        let mut all: Vec<usize> = yes.iter().chain(no.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+        assert!(yes.windows(2).all(|w| w[0] < w[1]));
+        assert!(no.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,199 @@
+//! Phase-concurrent linear-probing hash table.
+//!
+//! The paper stores the non-empty grid cells in the non-deterministic
+//! concurrent linear-probing hash table of Shun–Blelloch: insertions use an
+//! atomic update to claim an empty slot along the probe sequence and keep
+//! probing on failure; queries are wait-free reads. n operations take O(n)
+//! work and O(log n) depth with high probability.
+//!
+//! The table is *phase-concurrent*: concurrent inserts are safe with other
+//! inserts, and concurrent lookups are safe with other lookups, but the two
+//! phases must not interleave (exactly the usage pattern of the DBSCAN
+//! algorithms: build the cell table, then query it read-only).
+//!
+//! The implementation stays in safe Rust by storing the slot *claim* in an
+//! `AtomicUsize` (index+1 into a write-once values vector shared via
+//! `OnceLock` slots), which preserves the claim-then-publish structure of the
+//! original without unsafe code.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+const EMPTY: usize = usize::MAX;
+
+/// A phase-concurrent hash map from `K` to `V` with a fixed capacity chosen
+/// at construction. Keys must be unique across inserts (the cell ids in the
+/// grid construction are); inserting a duplicate key returns `false`.
+pub struct ConcurrentMap<K, V> {
+    slots: Vec<AtomicUsize>,
+    entries: Vec<OnceLock<(K, V)>>,
+    claimed: AtomicUsize,
+    mask: usize,
+}
+
+impl<K, V> ConcurrentMap<K, V>
+where
+    K: std::hash::Hash + Eq + Clone,
+    V: Clone,
+{
+    /// Creates a table able to hold `capacity` entries. The underlying slot
+    /// array is sized to twice the next power of two of `capacity`, so the
+    /// load factor stays at or below 1/2 (expected O(1) probes).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots_len = (capacity.max(1) * 2).next_power_of_two();
+        ConcurrentMap {
+            slots: (0..slots_len).map(|_| AtomicUsize::new(EMPTY)).collect(),
+            entries: (0..capacity.max(1)).map(|_| OnceLock::new()).collect(),
+            claimed: AtomicUsize::new(0),
+            mask: slots_len - 1,
+        }
+    }
+
+    fn hash(&self, key: &K) -> usize {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        let mut x = h.finish();
+        x ^= x >> 31;
+        x = x.wrapping_mul(0x7FB5_D329_728E_A185);
+        x ^= x >> 27;
+        (x as usize) & self.mask
+    }
+
+    /// Inserts `(key, value)`. Returns `true` if the key was newly inserted,
+    /// `false` if an equal key was already present (the existing value is
+    /// kept). May be called concurrently with other `insert`s. Panics if the
+    /// table is full.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        // Reserve an entry slot and publish the payload first, so other
+        // threads that observe our claim can always read the entry.
+        let my_entry = self.claimed.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            my_entry < self.entries.len(),
+            "ConcurrentMap overflow: capacity {} exceeded",
+            self.entries.len()
+        );
+        self.entries[my_entry]
+            .set((key.clone(), value))
+            .unwrap_or_else(|_| panic!("entry slot double-published"));
+
+        let mut idx = self.hash(&key);
+        loop {
+            let current = self.slots[idx].load(Ordering::Acquire);
+            if current == EMPTY {
+                match self.slots[idx].compare_exchange(
+                    EMPTY,
+                    my_entry,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return true,
+                    Err(_) => continue, // someone claimed this slot; re-inspect it
+                }
+            } else {
+                let (existing_key, _) = self.entries[current]
+                    .get()
+                    .expect("claimed slot has published entry");
+                if existing_key == &key {
+                    return false;
+                }
+                idx = (idx + 1) & self.mask;
+            }
+        }
+    }
+
+    /// Looks up `key`. May be called concurrently with other `get`s (but not
+    /// with `insert`s — phase-concurrency).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut idx = self.hash(key);
+        loop {
+            let current = self.slots[idx].load(Ordering::Acquire);
+            if current == EMPTY {
+                return None;
+            }
+            let (k, v) = self.entries[current]
+                .get()
+                .expect("claimed slot has published entry");
+            if k == key {
+                return Some(v);
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Returns `true` if the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries that have been inserted (including duplicate-key
+    /// attempts, which still consume an entry slot but are not reachable).
+    /// For the DBSCAN use case keys are unique, so this equals the map size.
+    pub fn len(&self) -> usize {
+        self.claimed.load(Ordering::Relaxed).min(self.entries.len())
+    }
+
+    /// Returns `true` if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn insert_then_get_single_thread() {
+        let map = ConcurrentMap::with_capacity(100);
+        for i in 0..100u64 {
+            assert!(map.insert(i, i * 10));
+        }
+        for i in 0..100u64 {
+            assert_eq!(map.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(map.get(&1000), None);
+    }
+
+    #[test]
+    fn concurrent_inserts_all_found() {
+        let n = 50_000u64;
+        let map = ConcurrentMap::with_capacity(n as usize);
+        (0..n).into_par_iter().for_each(|i| {
+            map.insert(i, i + 1);
+        });
+        (0..n).into_par_iter().for_each(|i| {
+            assert_eq!(map.get(&i), Some(&(i + 1)));
+        });
+        assert_eq!(map.len(), n as usize);
+    }
+
+    #[test]
+    fn duplicate_key_insert_returns_false() {
+        let map = ConcurrentMap::with_capacity(10);
+        assert!(map.insert(7u32, "first"));
+        assert!(!map.insert(7u32, "second"));
+        assert_eq!(map.get(&7), Some(&"first"));
+    }
+
+    #[test]
+    fn missing_keys_return_none() {
+        let map: ConcurrentMap<u64, u64> = ConcurrentMap::with_capacity(16);
+        for i in 0..16u64 {
+            map.insert(i * 3, i);
+        }
+        for i in 0..16u64 {
+            assert_eq!(map.get(&(i * 3 + 1)), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflowing_capacity_panics() {
+        let map = ConcurrentMap::with_capacity(4);
+        for i in 0..10u32 {
+            map.insert(i, i);
+        }
+    }
+}

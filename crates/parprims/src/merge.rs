@@ -1,0 +1,146 @@
+//! Parallel merge of two sorted sequences. O(n) work, O(log n) depth.
+//!
+//! The paper uses parallel merge in the box construction (§4.2) to link
+//! neighbouring cells across adjacent strips, and re-uses the same
+//! pivot-and-binary-search decomposition idea for the USEC containment query
+//! (§4.4). The decomposition below matches the paper's description: take
+//! equally spaced pivots from `a`, binary-search them in `b`, recurse once in
+//! the other direction, then solve each small sub-problem serially.
+
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Merges two sorted slices into one sorted vector using the natural order.
+pub fn merge_sorted<T: Ord + Clone + Send + Sync>(a: &[T], b: &[T]) -> Vec<T> {
+    merge_by(a, b, |x, y| x.cmp(y))
+}
+
+/// Merges two slices sorted according to `cmp` into one sorted vector.
+/// The merge is stable: on ties, elements of `a` come first.
+pub fn merge_by<T, F>(a: &[T], b: &[T], cmp: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = a.len() + b.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Decompose into subproblems of about `grain` total elements.
+    let grain = crate::util::grain_size(n, 4096);
+    let nsub = n.div_ceil(grain);
+    // For subproblem k we need the split positions (ai, bi) such that the
+    // first k*grain output elements come from a[..ai] and b[..bi].
+    let splits: Vec<(usize, usize)> = (0..=nsub)
+        .into_par_iter()
+        .map(|k| {
+            let target = (k * grain).min(n);
+            split_for_rank(a, b, target, &cmp)
+        })
+        .collect();
+    let pieces: Vec<Vec<T>> = splits
+        .par_windows(2)
+        .map(|w| {
+            let (a0, b0) = w[0];
+            let (a1, b1) = w[1];
+            serial_merge(&a[a0..a1], &b[b0..b1], &cmp)
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    for p in pieces {
+        out.extend(p);
+    }
+    out
+}
+
+/// Finds `(i, j)` with `i + j == rank` such that every element of `a[..i]`
+/// and `b[..j]` precedes (w.r.t. the merged order) every element of
+/// `a[i..]` and `b[j..]`. Standard double binary search.
+fn split_for_rank<T, F>(a: &[T], b: &[T], rank: usize, cmp: &F) -> (usize, usize)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut lo = rank.saturating_sub(b.len());
+    let mut hi = rank.min(a.len());
+    while lo < hi {
+        let i = (lo + hi) / 2;
+        let j = rank - i;
+        // Invariant candidates: a[i] vs b[j-1]; a-elements win ties (stable).
+        if j > 0 && i < a.len() && cmp(&a[i], &b[j - 1]) == Ordering::Less {
+            lo = i + 1;
+        } else {
+            hi = i;
+        }
+    }
+    let i = lo;
+    (i, rank - i)
+}
+
+fn serial_merge<T, F>(a: &[T], b: &[T], cmp: &F) -> Vec<T>
+where
+    T: Clone,
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if cmp(&a[i], &b[j]) != Ordering::Greater {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn merges_random_sorted_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut a: Vec<u32> = (0..rng.gen_range(0..5000)).map(|_| rng.gen_range(0..10_000)).collect();
+            let mut b: Vec<u32> = (0..rng.gen_range(0..5000)).map(|_| rng.gen_range(0..10_000)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            let got = merge_sorted(&a, &b);
+            let mut want = [a.clone(), b.clone()].concat();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let a: Vec<u32> = (0..100).collect();
+        assert_eq!(merge_sorted(&a, &[]), a);
+        assert_eq!(merge_sorted(&[], &a), a);
+        assert!(merge_sorted::<u32>(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn merge_is_stable_on_ties() {
+        // Pair (key, source): all keys equal; a-elements must precede b's.
+        let a: Vec<(u32, u8)> = (0..1000).map(|_| (5, 0)).collect();
+        let b: Vec<(u32, u8)> = (0..1000).map(|_| (5, 1)).collect();
+        let got = merge_by(&a, &b, |x, y| x.0.cmp(&y.0));
+        assert!(got[..1000].iter().all(|&(_, s)| s == 0));
+        assert!(got[1000..].iter().all(|&(_, s)| s == 1));
+    }
+
+    #[test]
+    fn merges_large_inputs() {
+        let a: Vec<u64> = (0..100_000).map(|i| i * 2).collect();
+        let b: Vec<u64> = (0..100_000).map(|i| i * 2 + 1).collect();
+        let got = merge_sorted(&a, &b);
+        let want: Vec<u64> = (0..200_000).collect();
+        assert_eq!(got, want);
+    }
+}

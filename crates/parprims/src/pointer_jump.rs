@@ -1,0 +1,127 @@
+//! Pointer jumping on a linked list of "parent" pointers.
+//!
+//! The box construction (§4.2 of the paper) assigns each point a pointer to
+//! the first point whose x-coordinate exceeds its own by more than ε/√2, and
+//! then uses pointer jumping so that every point learns the head of its
+//! strip: heads start with value 1, everyone else 0, and after O(log n)
+//! rounds of "pass your value to your parent's parent" each point knows the
+//! nearest head to its left.
+//!
+//! We implement the equivalent formulation directly on the parent array:
+//! repeatedly replace `parent[i]` with `parent[parent[i]]` until a fixpoint,
+//! which takes O(log n) rounds, each O(n) work and O(1) depth.
+
+use rayon::prelude::*;
+
+/// Sentinel parent meaning "this node is a root / strip head".
+pub const ROOT: usize = usize::MAX;
+
+/// Given a parent array where `parent[i]` is either [`ROOT`] or the index of
+/// another node, returns for every node the root it eventually reaches.
+/// Requires the parent graph to be acyclic (a forest), which the strip
+/// construction guarantees because parents always have strictly larger
+/// x-rank.
+pub fn pointer_jump_roots(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let mut current: Vec<usize> = (0..n)
+        .map(|i| if parent[i] == ROOT { i } else { parent[i] })
+        .collect();
+    loop {
+        let next: Vec<usize> = current
+            .par_iter()
+            .map(|&p| {
+                let pp = current[p];
+                pp
+            })
+            .collect();
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+/// Strip assignment used by the box construction: given, for every point in
+/// x-sorted order, whether it is the head of a strip (`is_head[i]`), returns
+/// for every point the index of its strip head (the closest head at or before
+/// it). `is_head[0]` must be true.
+///
+/// This is the "values 1/0 + pointer jumping" routine of Figure 2(b): we link
+/// every non-head point to the previous point and jump until every point
+/// points at a head.
+pub fn strip_heads_to_assignment(is_head: &[bool]) -> Vec<usize> {
+    let n = is_head.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(is_head[0], "the leftmost point must start a strip");
+    let parent: Vec<usize> = (0..n)
+        .into_par_iter()
+        .map(|i| if is_head[i] { ROOT } else { i - 1 })
+        .collect();
+    // After jumping, every node's root is a head… unless a run of non-heads
+    // compresses onto a non-head-yet node mid-round; a final correction pass
+    // is unnecessary because roots in this forest are exactly the ROOT nodes,
+    // i.e. the heads.
+    let roots = pointer_jump_roots(&parent);
+    debug_assert!(roots.iter().all(|&r| is_head[r]));
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn reference_assignment(is_head: &[bool]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(is_head.len());
+        let mut current = 0usize;
+        for (i, &h) in is_head.iter().enumerate() {
+            if h {
+                current = i;
+            }
+            out.push(current);
+        }
+        out
+    }
+
+    #[test]
+    fn single_strip() {
+        let mut is_head = vec![false; 1000];
+        is_head[0] = true;
+        let got = strip_heads_to_assignment(&is_head);
+        assert!(got.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn every_point_its_own_strip() {
+        let is_head = vec![true; 500];
+        let got = strip_heads_to_assignment(&is_head);
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_heads_match_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let n = rng.gen_range(1..5000);
+            let mut is_head: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.05)).collect();
+            is_head[0] = true;
+            assert_eq!(strip_heads_to_assignment(&is_head), reference_assignment(&is_head));
+        }
+    }
+
+    #[test]
+    fn pointer_jump_on_explicit_forest() {
+        // Chain 4 -> 3 -> 2 -> 1 -> 0 (root), plus isolated root 5.
+        let parent = vec![ROOT, 0, 1, 2, 3, ROOT];
+        let roots = pointer_jump_roots(&parent);
+        assert_eq!(roots, vec![0, 0, 0, 0, 0, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(strip_heads_to_assignment(&[]).is_empty());
+        assert!(pointer_jump_roots(&[]).is_empty());
+    }
+}

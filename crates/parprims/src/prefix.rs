@@ -1,0 +1,176 @@
+//! Parallel prefix sum (exclusive scan).
+//!
+//! The paper uses prefix sums as the workhorse behind filter, integer sort,
+//! and the blocked BCP early-termination scheme. The classic algorithm does
+//! O(n) work in O(log n) depth; here we use the equivalent blocked two-pass
+//! formulation (per-block sums, scan of the block sums, per-block writes),
+//! which has the same bounds when the number of blocks is O(n / log n).
+
+use crate::util::{block_ranges, par_blocks};
+use rayon::prelude::*;
+use std::ops::Add;
+
+/// Computes the exclusive prefix sum of `input` and returns
+/// `(prefix, total)`, where `prefix[i] = input[0] + … + input[i-1]`
+/// (with `prefix[0] = zero`) and `total` is the sum of all elements.
+///
+/// Work O(n), depth O(log n).
+pub fn prefix_sum_with_total<T>(input: &[T], zero: T) -> (Vec<T>, T)
+where
+    T: Copy + Send + Sync + Add<Output = T>,
+{
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), zero);
+    }
+    let ranges = block_ranges(n, 1024);
+    // Phase 1: per-block totals.
+    let block_sums: Vec<T> = ranges
+        .par_iter()
+        .map(|&(s, e)| {
+            let mut acc = zero;
+            for v in &input[s..e] {
+                acc = acc + *v;
+            }
+            acc
+        })
+        .collect();
+    // Scan of the block totals (few blocks, serial is fine and deterministic).
+    let mut block_offsets = Vec::with_capacity(block_sums.len());
+    let mut running = zero;
+    for bs in &block_sums {
+        block_offsets.push(running);
+        running = running + *bs;
+    }
+    let total = running;
+    // Phase 2: per-block exclusive scans shifted by the block offset.
+    let mut out = vec![zero; n];
+    let out_chunks: Vec<(usize, usize)> = ranges.clone();
+    // Write each block's segment of the output in parallel.
+    let out_ptr: Vec<&mut [T]> = split_at_ranges(&mut out, &out_chunks);
+    out_ptr
+        .into_par_iter()
+        .zip(out_chunks.par_iter())
+        .zip(block_offsets.par_iter())
+        .for_each(|((out_block, &(s, e)), &offset)| {
+            let mut acc = offset;
+            for (o, v) in out_block.iter_mut().zip(&input[s..e]) {
+                *o = acc;
+                acc = acc + *v;
+            }
+        });
+    (out, total)
+}
+
+/// Computes the exclusive prefix sum of `input` (see
+/// [`prefix_sum_with_total`]) and discards the total.
+pub fn prefix_sum<T>(input: &[T], zero: T) -> Vec<T>
+where
+    T: Copy + Send + Sync + Add<Output = T>,
+{
+    prefix_sum_with_total(input, zero).0
+}
+
+/// In-place exclusive prefix sum over a `usize` slice; returns the total.
+/// This is the variant used by filter and integer sort, where the counts
+/// array is reused as the offsets array.
+pub fn prefix_sum_inplace(values: &mut [usize]) -> usize {
+    let n = values.len();
+    if n == 0 {
+        return 0;
+    }
+    // For small inputs the serial scan is faster and exactly equivalent.
+    if n < 4096 {
+        let mut acc = 0usize;
+        for v in values.iter_mut() {
+            let old = *v;
+            *v = acc;
+            acc += old;
+        }
+        return acc;
+    }
+    let snapshot: Vec<usize> = values.to_vec();
+    let (scanned, total) = prefix_sum_with_total(&snapshot, 0usize);
+    values.copy_from_slice(&scanned);
+    total
+}
+
+/// Splits `data` into the mutable sub-slices described by `ranges`
+/// (which must be contiguous, sorted and cover a prefix of `data`).
+fn split_at_ranges<'a, T>(data: &'a mut [T], ranges: &[(usize, usize)]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for &(s, e) in ranges {
+        debug_assert_eq!(s, consumed);
+        let (head, tail) = rest.split_at_mut(e - s);
+        out.push(head);
+        rest = tail;
+        consumed = e;
+    }
+    out
+}
+
+/// Sums the elements of `input` in parallel (a convenience reduction used by
+/// MarkCore's range counting).
+pub fn par_sum(input: &[usize]) -> usize {
+    par_blocks(input.len(), 2048, |s, e| input[s..e].iter().sum::<usize>())
+        .into_iter()
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_prefix(input: &[i64]) -> (Vec<i64>, i64) {
+        let mut out = Vec::with_capacity(input.len());
+        let mut acc = 0i64;
+        for v in input {
+            out.push(acc);
+            acc += v;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_input() {
+        let (p, t) = prefix_sum_with_total::<i64>(&[], 0);
+        assert!(p.is_empty());
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn single_element() {
+        let (p, t) = prefix_sum_with_total(&[42i64], 0);
+        assert_eq!(p, vec![0]);
+        assert_eq!(t, 42);
+    }
+
+    #[test]
+    fn matches_reference_on_various_sizes() {
+        for n in [2usize, 17, 100, 1000, 5000, 20000] {
+            let input: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 101 - 50).collect();
+            let (got, got_total) = prefix_sum_with_total(&input, 0);
+            let (want, want_total) = reference_prefix(&input);
+            assert_eq!(got, want, "n = {n}");
+            assert_eq!(got_total, want_total, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn inplace_matches_out_of_place() {
+        let input: Vec<usize> = (0..10_000).map(|i| i % 13).collect();
+        let mut inplace = input.clone();
+        let total = prefix_sum_inplace(&mut inplace);
+        let (expect, expect_total) = prefix_sum_with_total(&input, 0usize);
+        assert_eq!(inplace, expect);
+        assert_eq!(total, expect_total);
+    }
+
+    #[test]
+    fn par_sum_matches_iter_sum() {
+        let input: Vec<usize> = (0..50_000).map(|i| i % 7).collect();
+        assert_eq!(par_sum(&input), input.iter().sum::<usize>());
+    }
+}

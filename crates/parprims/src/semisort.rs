@@ -1,0 +1,267 @@
+//! Parallel semisort: group key-value pairs by key, with no guarantee on the
+//! order of the groups. O(n) expected work, O(log n) depth w.h.p.
+//!
+//! This is the primitive the paper uses to build the grid in §4.1: the keys
+//! are cell ids and the values are point ids; a comparison sort would cost
+//! O(n log n) and break work-efficiency, so the pairs are only *grouped*.
+//!
+//! Following the structure of Gu–Shun–Sun–Blelloch semisort, we hash the
+//! keys, scatter pairs into buckets by hash prefix in parallel (a counting
+//! pass + a write pass), and then group within each bucket. The number of
+//! buckets is Θ(#threads²), so each bucket is processed serially without
+//! hurting the depth bound in practice.
+
+use crate::util::{block_ranges, num_threads};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+/// Result of a semisort: the reordered pairs plus the boundaries of each
+/// group. Group `i` occupies `pairs[group_starts[i]..group_starts[i+1]]`
+/// (with an implicit final boundary at `pairs.len()`), and every pair in a
+/// group has the same key.
+#[derive(Debug, Clone)]
+pub struct GroupedByKey<K, V> {
+    /// The key-value pairs, grouped so that equal keys are contiguous.
+    pub pairs: Vec<(K, V)>,
+    /// Start index of each group in `pairs`, in increasing order.
+    pub group_starts: Vec<usize>,
+}
+
+impl<K, V> GroupedByKey<K, V> {
+    /// Number of distinct keys (groups).
+    pub fn num_groups(&self) -> usize {
+        self.group_starts.len()
+    }
+
+    /// Iterates over groups as `(key, values-slice)` where the slice contains
+    /// the whole `(key, value)` pairs of that group.
+    pub fn groups(&self) -> impl Iterator<Item = &[(K, V)]> {
+        (0..self.group_starts.len()).map(move |i| self.group(i))
+    }
+
+    /// Returns group `i` as a slice of `(key, value)` pairs.
+    pub fn group(&self, i: usize) -> &[(K, V)] {
+        let start = self.group_starts[i];
+        let end = self
+            .group_starts
+            .get(i + 1)
+            .copied()
+            .unwrap_or(self.pairs.len());
+        &self.pairs[start..end]
+    }
+}
+
+#[derive(Default)]
+struct FxLikeHasher(u64);
+
+impl Hasher for FxLikeHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // A simple multiply-xor mix; only used to spread keys across buckets.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+fn hash_key<K: Hash>(key: &K) -> u64 {
+    let mut h = BuildHasherDefault::<FxLikeHasher>::default().build_hasher();
+    key.hash(&mut h);
+    // Final avalanche so that taking the low bits for bucketing is safe.
+    let mut x = h.finish();
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x
+}
+
+/// Groups `pairs` by key. Pairs with equal keys become contiguous in the
+/// output; the relative order of groups (and of pairs within a group) is
+/// unspecified, exactly as in the paper's semisort primitive.
+pub fn semisort_by_key<K, V>(pairs: Vec<(K, V)>) -> GroupedByKey<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync,
+    V: Send + Sync + Clone,
+{
+    let n = pairs.len();
+    if n == 0 {
+        return GroupedByKey { pairs, group_starts: Vec::new() };
+    }
+
+    let nbuckets = (num_threads() * num_threads() * 4).clamp(16, 4096).next_power_of_two();
+    let mask = (nbuckets - 1) as u64;
+    let ranges = block_ranges(n, 2048);
+
+    // Phase 1: count pairs per (block, bucket).
+    let counts: Vec<Vec<usize>> = ranges
+        .par_iter()
+        .map(|&(s, e)| {
+            let mut c = vec![0usize; nbuckets];
+            for (k, _) in &pairs[s..e] {
+                c[(hash_key(k) & mask) as usize] += 1;
+            }
+            c
+        })
+        .collect();
+    // Bucket sizes and bucket start offsets.
+    let mut bucket_sizes = vec![0usize; nbuckets];
+    for c in &counts {
+        for (b, &v) in c.iter().enumerate() {
+            bucket_sizes[b] += v;
+        }
+    }
+    let mut bucket_starts = vec![0usize; nbuckets + 1];
+    for b in 0..nbuckets {
+        bucket_starts[b + 1] = bucket_starts[b] + bucket_sizes[b];
+    }
+
+    // Phase 2: scatter pairs into their buckets. Each (block, bucket) slot has
+    // a unique offset, so we gather writes per block and apply them.
+    let mut slot_offset = vec![vec![0usize; nbuckets]; counts.len()];
+    {
+        let mut cursor = bucket_starts[..nbuckets].to_vec();
+        for (blk, c) in counts.iter().enumerate() {
+            for b in 0..nbuckets {
+                slot_offset[blk][b] = cursor[b];
+                cursor[b] += c[b];
+            }
+        }
+    }
+    let mut scattered: Vec<Option<(K, V)>> = vec![None; n];
+    let writes: Vec<Vec<(usize, (K, V))>> = ranges
+        .par_iter()
+        .enumerate()
+        .map(|(blk, &(s, e))| {
+            let mut cursor = slot_offset[blk].clone();
+            let mut local = Vec::with_capacity(e - s);
+            for (k, v) in &pairs[s..e] {
+                let b = (hash_key(k) & mask) as usize;
+                local.push((cursor[b], (k.clone(), v.clone())));
+                cursor[b] += 1;
+            }
+            local
+        })
+        .collect();
+    for block_writes in writes {
+        for (pos, kv) in block_writes {
+            scattered[pos] = Some(kv);
+        }
+    }
+    let scattered: Vec<(K, V)> = scattered
+        .into_iter()
+        .map(|o| o.expect("semisort scatter slot filled"))
+        .collect();
+
+    // Phase 3: group within each bucket in parallel (buckets are disjoint).
+    let per_bucket: Vec<Vec<(K, V)>> = (0..nbuckets)
+        .into_par_iter()
+        .map(|b| {
+            let slice = &scattered[bucket_starts[b]..bucket_starts[b + 1]];
+            if slice.is_empty() {
+                return Vec::new();
+            }
+            let mut groups: HashMap<K, Vec<(K, V)>> = HashMap::with_capacity(slice.len());
+            for (k, v) in slice {
+                groups.entry(k.clone()).or_default().push((k.clone(), v.clone()));
+            }
+            let mut flat = Vec::with_capacity(slice.len());
+            for (_, g) in groups {
+                flat.extend(g);
+            }
+            flat
+        })
+        .collect();
+
+    // Phase 4: concatenate buckets and record group boundaries.
+    let mut out = Vec::with_capacity(n);
+    let mut group_starts = Vec::new();
+    for bucket in per_bucket {
+        let mut i = 0usize;
+        let base = out.len();
+        while i < bucket.len() {
+            group_starts.push(base + i);
+            let key = &bucket[i].0;
+            let mut j = i + 1;
+            while j < bucket.len() && &bucket[j].0 == key {
+                j += 1;
+            }
+            i = j;
+        }
+        out.extend(bucket);
+    }
+    GroupedByKey { pairs: out, group_starts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use std::collections::HashMap;
+
+    fn check_grouping(pairs: Vec<(u64, u32)>) {
+        let mut reference: HashMap<u64, Vec<u32>> = HashMap::new();
+        for &(k, v) in &pairs {
+            reference.entry(k).or_default().push(v);
+        }
+        let grouped = semisort_by_key(pairs);
+        assert_eq!(grouped.num_groups(), reference.len());
+        let mut seen_keys = Vec::new();
+        for g in grouped.groups() {
+            assert!(!g.is_empty());
+            let key = g[0].0;
+            assert!(g.iter().all(|&(k, _)| k == key), "group mixes keys");
+            seen_keys.push(key);
+            let mut vals: Vec<u32> = g.iter().map(|&(_, v)| v).collect();
+            vals.sort_unstable();
+            let mut expect = reference[&key].clone();
+            expect.sort_unstable();
+            assert_eq!(vals, expect, "values of key {key} differ");
+        }
+        seen_keys.sort_unstable();
+        seen_keys.dedup();
+        assert_eq!(seen_keys.len(), reference.len(), "a key appears in two groups");
+    }
+
+    #[test]
+    fn groups_random_pairs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pairs: Vec<(u64, u32)> = (0..40_000u32)
+            .map(|i| (rng.gen_range(0..500u64), i))
+            .collect();
+        check_grouping(pairs);
+    }
+
+    #[test]
+    fn groups_all_distinct_keys() {
+        let pairs: Vec<(u64, u32)> = (0..5_000u32).map(|i| (i as u64 * 1_000_003, i)).collect();
+        check_grouping(pairs);
+    }
+
+    #[test]
+    fn groups_single_key() {
+        let pairs: Vec<(u64, u32)> = (0..5_000u32).map(|i| (7, i)).collect();
+        check_grouping(pairs);
+    }
+
+    #[test]
+    fn empty_input_gives_no_groups() {
+        let grouped = semisort_by_key::<u64, u32>(Vec::new());
+        assert_eq!(grouped.num_groups(), 0);
+        assert!(grouped.pairs.is_empty());
+    }
+
+    #[test]
+    fn group_accessor_matches_boundaries() {
+        let pairs: Vec<(u64, u32)> = vec![(1, 10), (2, 20), (1, 11), (3, 30), (2, 21)];
+        let grouped = semisort_by_key(pairs);
+        let total: usize = grouped.groups().map(|g| g.len()).sum();
+        assert_eq!(total, 5);
+    }
+}

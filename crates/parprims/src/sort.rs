@@ -1,0 +1,171 @@
+//! Parallel comparison sort and parallel integer sort.
+//!
+//! The comparison sort wraps rayon's parallel merge/quick sort, which is the
+//! practical analog of the cache-efficient samplesort the paper takes from
+//! PBBS (O(n log n) work, polylogarithmic depth). The integer sort implements
+//! the counting-sort structure from the paper: partition the input into
+//! blocks, build a histogram per block, prefix-sum the per-(block, key)
+//! counts to obtain unique write offsets, then scatter — O(n) work and
+//! O(log n) depth for a polylogarithmic key range.
+
+use crate::prefix::prefix_sum_inplace;
+use crate::util::block_ranges;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Sorts `data` in parallel using the natural order (unstable).
+pub fn par_sort_unstable<T: Ord + Send>(data: &mut [T]) {
+    data.par_sort_unstable();
+}
+
+/// Sorts `data` in parallel by a comparison function (stable, like PBBS
+/// samplesort which the paper relies on for the box construction).
+pub fn par_sort_by<T, F>(data: &mut [T], cmp: F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    data.par_sort_by(cmp);
+}
+
+/// Sorts `data` in parallel by a key extraction function (stable).
+pub fn par_sort_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Send,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    data.par_sort_by_key(key);
+}
+
+/// Stable parallel counting sort of `data` by `key(x) ∈ 0..num_keys`.
+///
+/// Intended for small key ranges (the paper uses it with `num_keys = 2^d`
+/// inside quadtree construction). Work O(n + num_keys · #blocks), depth
+/// O(log n). Panics if a key is out of range.
+pub fn integer_sort_by_key<T, F>(data: &[T], num_keys: usize, key: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(num_keys > 0, "integer sort requires at least one key");
+    let ranges = block_ranges(n, 2048);
+    let nblocks = ranges.len();
+
+    // Phase 1: histogram per block.
+    let histograms: Vec<Vec<usize>> = ranges
+        .par_iter()
+        .map(|&(s, e)| {
+            let mut hist = vec![0usize; num_keys];
+            for v in &data[s..e] {
+                let k = key(v);
+                assert!(k < num_keys, "integer sort key {k} out of range {num_keys}");
+                hist[k] += 1;
+            }
+            hist
+        })
+        .collect();
+
+    // Phase 2: global offsets in (key, block) order so the sort is stable.
+    let mut offsets = vec![0usize; num_keys * nblocks];
+    for k in 0..num_keys {
+        for (b, hist) in histograms.iter().enumerate() {
+            offsets[k * nblocks + b] = hist[k];
+        }
+    }
+    let total = prefix_sum_inplace(&mut offsets);
+    debug_assert_eq!(total, n);
+
+    // Phase 3: scatter. Each block owns a disjoint set of output positions,
+    // so the writes never conflict; we materialize via per-block local copies
+    // into an Option buffer to stay within safe code.
+    let mut out: Vec<Option<T>> = vec![None; n];
+    // Collect (position, value) pairs per block then write serially per block
+    // into disjoint regions. We use a two-step split of the output vector by
+    // gathering all writes first (still O(n) work).
+    let writes: Vec<Vec<(usize, T)>> = ranges
+        .par_iter()
+        .enumerate()
+        .map(|(b, &(s, e))| {
+            let mut cursor: Vec<usize> = (0..num_keys)
+                .map(|k| offsets[k * nblocks + b])
+                .collect();
+            let mut local = Vec::with_capacity(e - s);
+            for v in &data[s..e] {
+                let k = key(v);
+                local.push((cursor[k], v.clone()));
+                cursor[k] += 1;
+            }
+            local
+        })
+        .collect();
+    for block_writes in writes {
+        for (pos, v) in block_writes {
+            debug_assert!(out[pos].is_none());
+            out[pos] = Some(v);
+        }
+    }
+    out.into_iter().map(|o| o.expect("scatter slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        par_sort_unstable(&mut data);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn par_sort_by_key_orders_by_key() {
+        let mut data: Vec<(u32, u32)> = (0..10_000u32).map(|i| (i % 97, i)).collect();
+        par_sort_by_key(&mut data, |&(k, _)| k);
+        assert!(data.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn integer_sort_is_stable_and_correct() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data: Vec<(usize, u64)> = (0..30_000)
+            .map(|i| (rng.gen_range(0..16), i as u64))
+            .collect();
+        let got = integer_sort_by_key(&data, 16, |&(k, _)| k);
+        // Correct multiset and sorted by key.
+        assert_eq!(got.len(), data.len());
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Stability: within a key, original order (the second component is the
+        // original index) must be preserved.
+        for k in 0..16 {
+            let ours: Vec<u64> = got.iter().filter(|&&(kk, _)| kk == k).map(|&(_, v)| v).collect();
+            let reference: Vec<u64> =
+                data.iter().filter(|&&(kk, _)| kk == k).map(|&(_, v)| v).collect();
+            assert_eq!(ours, reference, "key {k} not stable");
+        }
+    }
+
+    #[test]
+    fn integer_sort_handles_empty_and_single() {
+        let empty: Vec<(usize, u8)> = Vec::new();
+        assert!(integer_sort_by_key(&empty, 4, |&(k, _)| k).is_empty());
+        let single = vec![(3usize, 9u8)];
+        assert_eq!(integer_sort_by_key(&single, 4, |&(k, _)| k), single);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn integer_sort_rejects_out_of_range_keys() {
+        let data = vec![0usize, 1, 2, 5];
+        let _ = integer_sort_by_key(&data, 4, |&k| k);
+    }
+}

@@ -1,0 +1,86 @@
+//! Small helpers shared by the primitives: block decomposition and grain
+//! sizing for the two-pass (count, then write) parallel patterns.
+
+use rayon::prelude::*;
+
+/// Number of worker threads in the current rayon pool.
+pub fn num_threads() -> usize {
+    rayon::current_num_threads().max(1)
+}
+
+/// A grain size that yields roughly 8 blocks per worker thread for an input
+/// of length `n`, but never below `min_grain`. Over-decomposing by a small
+/// constant factor keeps the work-stealing scheduler busy without paying a
+/// per-element task cost.
+pub fn grain_size(n: usize, min_grain: usize) -> usize {
+    let target_blocks = num_threads() * 8;
+    (n / target_blocks.max(1)).max(min_grain).max(1)
+}
+
+/// Splits `0..n` into contiguous blocks of roughly `grain_size(n, min_grain)`
+/// elements and returns the block boundaries `(start, end)` in order.
+pub fn block_ranges(n: usize, min_grain: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let grain = grain_size(n, min_grain);
+    let nblocks = n.div_ceil(grain);
+    (0..nblocks)
+        .map(|b| {
+            let start = b * grain;
+            let end = ((b + 1) * grain).min(n);
+            (start, end)
+        })
+        .collect()
+}
+
+/// Applies `f` to every block of `0..n` in parallel, collecting one result
+/// per block in block order. This is the skeleton of the two-pass primitives
+/// (prefix sum, filter, integer sort): phase one computes per-block summaries,
+/// phase two writes using per-block offsets.
+pub fn par_blocks<T: Send>(
+    n: usize,
+    min_grain: usize,
+    f: impl Fn(usize, usize) -> T + Sync,
+) -> Vec<T> {
+    block_ranges(n, min_grain)
+        .into_par_iter()
+        .map(|(s, e)| f(s, e))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ranges_cover_input_exactly() {
+        for n in [0usize, 1, 7, 100, 1023, 4096] {
+            let ranges = block_ranges(n, 16);
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for (s, e) in &ranges {
+                assert_eq!(*s, prev_end, "blocks must be contiguous");
+                assert!(e > s);
+                covered += e - s;
+                prev_end = *e;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn grain_size_respects_minimum() {
+        assert!(grain_size(10, 64) >= 64);
+        assert!(grain_size(1_000_000, 64) >= 64);
+        assert!(grain_size(0, 1) >= 1);
+    }
+
+    #[test]
+    fn par_blocks_returns_one_result_per_block() {
+        let n = 10_000;
+        let sums = par_blocks(n, 32, |s, e| (s..e).sum::<usize>());
+        let total: usize = sums.iter().sum();
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! A k-d tree over the non-empty cells of a partition.
+//!
+//! In higher dimensions the number of *possible* neighbouring grid cells
+//! grows exponentially with d, so instead of enumerating all candidate keys
+//! the paper (§5.1) inserts the non-empty cells into a k-d tree and performs
+//! a range query to obtain just the non-empty neighbours. The same structure
+//! also serves the 2D box cells, whose irregular boxes have no key
+//! arithmetic. Construction recurses on both children in parallel; queries
+//! are read-only and issued in parallel by the caller.
+
+use geom::BoundingBox;
+use rayon::join;
+
+/// Below this many cells a subtree is built serially — recursing in parallel
+/// on tiny inputs costs more than it saves.
+const PARALLEL_CUTOFF: usize = 512;
+/// Maximum number of cells in a leaf node.
+const LEAF_SIZE: usize = 8;
+
+struct Node<const D: usize> {
+    /// Bounding box of all cell boxes in this subtree.
+    bounds: BoundingBox<D>,
+    /// Indices (into the original cell array) stored at this node if it is a
+    /// leaf; empty for internal nodes.
+    items: Vec<usize>,
+    children: Option<(Box<Node<D>>, Box<Node<D>>)>,
+}
+
+/// A k-d tree over cell bounding boxes supporting "all cells within distance
+/// ε of this box" queries.
+pub struct CellKdTree<const D: usize> {
+    root: Option<Node<D>>,
+    boxes: Vec<BoundingBox<D>>,
+}
+
+impl<const D: usize> CellKdTree<D> {
+    /// Builds the tree over the given cell bounding boxes. The index of a box
+    /// in `cell_boxes` is the cell id reported by queries.
+    pub fn build(cell_boxes: &[BoundingBox<D>]) -> Self {
+        let ids: Vec<usize> = (0..cell_boxes.len()).collect();
+        let root = if ids.is_empty() {
+            None
+        } else {
+            Some(build_node(cell_boxes, ids, 0))
+        };
+        CellKdTree { root, boxes: cell_boxes.to_vec() }
+    }
+
+    /// Number of cells indexed.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Returns `true` if no cells are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Returns the ids of all cells whose box is within distance `eps`
+    /// (inclusive) of `query`, excluding `exclude` (pass the querying cell's
+    /// own id, or `usize::MAX` to exclude nothing). The result is sorted.
+    pub fn cells_within(&self, query: &BoundingBox<D>, eps: f64, exclude: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            collect_within(root, &self.boxes, query, eps * eps, exclude, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+fn build_node<const D: usize>(
+    boxes: &[BoundingBox<D>],
+    ids: Vec<usize>,
+    depth: usize,
+) -> Node<D> {
+    let bounds = ids
+        .iter()
+        .map(|&i| boxes[i])
+        .reduce(|a, b| a.union(&b))
+        .expect("non-empty node");
+    if ids.len() <= LEAF_SIZE {
+        return Node { bounds, items: ids, children: None };
+    }
+    // Split on the widest axis of the node bounds at the median cell centre.
+    let axis = {
+        let mut best = 0;
+        let mut best_extent = f64::NEG_INFINITY;
+        for i in 0..D {
+            let extent = bounds.hi[i] - bounds.lo[i];
+            if extent > best_extent {
+                best_extent = extent;
+                best = i;
+            }
+        }
+        best
+    };
+    let mut sorted = ids;
+    sorted.sort_by(|&a, &b| {
+        boxes[a].center().coords[axis]
+            .partial_cmp(&boxes[b].center().coords[axis])
+            .unwrap()
+    });
+    let mid = sorted.len() / 2;
+    let right_ids = sorted.split_off(mid);
+    let left_ids = sorted;
+    let (left, right) = if left_ids.len() + right_ids.len() >= PARALLEL_CUTOFF {
+        join(
+            || build_node(boxes, left_ids, depth + 1),
+            || build_node(boxes, right_ids, depth + 1),
+        )
+    } else {
+        (
+            build_node(boxes, left_ids, depth + 1),
+            build_node(boxes, right_ids, depth + 1),
+        )
+    };
+    Node { bounds, items: Vec::new(), children: Some((Box::new(left), Box::new(right))) }
+}
+
+fn collect_within<const D: usize>(
+    node: &Node<D>,
+    boxes: &[BoundingBox<D>],
+    query: &BoundingBox<D>,
+    eps_sq: f64,
+    exclude: usize,
+    out: &mut Vec<usize>,
+) {
+    if node.bounds.dist_sq_to_box(query) > eps_sq {
+        return;
+    }
+    if let Some((left, right)) = &node.children {
+        collect_within(left, boxes, query, eps_sq, exclude, out);
+        collect_within(right, boxes, query, eps_sq, exclude, out);
+    } else {
+        for &id in &node.items {
+            // The node bound is only an over-approximation; re-check the
+            // individual cell box.
+            if id != exclude && boxes[id].dist_sq_to_box(query) <= eps_sq {
+                out.push(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point;
+    use rand::prelude::*;
+
+    fn unit_box_at<const D: usize>(corner: [f64; D], side: f64) -> BoundingBox<D> {
+        let mut hi = corner;
+        for v in hi.iter_mut() {
+            *v += side;
+        }
+        BoundingBox::new(corner, hi)
+    }
+
+    /// Brute-force reference for cells_within.
+    fn reference<const D: usize>(
+        boxes: &[BoundingBox<D>],
+        query: &BoundingBox<D>,
+        eps: f64,
+        exclude: usize,
+    ) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..boxes.len())
+            .filter(|&i| i != exclude && boxes[i].dist_sq_to_box(query) <= eps * eps)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = CellKdTree::<2>::build(&[]);
+        assert!(tree.is_empty());
+        let q = unit_box_at([0.0, 0.0], 1.0);
+        assert!(tree.cells_within(&q, 1.0, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn finds_adjacent_grid_cells() {
+        // 5x5 grid of unit cells; the centre cell's neighbours within eps=1
+        // are the surrounding 8 plus the 4 at distance exactly 1 (inclusive),
+        // plus the 8 knight-ish cells at distance 1 from the box... compare
+        // against brute force rather than hand-counting.
+        let mut boxes = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                boxes.push(unit_box_at([x as f64, y as f64], 1.0));
+            }
+        }
+        let tree = CellKdTree::build(&boxes);
+        for (i, b) in boxes.iter().enumerate() {
+            for eps in [0.5, 1.0, 1.5] {
+                assert_eq!(
+                    tree.cells_within(b, eps, i),
+                    reference(&boxes, b, eps, i),
+                    "cell {i} eps {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_boxes_match_reference() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let boxes: Vec<BoundingBox<3>> = (0..800)
+            .map(|_| {
+                let corner = [
+                    rng.gen_range(0.0..50.0),
+                    rng.gen_range(0.0..50.0),
+                    rng.gen_range(0.0..50.0),
+                ];
+                unit_box_at(corner, rng.gen_range(0.1..2.0))
+            })
+            .collect();
+        let tree = CellKdTree::build(&boxes);
+        assert_eq!(tree.len(), 800);
+        for i in (0..800).step_by(37) {
+            let got = tree.cells_within(&boxes[i], 2.5, i);
+            let want = reference(&boxes, &boxes[i], 2.5, i);
+            assert_eq!(got, want, "query cell {i}");
+        }
+    }
+
+    #[test]
+    fn exclusion_of_self_works() {
+        let boxes = vec![
+            unit_box_at([0.0, 0.0], 1.0),
+            unit_box_at([0.5, 0.5], 1.0),
+        ];
+        let tree = CellKdTree::build(&boxes);
+        assert_eq!(tree.cells_within(&boxes[0], 1.0, 0), vec![1]);
+        assert_eq!(tree.cells_within(&boxes[0], 1.0, usize::MAX), vec![0, 1]);
+    }
+
+    #[test]
+    fn distant_cells_are_not_reported() {
+        let boxes = vec![
+            unit_box_at([0.0, 0.0], 1.0),
+            unit_box_at([100.0, 100.0], 1.0),
+        ];
+        let tree = CellKdTree::build(&boxes);
+        assert!(tree.cells_within(&boxes[0], 5.0, 0).is_empty());
+        // Point-based sanity: far box not within eps of a nearby point either.
+        let p = Point::new([1.5, 1.5]);
+        assert!(boxes[1].dist_sq_to_point(&p) > 25.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Spatial index substrate for parallel DBSCAN.
+//!
+//! * [`gridkey`] — quantization of points to integer cell keys for the grid
+//!   method (§4.1) and enumeration of candidate neighbouring keys.
+//! * [`partition`] — cell partitions of a point set: the grid construction
+//!   (semisort by cell key + concurrent hash table, §4.1) and the 2D box
+//!   construction (strips via binary-search parents + pointer jumping, §4.2).
+//! * [`kdtree`] — a k-d tree over the non-empty cells, used to find the
+//!   non-empty neighbouring cells of a cell in higher dimensions (§5.1).
+//! * [`subdivision`] — per-cell quadtrees (2^d-way subdivision trees) used to
+//!   answer exact and ρ-approximate RangeCount queries (§5.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gridkey;
+pub mod kdtree;
+pub mod partition;
+pub mod subdivision;
+
+pub use gridkey::GridIndex;
+pub use kdtree::CellKdTree;
+pub use partition::{box_partition, grid_partition, CellInfo, CellPartition};
+pub use subdivision::SubdivisionTree;

@@ -1,0 +1,464 @@
+//! Per-cell quadtrees (2^d-way subdivision trees) for RangeCount queries.
+//!
+//! §5.2 of the paper: for each cell, a quadtree is built over the cell's
+//! points by recursively splitting the cell box into 2^d equal sub-cells
+//! until a sub-cell is empty (exact variant) or its side length drops below
+//! ε·ρ/√d (approximate variant, giving maximum depth 1 + ⌈log₂ 1/ρ⌉). Each
+//! node stores the number of points in its sub-cell.
+//!
+//! Exact RangeCount(p, ε) traverses the tree, pruning sub-cells that cannot
+//! intersect the ε-ball and adding whole sub-cell counts when the sub-cell is
+//! entirely inside the ball. The approximate query additionally treats a
+//! sub-cell entirely inside the ε(1+ρ)-ball as fully counted, which is what
+//! makes the returned value lie between the ε-count and the ε(1+ρ)-count.
+//! Both queries have early-termination variants used for cell-graph
+//! connectivity, where only zero/non-zero matters.
+//!
+//! Construction sorts the points of a node into its 2^d children with the
+//! parallel integer-sort primitive and recurses on the children in parallel,
+//! as in the paper.
+
+use geom::{BoundingBox, Point};
+use parprims::integer_sort_by_key;
+use rayon::prelude::*;
+
+/// Nodes with at most this many points become leaves (the paper's
+/// construction-time threshold that trades tree height for leaf size).
+const LEAF_SIZE: usize = 16;
+/// Nodes with fewer points than this are built serially.
+const PARALLEL_CUTOFF: usize = 2048;
+
+struct Node<const D: usize> {
+    bbox: BoundingBox<D>,
+    count: usize,
+    /// Range of this node's points in the tree's reordered point array.
+    start: usize,
+    /// Non-empty children (child sub-cell index is implicit; it is not needed
+    /// after construction).
+    children: Vec<Node<D>>,
+}
+
+/// A 2^d-way subdivision tree over one cell's points.
+pub struct SubdivisionTree<const D: usize> {
+    points: Vec<Point<D>>,
+    root: Option<Node<D>>,
+}
+
+impl<const D: usize> SubdivisionTree<D> {
+    /// Builds an *exact* tree: sub-cells are split until they are empty or
+    /// contain at most [`LEAF_SIZE`] points.
+    pub fn build_exact(points: &[Point<D>], bbox: BoundingBox<D>) -> Self {
+        Self::build_with_depth(points, bbox, usize::MAX)
+    }
+
+    /// Builds the *approximate* tree of Gan–Tao: splitting stops once the
+    /// sub-cell side length is at most ε·ρ/√d, i.e. after at most
+    /// 1 + ⌈log₂ 1/ρ⌉ levels.
+    pub fn build_approximate(points: &[Point<D>], bbox: BoundingBox<D>, rho: f64) -> Self {
+        assert!(rho > 0.0, "rho must be positive");
+        let max_depth = 1 + (1.0 / rho).log2().ceil().max(0.0) as usize;
+        Self::build_with_depth(points, bbox, max_depth)
+    }
+
+    /// Builds a tree with an explicit maximum depth (the root is depth 0).
+    pub fn build_with_depth(points: &[Point<D>], bbox: BoundingBox<D>, max_depth: usize) -> Self {
+        let pts = points.to_vec();
+        if pts.is_empty() {
+            return SubdivisionTree { points: pts, root: None };
+        }
+        let (root, ordered) = build_node(pts, bbox, 0, max_depth, 0);
+        SubdivisionTree { points: ordered, root: Some(root) }
+    }
+
+    /// Number of points stored in the tree.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Exact number of stored points within distance `eps` (inclusive) of `p`.
+    pub fn count_within(&self, p: &Point<D>, eps: f64) -> usize {
+        match &self.root {
+            None => 0,
+            Some(root) => count_exact(root, &self.points, p, eps * eps),
+        }
+    }
+
+    /// Returns `true` iff at least one stored point is within `eps` of `p`
+    /// (early-terminating exact query).
+    pub fn any_within(&self, p: &Point<D>, eps: f64) -> bool {
+        match &self.root {
+            None => false,
+            Some(root) => any_exact(root, &self.points, p, eps * eps),
+        }
+    }
+
+    /// Approximate count: a value guaranteed to be between the number of
+    /// points within `eps` of `p` and the number within `eps * (1 + rho)`.
+    pub fn count_within_approx(&self, p: &Point<D>, eps: f64, rho: f64) -> usize {
+        match &self.root {
+            None => 0,
+            Some(root) => {
+                count_approx(root, &self.points, p, eps * eps, (eps * (1.0 + rho)).powi(2))
+            }
+        }
+    }
+
+    /// Approximate emptiness test: returns `true` if some point is within
+    /// `eps * (1 + rho)` of `p`, `false` if no point is within `eps`; either
+    /// answer may be returned for points in the (ε, ε(1+ρ)] shell, exactly as
+    /// the approximate DBSCAN connectivity rule allows.
+    pub fn any_within_approx(&self, p: &Point<D>, eps: f64, rho: f64) -> bool {
+        match &self.root {
+            None => false,
+            Some(root) => {
+                any_approx(root, &self.points, p, eps * eps, (eps * (1.0 + rho)).powi(2))
+            }
+        }
+    }
+}
+
+/// Recursively builds a node over `pts` (whose bounding region is `bbox`),
+/// returning the node and the points in the order the subtree references
+/// them, with the node's range starting at `offset`.
+fn build_node<const D: usize>(
+    pts: Vec<Point<D>>,
+    bbox: BoundingBox<D>,
+    depth: usize,
+    max_depth: usize,
+    offset: usize,
+) -> (Node<D>, Vec<Point<D>>) {
+    let count = pts.len();
+    // The absolute depth cap guards against unbounded recursion on
+    // duplicate-heavy inputs (identical points always fall into the same
+    // sub-cell, which the LEAF_SIZE rule alone would keep splitting).
+    const ABSOLUTE_MAX_DEPTH: usize = 64;
+    if count <= LEAF_SIZE || depth >= max_depth || depth >= ABSOLUTE_MAX_DEPTH {
+        return (
+            Node { bbox, count, start: offset, children: Vec::new() },
+            pts,
+        );
+    }
+    // Assign each point to one of the 2^D sub-cells of bbox.
+    let center = bbox.center();
+    let child_index = |p: &Point<D>| -> usize {
+        let mut idx = 0usize;
+        for i in 0..D {
+            if p.coords[i] > center.coords[i] {
+                idx |= 1 << i;
+            }
+        }
+        idx
+    };
+    let num_children = 1usize << D;
+    let keyed: Vec<(usize, Point<D>)> = pts.iter().map(|p| (child_index(p), *p)).collect();
+    let sorted = integer_sort_by_key(&keyed, num_children, |&(k, _)| k);
+
+    // Split into contiguous child groups.
+    let mut groups: Vec<(usize, Vec<Point<D>>)> = Vec::new();
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let k = sorted[i].0;
+        let mut j = i;
+        let mut group = Vec::new();
+        while j < sorted.len() && sorted[j].0 == k {
+            group.push(sorted[j].1);
+            j += 1;
+        }
+        groups.push((k, group));
+        i = j;
+    }
+    // The paper avoids useless levels by requiring at least two non-empty
+    // children; if everything landed in one sub-cell, shrink to that sub-cell
+    // and recurse (bounded by max_depth to guarantee termination on
+    // duplicate-heavy inputs).
+    if groups.len() == 1 && depth + 1 < max_depth {
+        let (k, group) = groups.pop().unwrap();
+        let child_box = sub_box(&bbox, &center, k);
+        let (child, ordered) = build_node(group, child_box, depth + 1, max_depth, offset);
+        let node = Node { bbox, count, start: offset, children: vec![child] };
+        return (node, ordered);
+    }
+
+    // Compute child offsets, then recurse (in parallel for large nodes).
+    let mut child_inputs = Vec::with_capacity(groups.len());
+    let mut running = offset;
+    for (k, group) in groups {
+        let child_box = sub_box(&bbox, &center, k);
+        let len = group.len();
+        child_inputs.push((group, child_box, running));
+        running += len;
+    }
+    let results: Vec<(Node<D>, Vec<Point<D>>)> = if count >= PARALLEL_CUTOFF {
+        child_inputs
+            .into_par_iter()
+            .map(|(group, child_box, off)| build_node(group, child_box, depth + 1, max_depth, off))
+            .collect()
+    } else {
+        child_inputs
+            .into_iter()
+            .map(|(group, child_box, off)| build_node(group, child_box, depth + 1, max_depth, off))
+            .collect()
+    };
+    let mut children = Vec::with_capacity(results.len());
+    let mut ordered = Vec::with_capacity(count);
+    for (node, pts) in results {
+        children.push(node);
+        ordered.extend(pts);
+    }
+    (
+        Node { bbox, count, start: offset, children },
+        ordered,
+    )
+}
+
+/// The `k`-th sub-box of `bbox` when split at `center` (bit i of `k` selects
+/// the upper half along axis i).
+fn sub_box<const D: usize>(
+    bbox: &BoundingBox<D>,
+    center: &Point<D>,
+    k: usize,
+) -> BoundingBox<D> {
+    let mut lo = bbox.lo;
+    let mut hi = bbox.hi;
+    for i in 0..D {
+        if (k >> i) & 1 == 1 {
+            lo[i] = center.coords[i];
+        } else {
+            hi[i] = center.coords[i];
+        }
+    }
+    BoundingBox::new(lo, hi)
+}
+
+fn count_exact<const D: usize>(
+    node: &Node<D>,
+    points: &[Point<D>],
+    p: &Point<D>,
+    eps_sq: f64,
+) -> usize {
+    if node.count == 0 || node.bbox.dist_sq_to_point(p) > eps_sq {
+        return 0;
+    }
+    if node.bbox.max_dist_sq_to_point(p) <= eps_sq {
+        return node.count;
+    }
+    if node.children.is_empty() {
+        return points[node.start..node.start + node.count]
+            .iter()
+            .filter(|q| q.dist_sq(p) <= eps_sq)
+            .count();
+    }
+    node.children
+        .iter()
+        .map(|c| count_exact(c, points, p, eps_sq))
+        .sum()
+}
+
+fn any_exact<const D: usize>(
+    node: &Node<D>,
+    points: &[Point<D>],
+    p: &Point<D>,
+    eps_sq: f64,
+) -> bool {
+    if node.count == 0 || node.bbox.dist_sq_to_point(p) > eps_sq {
+        return false;
+    }
+    if node.bbox.max_dist_sq_to_point(p) <= eps_sq {
+        return true;
+    }
+    if node.children.is_empty() {
+        return points[node.start..node.start + node.count]
+            .iter()
+            .any(|q| q.dist_sq(p) <= eps_sq);
+    }
+    node.children.iter().any(|c| any_exact(c, points, p, eps_sq))
+}
+
+fn count_approx<const D: usize>(
+    node: &Node<D>,
+    points: &[Point<D>],
+    p: &Point<D>,
+    eps_sq: f64,
+    eps_outer_sq: f64,
+) -> usize {
+    if node.count == 0 || node.bbox.dist_sq_to_point(p) > eps_sq {
+        return 0;
+    }
+    if node.bbox.max_dist_sq_to_point(p) <= eps_outer_sq {
+        return node.count;
+    }
+    if node.children.is_empty() {
+        // Leaf of the depth-bounded tree: count within the inner radius so
+        // the result never exceeds the ε(1+ρ) count.
+        return points[node.start..node.start + node.count]
+            .iter()
+            .filter(|q| q.dist_sq(p) <= eps_sq)
+            .count();
+    }
+    node.children
+        .iter()
+        .map(|c| count_approx(c, points, p, eps_sq, eps_outer_sq))
+        .sum()
+}
+
+fn any_approx<const D: usize>(
+    node: &Node<D>,
+    points: &[Point<D>],
+    p: &Point<D>,
+    eps_sq: f64,
+    eps_outer_sq: f64,
+) -> bool {
+    if node.count == 0 || node.bbox.dist_sq_to_point(p) > eps_sq {
+        return false;
+    }
+    if node.bbox.max_dist_sq_to_point(p) <= eps_outer_sq {
+        return true;
+    }
+    if node.children.is_empty() {
+        return points[node.start..node.start + node.count]
+            .iter()
+            .any(|q| q.dist_sq(p) <= eps_sq);
+    }
+    node.children
+        .iter()
+        .any(|c| any_approx(c, points, p, eps_sq, eps_outer_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_points<const D: usize>(n: usize, extent: f64, seed: u64) -> Vec<Point<D>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut c = [0.0; D];
+                for v in c.iter_mut() {
+                    *v = rng.gen_range(0.0..extent);
+                }
+                Point::new(c)
+            })
+            .collect()
+    }
+
+    fn brute_count<const D: usize>(pts: &[Point<D>], p: &Point<D>, eps: f64) -> usize {
+        pts.iter().filter(|q| q.dist_sq(p) <= eps * eps).count()
+    }
+
+    #[test]
+    fn exact_count_matches_bruteforce_2d() {
+        let pts = random_points::<2>(2000, 10.0, 1);
+        let bbox = BoundingBox::containing(&pts).unwrap();
+        let tree = SubdivisionTree::build_exact(&pts, bbox);
+        assert_eq!(tree.len(), 2000);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let q = Point::new([rng.gen_range(-1.0..11.0), rng.gen_range(-1.0..11.0)]);
+            for eps in [0.1, 0.5, 1.0, 3.0] {
+                assert_eq!(tree.count_within(&q, eps), brute_count(&pts, &q, eps));
+                assert_eq!(tree.any_within(&q, eps), brute_count(&pts, &q, eps) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_matches_bruteforce_5d() {
+        let pts = random_points::<5>(1000, 4.0, 3);
+        let bbox = BoundingBox::containing(&pts).unwrap();
+        let tree = SubdivisionTree::build_exact(&pts, bbox);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let q = Point::new([
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+                rng.gen_range(0.0..4.0),
+            ]);
+            assert_eq!(tree.count_within(&q, 1.0), brute_count(&pts, &q, 1.0));
+        }
+    }
+
+    #[test]
+    fn approximate_count_is_sandwiched() {
+        let pts = random_points::<3>(3000, 8.0, 5);
+        let bbox = BoundingBox::containing(&pts).unwrap();
+        let rho = 0.1;
+        let tree = SubdivisionTree::build_approximate(&pts, bbox, rho);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let q = Point::new([
+                rng.gen_range(0.0..8.0),
+                rng.gen_range(0.0..8.0),
+                rng.gen_range(0.0..8.0),
+            ]);
+            let eps = rng.gen_range(0.2..2.0);
+            let approx = tree.count_within_approx(&q, eps, rho);
+            let lower = brute_count(&pts, &q, eps);
+            let upper = brute_count(&pts, &q, eps * (1.0 + rho));
+            assert!(
+                approx >= lower && approx <= upper,
+                "approx {approx} outside [{lower}, {upper}]"
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_any_within_respects_shell_semantics() {
+        let pts = vec![Point::new([0.0, 0.0])];
+        let bbox = BoundingBox::new([-1.0, -1.0], [1.0, 1.0]);
+        let tree = SubdivisionTree::build_approximate(&pts, bbox, 0.5);
+        // Clearly inside eps.
+        assert!(tree.any_within_approx(&Point::new([0.5, 0.0]), 1.0, 0.5));
+        // Clearly outside eps(1+rho).
+        assert!(!tree.any_within_approx(&Point::new([2.0, 0.0]), 1.0, 0.5));
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let bbox = BoundingBox::new([0.0, 0.0], [1.0, 1.0]);
+        let tree = SubdivisionTree::<2>::build_exact(&[], bbox);
+        assert!(tree.is_empty());
+        assert_eq!(tree.count_within(&Point::new([0.5, 0.5]), 10.0), 0);
+        assert!(!tree.any_within(&Point::new([0.5, 0.5]), 10.0));
+
+        let single = SubdivisionTree::build_exact(&[Point::new([0.25, 0.25])], bbox);
+        assert_eq!(single.count_within(&Point::new([0.25, 0.25]), 0.0), 1);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_cause_infinite_recursion() {
+        let pts = vec![Point::new([0.5, 0.5]); 500];
+        let bbox = BoundingBox::new([0.0, 0.0], [1.0, 1.0]);
+        let tree = SubdivisionTree::build_exact(&pts, bbox);
+        assert_eq!(tree.count_within(&Point::new([0.5, 0.5]), 0.1), 500);
+        assert_eq!(tree.count_within(&Point::new([5.0, 5.0]), 0.1), 0);
+    }
+
+    #[test]
+    fn counts_include_boundary_distance() {
+        let pts = vec![Point::new([1.0, 0.0]), Point::new([3.0, 0.0])];
+        let bbox = BoundingBox::containing(&pts).unwrap();
+        let tree = SubdivisionTree::build_exact(&pts, bbox);
+        // Distance exactly eps is included (DBSCAN uses ≤).
+        assert_eq!(tree.count_within(&Point::new([0.0, 0.0]), 1.0), 1);
+        assert_eq!(tree.count_within(&Point::new([0.0, 0.0]), 3.0), 2);
+    }
+
+    #[test]
+    fn skewed_points_build_reasonable_tree() {
+        // Highly skewed: most points concentrated in one corner.
+        let mut pts = random_points::<2>(100, 0.01, 7);
+        pts.extend(random_points::<2>(100, 100.0, 8));
+        let bbox = BoundingBox::containing(&pts).unwrap();
+        let tree = SubdivisionTree::build_exact(&pts, bbox);
+        let q = Point::new([0.005, 0.005]);
+        assert_eq!(tree.count_within(&q, 0.02), brute_count(&pts, &q, 0.02));
+    }
+}

@@ -1,0 +1,177 @@
+//! CAS-based lock-free union-find.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A concurrent union-find (disjoint-set) structure over the elements
+/// `0..len`. `find` uses path halving; `union` links by index order after
+/// finding the two roots, retrying on contention. Both operations may be
+/// called concurrently from any number of threads.
+///
+/// The structure is linearizable for the operations the DBSCAN algorithms
+/// need: `union(a, b)` guarantees that afterwards `same_set(a, b)`, and
+/// `same_set` never reports two elements connected unless a chain of unions
+/// connected them.
+pub struct ConcurrentUnionFind {
+    parent: Vec<AtomicUsize>,
+}
+
+impl ConcurrentUnionFind {
+    /// Creates a structure with `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        ConcurrentUnionFind {
+            parent: (0..len).map(AtomicUsize::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Returns the current root of `x`'s set, compressing paths as it goes
+    /// (path halving). The returned root is stable only in quiescent states;
+    /// concurrent unions may change it, which is fine for the optimistic
+    /// "check before querying connectivity" pattern of Algorithm 3.
+    pub fn find(&self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x].load(Ordering::Acquire);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p].load(Ordering::Acquire);
+            if gp == p {
+                return p;
+            }
+            // Path halving: point x at its grandparent. Failure is benign.
+            let _ = self.parent[x].compare_exchange(p, gp, Ordering::AcqRel, Ordering::Acquire);
+            x = gp;
+        }
+    }
+
+    /// Unions the sets containing `a` and `b`. Returns `true` if the two were
+    /// in different sets (a link happened), `false` if they were already
+    /// connected. Lock-free: concurrent unions retry on CAS failure.
+    pub fn union(&self, a: usize, b: usize) -> bool {
+        let mut x = a;
+        let mut y = b;
+        loop {
+            x = self.find(x);
+            y = self.find(y);
+            if x == y {
+                return false;
+            }
+            // Deterministic link direction (larger root points to smaller),
+            // which keeps the forest acyclic without a separate rank array.
+            let (child, parent) = if x > y { (x, y) } else { (y, x) };
+            match self.parent[child].compare_exchange(
+                child,
+                parent,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(_) => {
+                    // Someone re-parented `child` concurrently; retry from the
+                    // (possibly new) roots.
+                    x = child;
+                    y = parent;
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if `a` and `b` are currently in the same set.
+    pub fn same_set(&self, a: usize, b: usize) -> bool {
+        loop {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return true;
+            }
+            // ra != rb is only conclusive if ra is still a root (otherwise a
+            // concurrent union interleaved and we must retry).
+            if self.parent[ra].load(Ordering::Acquire) == ra {
+                return false;
+            }
+        }
+    }
+
+    /// Snapshot of the root of every element. Call in a quiescent state
+    /// (after all unions have completed) to extract final component labels.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len()).map(|i| self.find(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let uf = ConcurrentUnionFind::new(10);
+        for i in 0..10 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_connects_and_reports_novelty() {
+        let uf = ConcurrentUnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.same_set(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.union(0, 3), "already connected");
+    }
+
+    #[test]
+    fn concurrent_chain_unions_connect_everything() {
+        let n = 100_000;
+        let uf = ConcurrentUnionFind::new(n);
+        (0..n - 1).into_par_iter().for_each(|i| {
+            uf.union(i, i + 1);
+        });
+        let root = uf.find(0);
+        (0..n).into_par_iter().for_each(|i| {
+            assert_eq!(uf.find(i), root);
+        });
+    }
+
+    #[test]
+    fn concurrent_random_unions_match_sequential() {
+        use rand::prelude::*;
+        let n = 10_000;
+        let mut rng = StdRng::seed_from_u64(5);
+        let edges: Vec<(usize, usize)> = (0..20_000)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        let uf = ConcurrentUnionFind::new(n);
+        edges.par_iter().for_each(|&(a, b)| {
+            uf.union(a, b);
+        });
+        let mut seq = crate::SequentialUnionFind::new(n);
+        for &(a, b) in &edges {
+            seq.union(a, b);
+        }
+        for i in 0..n {
+            for j in [0, i / 2, n - 1] {
+                assert_eq!(uf.same_set(i, j), seq.same_set(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = ConcurrentUnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.roots().is_empty());
+    }
+}

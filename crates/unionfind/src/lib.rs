@@ -1,0 +1,25 @@
+//! Lock-free concurrent union-find and parallel connected components.
+//!
+//! The paper's ClusterCore step (Algorithm 3) merges the cell-graph
+//! construction with the connected-components computation using a *lock-free*
+//! union-find structure (unlike PDSDBSCAN's lock-based one): a cell
+//! connectivity query is only issued when the two cells are not already in
+//! the same component, and on success the two cells are linked.
+//!
+//! [`ConcurrentUnionFind`] implements the standard CAS-based scheme with path
+//! halving; all operations are wait-free except the CAS retry loop in
+//! `union`. The [`connected_components`] function runs the union-find over an
+//! explicit edge list in parallel (used by the Delaunay-based cell-graph
+//! construction, where the edges are produced by a filter over the
+//! triangulation rather than by on-the-fly connectivity queries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod concurrent;
+pub mod sequential;
+
+pub use components::{component_labels, connected_components};
+pub use concurrent::ConcurrentUnionFind;
+pub use sequential::SequentialUnionFind;

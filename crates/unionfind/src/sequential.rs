@@ -1,0 +1,110 @@
+//! Sequential union-find with path compression and union by size.
+//!
+//! Used by the sequential baseline implementations and as the reference
+//! oracle in tests of the concurrent structure.
+
+/// Classic array-based disjoint-set forest (path compression + union by
+/// size). Amortized near-constant time per operation.
+#[derive(Debug, Clone)]
+pub struct SequentialUnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    num_sets: usize,
+}
+
+impl SequentialUnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        SequentialUnionFind {
+            parent: (0..len).collect(),
+            size: vec![1; len],
+            num_sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Root of the set containing `x`, with full path compression.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (small, large) = if self.size[ra] < self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = large;
+        self.size[large] += self.size[small];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_reduces_set_count() {
+        let mut uf = SequentialUnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.num_sets(), 3);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut uf = SequentialUnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(4, 5);
+        uf.union(1, 3);
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(0, 4));
+    }
+
+    #[test]
+    fn find_is_idempotent_after_compression() {
+        let mut uf = SequentialUnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(0);
+        for i in 0..100 {
+            assert_eq!(uf.find(i), r);
+        }
+    }
+}

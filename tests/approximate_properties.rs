@@ -1,0 +1,147 @@
+//! Integration tests for the Gan–Tao ρ-approximate DBSCAN guarantee.
+//!
+//! The approximate algorithm may return any clustering consistent with the
+//! relaxed connectivity rule (§2 of the paper): core points within ε must be
+//! connected, core points farther than ε(1+ρ) must not be, and anything in
+//! between is free. Concretely that means the partition of the core points
+//! must be *sandwiched*: every exact-DBSCAN(ε) cluster is contained in one
+//! approximate cluster, and every approximate cluster is contained in one
+//! exact-DBSCAN(ε(1+ρ)) cluster. Core flags are not relaxed at all.
+
+use datagen::{seed_spreader, uniform_fill, SeedSpreaderConfig};
+use geom::Point;
+use pardbscan::{Clustering, Dbscan, MarkCoreMethod};
+use std::collections::HashMap;
+
+/// Checks that, restricted to core points, the clusters of `fine` refine the
+/// clusters of `coarse`: any two core points together in a `fine` cluster are
+/// together in a `coarse` cluster.
+fn core_partition_refines(fine: &Clustering, coarse: &Clustering) -> bool {
+    let mut map: HashMap<usize, usize> = HashMap::new();
+    for i in 0..fine.len() {
+        if !fine.is_core(i) {
+            continue;
+        }
+        assert!(coarse.is_core(i), "core flags must be identical");
+        let f = fine.clusters_of(i)[0];
+        let c = coarse.clusters_of(i)[0];
+        match map.get(&f) {
+            None => {
+                map.insert(f, c);
+            }
+            Some(&existing) => {
+                if existing != c {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn check_sandwich<const D: usize>(points: &[Point<D>], eps: f64, min_pts: usize, rho: f64) {
+    let exact_inner = Dbscan::exact(points, eps, min_pts).run().unwrap();
+    let exact_outer = Dbscan::exact(points, eps * (1.0 + rho), min_pts).run().unwrap();
+    for mark in [MarkCoreMethod::Scan, MarkCoreMethod::QuadTree] {
+        let approx = Dbscan::exact(points, eps, min_pts)
+            .mark_core(mark)
+            .approximate(rho)
+            .run()
+            .unwrap();
+        // Core determination is exact in approximate DBSCAN.
+        assert_eq!(approx.core_flags(), exact_inner.core_flags(), "{mark:?}");
+        // exact(ε) refines approx refines … well, approx must merge whole
+        // exact(ε) clusters, i.e. exact(ε) refines approx.
+        assert!(
+            core_partition_refines(&exact_inner, &approx),
+            "{mark:?}: some exact(eps) cluster was split by the approximate run"
+        );
+        // And approx must not merge anything exact(ε(1+ρ)) keeps apart.
+        // Note: exact(ε(1+ρ)) has *more* core points (larger radius), so we
+        // compare only on the inner core set, which is a subset.
+        let mut map: HashMap<usize, usize> = HashMap::new();
+        for i in 0..approx.len() {
+            if !approx.is_core(i) {
+                continue;
+            }
+            let a = approx.clusters_of(i)[0];
+            let o = exact_outer.clusters_of(i)[0];
+            match map.get(&a) {
+                None => {
+                    map.insert(a, o);
+                }
+                Some(&existing) => assert_eq!(
+                    existing, o,
+                    "{mark:?}: approximate run merged clusters that exact(eps(1+rho)) separates"
+                ),
+            }
+        }
+        // Every clustered point (core or border) must be within ε of a core
+        // point — border handling is not relaxed.
+        for i in 0..approx.len() {
+            if approx.is_core(i) || approx.is_noise(i) {
+                continue;
+            }
+            let near_core = (0..points.len())
+                .any(|j| approx.is_core(j) && points[i].within(&points[j], eps));
+            assert!(near_core, "{mark:?}: border point {i} has no core point within eps");
+        }
+    }
+}
+
+#[test]
+fn sandwich_property_on_uniform_3d() {
+    let pts = uniform_fill::<3>(2_000, 30.0, 21);
+    check_sandwich(&pts, 1.5, 10, 0.1);
+    check_sandwich(&pts, 2.0, 20, 0.01);
+}
+
+#[test]
+fn sandwich_property_on_seed_spreader_5d() {
+    let cfg = SeedSpreaderConfig {
+        extent: 2_000.0,
+        vicinity: 30.0,
+        step: 15.0,
+        ..SeedSpreaderConfig::varden(3_000, 33)
+    };
+    let pts = seed_spreader::<5>(&cfg);
+    check_sandwich(&pts, 80.0, 10, 0.05);
+}
+
+#[test]
+fn sandwich_property_on_clustered_2d() {
+    let cfg = SeedSpreaderConfig {
+        extent: 1_000.0,
+        vicinity: 15.0,
+        step: 8.0,
+        ..SeedSpreaderConfig::simden(3_000, 37)
+    };
+    let pts = seed_spreader::<2>(&cfg);
+    check_sandwich(&pts, 20.0, 15, 0.2);
+}
+
+#[test]
+fn tiny_rho_matches_exact_clustering_exactly_here() {
+    // With a tiny rho on well-separated clusters the approximate result
+    // coincides with the exact one (clusters are far apart relative to
+    // eps*rho).
+    let mut pts = Vec::new();
+    for i in 0..200 {
+        pts.push(geom::Point2::new([(i % 20) as f64 * 0.3, (i / 20) as f64 * 0.3]));
+        pts.push(geom::Point2::new([
+            100.0 + (i % 20) as f64 * 0.3,
+            100.0 + (i / 20) as f64 * 0.3,
+        ]));
+    }
+    let exact = Dbscan::exact(&pts, 0.5, 5).run().unwrap();
+    let approx = Dbscan::exact(&pts, 0.5, 5).approximate(1e-6).run().unwrap();
+    assert_eq!(exact, approx);
+    assert_eq!(exact.num_clusters(), 2);
+}
+
+#[test]
+fn rho_validation_rejects_nonpositive_values() {
+    let pts = vec![geom::Point2::new([0.0, 0.0])];
+    assert!(Dbscan::exact(&pts, 1.0, 1).approximate(0.0).run().is_err());
+    assert!(Dbscan::exact(&pts, 1.0, 1).approximate(f64::NAN).run().is_err());
+}

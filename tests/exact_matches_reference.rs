@@ -1,0 +1,158 @@
+//! Integration tests: every exact variant must reproduce the standard DBSCAN
+//! clustering (checked against the O(n²) brute-force oracle) on a variety of
+//! datasets and dimensions.
+
+use baselines::brute_force_dbscan;
+use datagen::{seed_spreader, uniform_fill, SeedSpreaderConfig};
+use geom::{Point, Point2};
+use pardbscan::{CellGraphMethod, CellMethod, Clustering, Dbscan, MarkCoreMethod};
+use rand::prelude::*;
+
+/// Converts a baseline clustering into the core crate's [`Clustering`] so the
+/// two canonical forms can be compared directly.
+fn to_clustering(b: &baselines::BaselineClustering) -> Clustering {
+    Clustering::from_raw(b.core.clone(), b.clusters.clone())
+}
+
+fn assert_matches_brute<const D: usize>(points: &[Point<D>], eps: f64, min_pts: usize) {
+    let want = to_clustering(&brute_force_dbscan(points, eps, min_pts));
+    // All variant combinations that are valid for this dimension.
+    let mut variants: Vec<(CellMethod, MarkCoreMethod, CellGraphMethod, bool)> = Vec::new();
+    for mark in [MarkCoreMethod::Scan, MarkCoreMethod::QuadTree] {
+        for bucketing in [false, true] {
+            variants.push((CellMethod::Grid, mark, CellGraphMethod::Bcp, bucketing));
+            variants.push((CellMethod::Grid, mark, CellGraphMethod::QuadTreeBcp, bucketing));
+        }
+    }
+    if D == 2 {
+        for cell in [CellMethod::Grid, CellMethod::Box] {
+            for graph in [CellGraphMethod::Bcp, CellGraphMethod::Usec, CellGraphMethod::Delaunay] {
+                variants.push((cell, MarkCoreMethod::Scan, graph, false));
+            }
+        }
+    }
+    for (cell, mark, graph, bucketing) in variants {
+        let got = Dbscan::exact(points, eps, min_pts)
+            .cell_method(cell)
+            .mark_core(mark)
+            .cell_graph(graph)
+            .bucketing(bucketing)
+            .run()
+            .unwrap();
+        assert_eq!(
+            got, want,
+            "variant {cell:?}/{mark:?}/{graph:?}/bucketing={bucketing} differs from brute force \
+             (eps={eps}, min_pts={min_pts}, n={})",
+            points.len()
+        );
+    }
+}
+
+#[test]
+fn random_uniform_2d_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for _ in 0..3 {
+        let n = rng.gen_range(100..500);
+        let pts: Vec<Point2> = (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)]))
+            .collect();
+        assert_matches_brute(&pts, 1.0, 5);
+        assert_matches_brute(&pts, 2.5, 10);
+    }
+}
+
+#[test]
+fn random_uniform_3d_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(200);
+    let pts: Vec<Point<3>> = (0..600)
+        .map(|_| {
+            Point::new([
+                rng.gen_range(0.0..12.0),
+                rng.gen_range(0.0..12.0),
+                rng.gen_range(0.0..12.0),
+            ])
+        })
+        .collect();
+    assert_matches_brute(&pts, 1.2, 6);
+}
+
+#[test]
+fn random_uniform_5d_and_7d_match_brute_force() {
+    let mut rng = StdRng::seed_from_u64(300);
+    let pts5: Vec<Point<5>> = (0..500)
+        .map(|_| {
+            let mut c = [0.0; 5];
+            for v in c.iter_mut() {
+                *v = rng.gen_range(0.0..5.0);
+            }
+            Point::new(c)
+        })
+        .collect();
+    assert_matches_brute(&pts5, 1.5, 8);
+
+    let pts7: Vec<Point<7>> = (0..400)
+        .map(|_| {
+            let mut c = [0.0; 7];
+            for v in c.iter_mut() {
+                *v = rng.gen_range(0.0..3.0);
+            }
+            Point::new(c)
+        })
+        .collect();
+    assert_matches_brute(&pts7, 1.5, 10);
+}
+
+#[test]
+fn seed_spreader_2d_matches_brute_force() {
+    let cfg = SeedSpreaderConfig {
+        extent: 500.0,
+        vicinity: 10.0,
+        step: 5.0,
+        ..SeedSpreaderConfig::simden(800, 11)
+    };
+    let pts = seed_spreader::<2>(&cfg);
+    assert_matches_brute(&pts, 15.0, 10);
+}
+
+#[test]
+fn seed_spreader_varden_3d_matches_brute_force() {
+    let cfg = SeedSpreaderConfig {
+        extent: 500.0,
+        vicinity: 10.0,
+        step: 5.0,
+        ..SeedSpreaderConfig::varden(700, 13)
+    };
+    let pts = seed_spreader::<3>(&cfg);
+    assert_matches_brute(&pts, 20.0, 10);
+}
+
+#[test]
+fn uniform_fill_small_matches_brute_force() {
+    let pts = uniform_fill::<2>(400, 20.0, 17);
+    assert_matches_brute(&pts, 1.0, 4);
+}
+
+#[test]
+fn parallel_baselines_also_match_brute_force() {
+    // The baseline implementations themselves are validated here at the
+    // integration level so the benchmark comparisons are apples-to-apples.
+    let mut rng = StdRng::seed_from_u64(400);
+    let pts: Vec<Point<3>> = (0..400)
+        .map(|_| {
+            Point::new([
+                rng.gen_range(0.0..8.0),
+                rng.gen_range(0.0..8.0),
+                rng.gen_range(0.0..8.0),
+            ])
+        })
+        .collect();
+    let brute = to_clustering(&brute_force_dbscan(&pts, 1.0, 6));
+    let naive = to_clustering(&baselines::naive_parallel_dbscan(&pts, 1.0, 6));
+    let pds = to_clustering(&baselines::disjoint_set_dbscan(&pts, 1.0, 6));
+    let serial = to_clustering(&baselines::sequential_grid_dbscan(&pts, 1.0, 6));
+    let ours = Dbscan::exact(&pts, 1.0, 6).run().unwrap();
+    assert_eq!(naive, brute);
+    assert_eq!(pds, brute);
+    assert_eq!(serial, brute);
+    assert_eq!(ours, brute);
+}

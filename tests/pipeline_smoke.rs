@@ -1,0 +1,83 @@
+//! Larger end-to-end smoke tests: the full pipeline on the paper's synthetic
+//! dataset families at a size big enough to exercise the parallel paths
+//! (thousands of cells, many clusters), checking structural properties rather
+//! than brute-force equality.
+
+use datagen::{seed_spreader, single_cell_like, skewed_geolife_like, uniform_fill, SeedSpreaderConfig};
+use geom::Point;
+use pardbscan::{Dbscan, VariantConfig};
+
+#[test]
+fn simden_3d_produces_many_clusters_with_little_noise() {
+    let cfg = SeedSpreaderConfig::simden(30_000, 1);
+    let pts = seed_spreader::<3>(&cfg);
+    let c = Dbscan::exact(&pts, 1_000.0, 10).run().unwrap();
+    assert!(c.num_clusters() >= 3, "expected several clusters, got {}", c.num_clusters());
+    let noise_frac = c.num_noise() as f64 / pts.len() as f64;
+    assert!(noise_frac < 0.05, "noise fraction {noise_frac} unexpectedly high");
+    // Clusters cover all non-noise points and every cluster id is in range.
+    for i in 0..pts.len() {
+        for &cl in c.clusters_of(i) {
+            assert!(cl < c.num_clusters());
+        }
+    }
+}
+
+#[test]
+fn varden_2d_with_bucketing_matches_non_bucketed() {
+    let cfg = SeedSpreaderConfig::varden(20_000, 2);
+    let pts = seed_spreader::<2>(&cfg);
+    let a = Dbscan::exact(&pts, 800.0, 50).run().unwrap();
+    let b = Dbscan::exact(&pts, 800.0, 50).bucketing(true).run().unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn uniform_fill_with_small_eps_is_mostly_noise() {
+    // UniformFill in the paper's convention (side √n): with a small eps and a
+    // high minPts, most points have sparse neighbourhoods.
+    let pts = uniform_fill::<3>(20_000, (20_000f64).sqrt(), 3);
+    let c = Dbscan::exact(&pts, 0.5, 100).run().unwrap();
+    assert!(c.num_noise() > pts.len() / 2);
+}
+
+#[test]
+fn single_cell_dataset_is_one_trivial_cluster() {
+    // The TeraClickLog-at-published-parameters degeneracy: everything in one
+    // cell, all core, one cluster (Table 2 discussion in the paper).
+    let pts: Vec<Point<7>> = single_cell_like(50_000, 1_500.0, 4);
+    let c = Dbscan::exact(&pts, 1_500.0, 100).run().unwrap();
+    assert_eq!(c.num_clusters(), 1);
+    assert_eq!(c.num_noise(), 0);
+    assert!(c.core_flags().iter().all(|&x| x));
+}
+
+#[test]
+fn skewed_dataset_runs_all_exact_variants_consistently() {
+    let pts: Vec<Point<3>> = skewed_geolife_like(30_000, 2_000.0, 0.8, 4.0, 5);
+    let reference = Dbscan::exact(&pts, 10.0, 100).run().unwrap();
+    for variant in [
+        VariantConfig::exact().with_bucketing(true),
+        VariantConfig::exact_qt(),
+        VariantConfig::exact_qt().with_bucketing(true),
+    ] {
+        let got = Dbscan::exact(&pts, 10.0, 100).variant(variant).run().unwrap();
+        assert_eq!(got, reference, "{}", variant.paper_name());
+    }
+    // The hot spot forms at least one dense cluster.
+    assert!(reference.num_clusters() >= 1);
+}
+
+#[test]
+fn approximate_runs_on_large_varden_and_respects_rho_monotonicity() {
+    let cfg = SeedSpreaderConfig::varden(30_000, 6);
+    let pts = seed_spreader::<5>(&cfg);
+    let exact = Dbscan::exact(&pts, 2_000.0, 10).run().unwrap();
+    let approx_small = Dbscan::exact(&pts, 2_000.0, 10).approximate(0.001).run().unwrap();
+    let approx_large = Dbscan::exact(&pts, 2_000.0, 10).approximate(0.1).run().unwrap();
+    // Approximation can only merge exact clusters, never split them, so the
+    // cluster count is non-increasing in the amount of permitted merging.
+    assert!(approx_small.num_clusters() <= exact.num_clusters());
+    assert!(approx_large.num_clusters() <= exact.num_clusters());
+    assert_eq!(approx_small.core_flags(), exact.core_flags());
+}

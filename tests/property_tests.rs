@@ -1,0 +1,171 @@
+//! Property-based tests (proptest): on arbitrary small point sets, the
+//! parallel exact DBSCAN must equal the brute-force reference, and the
+//! clustering must satisfy the DBSCAN axioms directly.
+
+use baselines::brute_force_dbscan;
+use geom::{Point, Point2};
+use pardbscan::{CellGraphMethod, CellMethod, Clustering, Dbscan};
+use proptest::prelude::*;
+
+fn to_clustering(b: &baselines::BaselineClustering) -> Clustering {
+    Clustering::from_raw(b.core.clone(), b.clusters.clone())
+}
+
+/// Checks the DBSCAN definition (§2 of the paper) directly on a clustering.
+fn check_dbscan_axioms<const D: usize>(
+    points: &[Point<D>],
+    eps: f64,
+    min_pts: usize,
+    c: &Clustering,
+) {
+    let n = points.len();
+    // 1. Core flags are exactly the |N_eps(p)| >= minPts points.
+    for i in 0..n {
+        let count = points.iter().filter(|q| points[i].within(q, eps)).count();
+        assert_eq!(c.is_core(i), count >= min_pts, "core flag of point {i}");
+    }
+    // 2. Core points have exactly one cluster; two core points within eps
+    //    share it.
+    for i in 0..n {
+        if c.is_core(i) {
+            assert_eq!(c.clusters_of(i).len(), 1);
+        }
+        for j in 0..n {
+            if c.is_core(i) && c.is_core(j) && points[i].within(&points[j], eps) {
+                assert_eq!(c.clusters_of(i)[0], c.clusters_of(j)[0]);
+            }
+        }
+    }
+    // 3. A non-core point belongs to exactly the clusters of core points
+    //    within eps of it (noise = none).
+    for i in 0..n {
+        if c.is_core(i) {
+            continue;
+        }
+        let mut expected: Vec<usize> = (0..n)
+            .filter(|&j| c.is_core(j) && points[i].within(&points[j], eps))
+            .map(|j| c.clusters_of(j)[0])
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(c.clusters_of(i), &expected[..], "memberships of non-core point {i}");
+    }
+}
+
+fn arb_points_2d(max_n: usize, extent: f64) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((0.0..extent, 0.0..extent), 0..max_n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point2::new([x, y])).collect())
+}
+
+fn arb_points_3d(max_n: usize, extent: f64) -> impl Strategy<Value = Vec<Point<3>>> {
+    prop::collection::vec((0.0..extent, 0.0..extent, 0.0..extent), 0..max_n)
+        .prop_map(|v| v.into_iter().map(|(x, y, z)| Point::new([x, y, z])).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_2d_matches_bruteforce(
+        pts in arb_points_2d(120, 10.0),
+        eps in 0.3f64..3.0,
+        min_pts in 1usize..8,
+    ) {
+        let want = to_clustering(&brute_force_dbscan(&pts, eps, min_pts));
+        let got = Dbscan::exact(&pts, eps, min_pts).run().unwrap();
+        prop_assert_eq!(&got, &want);
+        check_dbscan_axioms(&pts, eps, min_pts, &got);
+    }
+
+    #[test]
+    fn exact_2d_box_usec_matches_bruteforce(
+        pts in arb_points_2d(100, 8.0),
+        eps in 0.3f64..2.5,
+        min_pts in 1usize..6,
+    ) {
+        let want = to_clustering(&brute_force_dbscan(&pts, eps, min_pts));
+        let got = Dbscan::exact(&pts, eps, min_pts)
+            .cell_method(CellMethod::Box)
+            .cell_graph(CellGraphMethod::Usec)
+            .run()
+            .unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn exact_2d_delaunay_matches_bruteforce(
+        pts in arb_points_2d(90, 8.0),
+        eps in 0.3f64..2.5,
+        min_pts in 1usize..6,
+    ) {
+        let want = to_clustering(&brute_force_dbscan(&pts, eps, min_pts));
+        let got = Dbscan::exact(&pts, eps, min_pts)
+            .cell_graph(CellGraphMethod::Delaunay)
+            .run()
+            .unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn exact_3d_matches_bruteforce(
+        pts in arb_points_3d(100, 6.0),
+        eps in 0.4f64..2.0,
+        min_pts in 1usize..6,
+    ) {
+        let want = to_clustering(&brute_force_dbscan(&pts, eps, min_pts));
+        let got = Dbscan::exact(&pts, eps, min_pts).run().unwrap();
+        prop_assert_eq!(&got, &want);
+        let got_qt = Dbscan::exact(&pts, eps, min_pts)
+            .mark_core(pardbscan::MarkCoreMethod::QuadTree)
+            .cell_graph(CellGraphMethod::QuadTreeBcp)
+            .run()
+            .unwrap();
+        prop_assert_eq!(&got_qt, &want);
+    }
+
+    #[test]
+    fn approximate_core_flags_are_exact_and_clusters_cover_exact_ones(
+        pts in arb_points_3d(80, 5.0),
+        eps in 0.4f64..1.5,
+        min_pts in 1usize..5,
+        rho in 0.01f64..0.5,
+    ) {
+        let exact = Dbscan::exact(&pts, eps, min_pts).run().unwrap();
+        let approx = Dbscan::exact(&pts, eps, min_pts).approximate(rho).run().unwrap();
+        prop_assert_eq!(approx.core_flags(), exact.core_flags());
+        // Each exact cluster must be contained in a single approximate cluster.
+        let mut map = std::collections::HashMap::new();
+        for i in 0..pts.len() {
+            if !exact.is_core(i) {
+                continue;
+            }
+            let e = exact.clusters_of(i)[0];
+            let a = approx.clusters_of(i)[0];
+            let entry = map.entry(e).or_insert(a);
+            prop_assert_eq!(*entry, a);
+        }
+    }
+
+    #[test]
+    fn duplicated_points_do_not_change_number_of_clusters_much(
+        pts in arb_points_2d(60, 6.0),
+        eps in 0.5f64..2.0,
+        min_pts in 1usize..5,
+    ) {
+        // Duplicating every point can only turn noise/border into core —
+        // clusters can merge but points can never *lose* cluster membership.
+        let base = Dbscan::exact(&pts, eps, min_pts).run().unwrap();
+        let mut doubled = pts.clone();
+        doubled.extend(pts.iter().copied());
+        let doubled_run = Dbscan::exact(&doubled, eps, min_pts).run().unwrap();
+        for i in 0..pts.len() {
+            if !base.is_noise(i) {
+                prop_assert!(!doubled_run.is_noise(i),
+                    "point {} lost cluster membership after duplication", i);
+            }
+            if base.is_core(i) {
+                prop_assert!(doubled_run.is_core(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests: all exact variants must agree with each other (not just
+//! on small brute-force-checkable inputs but on larger clustered datasets),
+//! and the named paper variants must be expressible through `VariantConfig`.
+
+use datagen::{seed_spreader, skewed_geolife_like, SeedSpreaderConfig};
+use geom::{Point, Point2};
+use pardbscan::{CellGraphMethod, CellMethod, Dbscan, MarkCoreMethod, VariantConfig};
+
+#[test]
+fn all_2d_variants_agree_on_seed_spreader_data() {
+    let cfg = SeedSpreaderConfig {
+        extent: 2_000.0,
+        vicinity: 20.0,
+        step: 10.0,
+        ..SeedSpreaderConfig::simden(5_000, 3)
+    };
+    let pts = seed_spreader::<2>(&cfg);
+    let eps = 30.0;
+    let min_pts = 20;
+
+    let reference = Dbscan::exact(&pts, eps, min_pts).run().unwrap();
+    assert!(reference.num_clusters() >= 2, "fixture should produce several clusters");
+
+    for cell in [CellMethod::Grid, CellMethod::Box] {
+        for graph in [
+            CellGraphMethod::Bcp,
+            CellGraphMethod::QuadTreeBcp,
+            CellGraphMethod::Usec,
+            CellGraphMethod::Delaunay,
+        ] {
+            for mark in [MarkCoreMethod::Scan, MarkCoreMethod::QuadTree] {
+                for bucketing in [false, true] {
+                    let got = Dbscan::exact(&pts, eps, min_pts)
+                        .cell_method(cell)
+                        .cell_graph(graph)
+                        .mark_core(mark)
+                        .bucketing(bucketing)
+                        .run()
+                        .unwrap();
+                    assert_eq!(
+                        got, reference,
+                        "{cell:?}/{graph:?}/{mark:?}/bucketing={bucketing}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_variants_agree_on_5d_varden_data() {
+    let cfg = SeedSpreaderConfig {
+        extent: 3_000.0,
+        vicinity: 40.0,
+        step: 20.0,
+        ..SeedSpreaderConfig::varden(4_000, 9)
+    };
+    let pts = seed_spreader::<5>(&cfg);
+    let eps = 100.0;
+    let min_pts = 15;
+
+    let reference = Dbscan::exact(&pts, eps, min_pts).run().unwrap();
+    for variant in [
+        VariantConfig::exact(),
+        VariantConfig::exact().with_bucketing(true),
+        VariantConfig::exact_qt(),
+        VariantConfig::exact_qt().with_bucketing(true),
+    ] {
+        let got = Dbscan::exact(&pts, eps, min_pts).variant(variant).run().unwrap();
+        assert_eq!(got, reference, "{}", variant.paper_name());
+    }
+}
+
+#[test]
+fn skewed_data_exercises_bucketing_consistently() {
+    // Heavily skewed data is where bucketing changes the query schedule the
+    // most; the clustering must nevertheless be identical.
+    let pts: Vec<Point<3>> = skewed_geolife_like(8_000, 1_000.0, 0.7, 3.0, 5);
+    let eps = 8.0;
+    let min_pts = 30;
+    let plain = Dbscan::exact(&pts, eps, min_pts).run().unwrap();
+    let bucketed = Dbscan::exact(&pts, eps, min_pts).bucketing(true).run().unwrap();
+    let qt = Dbscan::exact(&pts, eps, min_pts)
+        .variant(VariantConfig::exact_qt().with_bucketing(true))
+        .run()
+        .unwrap();
+    assert_eq!(plain, bucketed);
+    assert_eq!(plain, qt);
+    assert!(plain.num_clusters() >= 1);
+}
+
+#[test]
+fn paper_named_variants_run_end_to_end() {
+    let pts: Vec<Point2> = (0..2_000)
+        .map(|i| {
+            let cluster = (i % 4) as f64;
+            Point2::new([
+                cluster * 100.0 + (i as f64 * 0.37).sin() * 3.0,
+                cluster * 50.0 + (i as f64 * 0.53).cos() * 3.0,
+            ])
+        })
+        .collect();
+    let reference = Dbscan::exact(&pts, 2.0, 10).run().unwrap();
+    assert_eq!(reference.num_clusters(), 4);
+    for (name, variant) in [
+        ("our-exact", VariantConfig::exact()),
+        ("our-exact-qt", VariantConfig::exact_qt()),
+        ("our-exact-bucketing", VariantConfig::exact().with_bucketing(true)),
+        ("our-exact-qt-bucketing", VariantConfig::exact_qt().with_bucketing(true)),
+    ] {
+        assert_eq!(variant.paper_name(), name);
+        let got = Dbscan::exact(&pts, 2.0, 10).variant(variant).run().unwrap();
+        assert_eq!(got, reference, "{name}");
+    }
+}
