@@ -28,17 +28,21 @@ pub fn disjoint_set_dbscan<const D: usize>(
     let tree = PointKdTree::build(points);
 
     // Phase 1: local computation — each point's neighbourhood and core flag.
-    let neighborhoods: Vec<Vec<usize>> = points
+    let neighborhoods: Vec<Vec<usize>> = points.par_iter().map(|p| tree.within(p, eps)).collect();
+    let core: Vec<bool> = neighborhoods
         .par_iter()
-        .map(|p| tree.within(p, eps))
+        .map(|nb| nb.len() >= min_pts)
         .collect();
-    let core: Vec<bool> = neighborhoods.par_iter().map(|nb| nb.len() >= min_pts).collect();
 
     // Phase 2: merging through a lock-based union-find (the PDSDBSCAN
     // bottleneck the paper contrasts its lock-free structure with).
     let uf = Mutex::new(SequentialUnionFind::new(n));
     (0..n).into_par_iter().filter(|&i| core[i]).for_each(|i| {
-        let to_merge: Vec<usize> = neighborhoods[i].iter().copied().filter(|&j| core[j]).collect();
+        let to_merge: Vec<usize> = neighborhoods[i]
+            .iter()
+            .copied()
+            .filter(|&j| core[j])
+            .collect();
         let mut guard = uf.lock();
         for j in to_merge {
             guard.union(i, j);

@@ -69,7 +69,11 @@ fn build_node<const D: usize>(points: &[Point<D>], ids: Vec<usize>) -> Node<D> {
     let pts_of: Vec<Point<D>> = ids.iter().map(|&i| points[i]).collect();
     let bounds = BoundingBox::containing(&pts_of).expect("non-empty node");
     if ids.len() <= LEAF_SIZE {
-        return Node { bounds, items: ids, children: None };
+        return Node {
+            bounds,
+            items: ids,
+            children: None,
+        };
     }
     let axis = (0..D)
         .max_by(|&a, &b| {
@@ -87,11 +91,18 @@ fn build_node<const D: usize>(points: &[Point<D>], ids: Vec<usize>) -> Node<D> {
     let right_ids = sorted.split_off(sorted.len() / 2);
     let left_ids = sorted;
     let (left, right) = if left_ids.len() + right_ids.len() >= PARALLEL_CUTOFF {
-        join(|| build_node(points, left_ids), || build_node(points, right_ids))
+        join(
+            || build_node(points, left_ids),
+            || build_node(points, right_ids),
+        )
     } else {
         (build_node(points, left_ids), build_node(points, right_ids))
     };
-    Node { bounds, items: Vec::new(), children: Some((Box::new(left), Box::new(right))) }
+    Node {
+        bounds,
+        items: Vec::new(),
+        children: Some((Box::new(left), Box::new(right))),
+    }
 }
 
 fn collect<const D: usize>(
@@ -193,7 +204,10 @@ mod tests {
         let tree = PointKdTree::<2>::build(&[]);
         assert!(tree.is_empty());
         assert!(tree.within(&Point::new([0.0, 0.0]), 10.0).is_empty());
-        assert_eq!(tree.count_within(&Point::new([0.0, 0.0]), 10.0, usize::MAX), 0);
+        assert_eq!(
+            tree.count_within(&Point::new([0.0, 0.0]), 10.0, usize::MAX),
+            0
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl BaselineClustering {
             mapped.dedup();
             clusters.push(mapped);
         }
-        BaselineClustering { core, clusters, num_clusters: remap.len() }
+        BaselineClustering {
+            core,
+            clusters,
+            num_clusters: remap.len(),
+        }
     }
 
     /// Number of points.

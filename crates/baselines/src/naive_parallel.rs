@@ -30,11 +30,11 @@ pub fn naive_parallel_dbscan<const D: usize>(
 
     // Every point's ε-neighbourhood (the expensive part: ε-dependent,
     // minPts-independent).
-    let neighborhoods: Vec<Vec<usize>> = points
+    let neighborhoods: Vec<Vec<usize>> = points.par_iter().map(|p| tree.within(p, eps)).collect();
+    let core: Vec<bool> = neighborhoods
         .par_iter()
-        .map(|p| tree.within(p, eps))
+        .map(|nb| nb.len() >= min_pts)
         .collect();
-    let core: Vec<bool> = neighborhoods.par_iter().map(|nb| nb.len() >= min_pts).collect();
 
     // Union core points with their core neighbours.
     let uf = ConcurrentUnionFind::new(n);

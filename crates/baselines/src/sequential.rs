@@ -27,8 +27,8 @@ pub fn sequential_grid_dbscan<const D: usize>(
     let side = eps / (D as f64).sqrt();
     let mut origin = points[0].coords;
     for p in points {
-        for i in 0..D {
-            origin[i] = origin[i].min(p.coords[i]);
+        for (o, &c) in origin.iter_mut().zip(p.coords.iter()) {
+            *o = o.min(c);
         }
     }
     let key_of = |p: &Point<D>| -> [i64; D] {
@@ -45,8 +45,7 @@ pub fn sequential_grid_dbscan<const D: usize>(
         cells.entry(key_of(p)).or_default().push(i);
     }
     let keys: Vec<[i64; D]> = cells.keys().copied().collect();
-    let cell_id: HashMap<[i64; D], usize> =
-        keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let cell_id: HashMap<[i64; D], usize> = keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
     let members: Vec<&Vec<usize>> = keys.iter().map(|k| &cells[k]).collect();
     let bbox_of_key = |key: &[i64; D]| -> BoundingBox<D> {
         let mut lo = [0.0; D];
@@ -97,7 +96,7 @@ pub fn sequential_grid_dbscan<const D: usize>(
     let neighbors: Vec<Vec<usize>> = if D <= 2 {
         keys.iter().map(neighbor_cells).collect()
     } else {
-        let boxes: Vec<BoundingBox<D>> = keys.iter().map(|k| bbox_of_key(k)).collect();
+        let boxes: Vec<BoundingBox<D>> = keys.iter().map(bbox_of_key).collect();
         let tree = spatial::CellKdTree::build(&boxes);
         (0..keys.len())
             .map(|c| tree.cells_within(&boxes[c], eps, c))
@@ -235,7 +234,9 @@ mod tests {
 
     #[test]
     fn single_dense_cell() {
-        let pts: Vec<Point2> = (0..100).map(|i| Point2::new([0.001 * i as f64, 0.0])).collect();
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| Point2::new([0.001 * i as f64, 0.0]))
+            .collect();
         let c = sequential_grid_dbscan(&pts, 5.0, 50);
         assert_eq!(c.num_clusters, 1);
         assert!(c.core.iter().all(|&x| x));

@@ -11,12 +11,18 @@ use std::time::Duration;
 
 fn bench_2d_cell_graph_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("cell_graph_2d_simden_30k");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let mut w = ss_simden::<2>(30_000);
     w.eps = 400.0;
     w.min_pts = 100;
     for cell in [CellMethod::Grid, CellMethod::Box] {
-        for graph in [CellGraphMethod::Bcp, CellGraphMethod::Usec, CellGraphMethod::Delaunay] {
+        for graph in [
+            CellGraphMethod::Bcp,
+            CellGraphMethod::Usec,
+            CellGraphMethod::Delaunay,
+        ] {
             let variant = VariantConfig::two_d(cell, graph);
             group.bench_with_input(
                 BenchmarkId::from_parameter(variant.paper_name()),
@@ -37,7 +43,9 @@ fn bench_2d_cell_graph_methods(c: &mut Criterion) {
 
 fn bench_bucketing_on_skew(c: &mut Criterion) {
     let mut group = c.benchmark_group("bucketing_skewed_geolife_like");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     // The 3D skewed stand-in where bucketing pays off (Figure 6(j)).
     let w = geolife_like(100_000);
     let skewed_small: Vec<Point<3>> = skewed_geolife_like(50_000, 5_000.0, 0.9, 5.0, 3);
@@ -64,5 +72,9 @@ fn bench_bucketing_on_skew(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_2d_cell_graph_methods, bench_bucketing_on_skew);
+criterion_group!(
+    benches,
+    bench_2d_cell_graph_methods,
+    bench_bucketing_on_skew
+);
 criterion_main!(benches);

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("dbscan_3d_simden_50k");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let w = ss_simden::<3>(50_000);
     for variant in [
         VariantConfig::exact(),
@@ -38,9 +40,15 @@ fn bench_variants(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("dbscan_5d_varden_50k");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let w = ss_varden::<5>(50_000);
-    for variant in [VariantConfig::exact(), VariantConfig::exact_qt(), VariantConfig::approx(0.01)] {
+    for variant in [
+        VariantConfig::exact(),
+        VariantConfig::exact_qt(),
+        VariantConfig::approx(0.01),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(variant.paper_name()),
             &variant,

@@ -14,7 +14,9 @@ fn inputs(n: usize) -> Vec<u64> {
 
 fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("primitives");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for &n in &[100_000usize, 1_000_000] {
         let data = inputs(n);
@@ -56,16 +58,20 @@ fn bench_primitives(c: &mut Criterion) {
             &(sorted_a, sorted_b),
             |b, (x, y)| b.iter(|| merge_sorted(x, y)),
         );
-        group.bench_with_input(BenchmarkId::new("hash_table_insert", n), &data, |b, input| {
-            b.iter(|| {
-                let map = ConcurrentMap::with_capacity(input.len());
-                use rayon::prelude::*;
-                input.par_iter().enumerate().for_each(|(i, &k)| {
-                    map.insert((k << 20) | i as u64, i);
-                });
-                map.len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hash_table_insert", n),
+            &data,
+            |b, input| {
+                b.iter(|| {
+                    let map = ConcurrentMap::with_capacity(input.len());
+                    use rayon::prelude::*;
+                    input.par_iter().enumerate().for_each(|(i, &k)| {
+                        map.insert((k << 20) | i as u64, i);
+                    });
+                    map.len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,4 +1,5 @@
-//! Figure 10: running time vs. ρ for the approximate algorithms.
+//! Figure 10: running time vs. ρ for the approximate algorithms —
+//! index-once edition.
 //!
 //! The paper sweeps ρ from 10⁻³ to 10⁻¹ on the 5D seed-spreader datasets and
 //! plots the two approximate variants against the best exact method as a
@@ -6,12 +7,22 @@
 //! time as ρ grows, with the approximate methods *not* beating the best exact
 //! method at well-chosen parameters.
 //!
+//! Neither ρ nor the MarkCore method affects phase 1, so one `SpatialIndex`
+//! per dataset serves the reference and every ρ row. Rows run through the
+//! phase-granular pipeline API (not an engine snapshot) because `our-approx`
+//! and `our-approx-qt` differ *only* in their MarkCore method — a snapshot
+//! would serve both the same cached core set and erase the comparison this
+//! figure exists to make. Per-row MarkCore and cluster times are reported
+//! separately.
+//!
 //! ```text
 //! cargo run --release -p bench --bin fig10_rho_sweep [--scale S]
 //! ```
 
 use bench::*;
-use pardbscan::VariantConfig;
+use pardbscan::pipeline::SpatialIndex;
+use pardbscan::{CellMethod, VariantConfig};
+use std::time::Instant;
 
 fn sweep<const D: usize>(workload: &Workload<D>) {
     println!(
@@ -21,26 +32,36 @@ fn sweep<const D: usize>(workload: &Workload<D>) {
         workload.eps,
         workload.min_pts
     );
-    // Best-exact reference line.
-    let exact = run_variant(
-        &workload.points,
-        workload.eps,
+    let start = Instant::now();
+    let index = SpatialIndex::build(&workload.points, workload.eps, CellMethod::Grid)
+        .expect("benchmark parameters are valid");
+    println!(
+        "# shared index: {} cells, built once in {} s",
+        index.num_cells(),
+        secs(start.elapsed())
+    );
+    // Best-exact reference line over the same shared index.
+    let exact = run_variant_on_index(
+        &index,
         workload.min_pts,
         VariantConfig::exact().with_bucketing(true),
     );
     println!(
-        "rho,variant,time_s,clusters  (our-best-exact reference: {} s, {} clusters)",
-        secs(exact.elapsed),
+        "rho,variant,query_time_s,mark_core_s,cluster_s,clusters  (our-best-exact reference: \
+         {} s, {} clusters)",
+        secs(exact.query_time()),
         exact.clustering.num_clusters()
     );
     for rho in [0.001, 0.003, 0.01, 0.03, 0.1] {
         for variant in [VariantConfig::approx(rho), VariantConfig::approx_qt(rho)] {
-            let result = run_variant(&workload.points, workload.eps, workload.min_pts, variant);
+            let result = run_variant_on_index(&index, workload.min_pts, variant);
             println!(
-                "{rho},{},{},{}",
+                "{rho},{},{},{},{},{}",
                 variant.paper_name(),
-                secs(result.elapsed),
-                result.clustering.num_clusters()
+                secs(result.query_time()),
+                secs(result.mark_core_time),
+                secs(result.cluster_time),
+                result.clustering.num_clusters(),
             );
         }
     }
@@ -48,7 +69,10 @@ fn sweep<const D: usize>(workload: &Workload<D>) {
 
 fn main() {
     let scale = scale_from_env();
-    print_header("Figure 10", "running time vs rho (approximate DBSCAN), 5D seed spreader");
+    print_header(
+        "Figure 10",
+        "running time vs rho (approximate DBSCAN), 5D seed spreader (shared index)",
+    );
     let n = scaled(100_000, scale);
     let mut simden = ss_simden::<5>(n);
     simden.min_pts = 100;

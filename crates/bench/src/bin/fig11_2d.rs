@@ -19,7 +19,11 @@ use std::time::Instant;
 fn two_d_variants() -> Vec<VariantConfig> {
     let mut out = Vec::new();
     for cell in [CellMethod::Grid, CellMethod::Box] {
-        for graph in [CellGraphMethod::Bcp, CellGraphMethod::Usec, CellGraphMethod::Delaunay] {
+        for graph in [
+            CellGraphMethod::Bcp,
+            CellGraphMethod::Usec,
+            CellGraphMethod::Delaunay,
+        ] {
             out.push(VariantConfig::two_d(cell, graph));
         }
     }
@@ -46,7 +50,10 @@ fn eps_and_minpts_sweeps(workload: &Workload<2>, eps_values: &[f64], default_eps
         }
     }
 
-    println!("\n## dataset {}: time vs minPts (eps = {default_eps})", workload.name);
+    println!(
+        "\n## dataset {}: time vs minPts (eps = {default_eps})",
+        workload.name
+    );
     println!("minPts,variant,time_s,clusters");
     for min_pts in [10usize, 100, 1_000, 10_000] {
         for variant in two_d_variants() {
@@ -61,7 +68,13 @@ fn eps_and_minpts_sweeps(workload: &Workload<2>, eps_values: &[f64], default_eps
     }
 }
 
-fn size_sweep(name: &str, sizes: &[usize], make: impl Fn(usize) -> Workload<2>, eps: f64, min_pts: usize) {
+fn size_sweep(
+    name: &str,
+    sizes: &[usize],
+    make: impl Fn(usize) -> Workload<2>,
+    eps: f64,
+    min_pts: usize,
+) {
     println!("\n## dataset {name}: time vs number of points (eps = {eps}, minPts = {min_pts})");
     println!("n,variant,time_s,clusters");
     for &n in sizes {
@@ -108,7 +121,10 @@ fn thread_sweep(workload: &Workload<2>) {
 
 fn main() {
     let scale = scale_from_env();
-    print_header("Figure 11", "2D variants: time vs eps / minPts / n, and speedup vs threads");
+    print_header(
+        "Figure 11",
+        "2D variants: time vs eps / minPts / n, and speedup vs threads",
+    );
     let n = scaled(100_000, scale);
 
     let mut simden = ss_simden::<2>(n);
@@ -127,8 +143,8 @@ fn main() {
         .iter()
         .map(|&s| scaled(s, scale))
         .collect();
-    size_sweep("2D-SS-simden", &sizes, |n| ss_simden::<2>(n), 400.0, 100);
-    size_sweep("2D-SS-varden", &sizes, |n| ss_varden::<2>(n), 1_000.0, 100);
+    size_sweep("2D-SS-simden", &sizes, ss_simden::<2>, 400.0, 100);
+    size_sweep("2D-SS-varden", &sizes, ss_varden::<2>, 1_000.0, 100);
 
     // (d, h): speedup over the serial baseline vs thread count.
     thread_sweep(&simden);

@@ -69,7 +69,10 @@ fn speedup_curves<const D: usize>(workload: &Workload<D>, include_pointwise_base
 
 fn main() {
     let scale = scale_from_env();
-    print_header("Figure 8", "speedup over best serial implementation vs thread count");
+    print_header(
+        "Figure 8",
+        "speedup over best serial implementation vs thread count",
+    );
 
     let n_synth = scaled(100_000, scale);
     speedup_curves(&ss_simden::<3>(n_synth), false);

@@ -15,7 +15,10 @@ use std::time::Instant;
 
 fn main() {
     let scale = scale_from_env();
-    print_header("Figure 9", "self-relative speedup vs thread count, 3D-SS-varden");
+    print_header(
+        "Figure 9",
+        "self-relative speedup vs thread count, 3D-SS-varden",
+    );
 
     let workload = ss_varden::<3>(scaled(100_000, scale));
     println!(
@@ -35,7 +38,12 @@ fn main() {
             });
             let t = result.elapsed.as_secs_f64();
             let base = *single.get_or_insert(t);
-            println!("{},{threads},{:.3},{:.2}", variant.paper_name(), t, base / t);
+            println!(
+                "{},{threads},{:.3},{:.2}",
+                variant.paper_name(),
+                t,
+                base / t
+            );
         }
     }
 
@@ -45,8 +53,16 @@ fn main() {
     // self-relative speedup is unaffected.
     let sub = &workload.points[..workload.points.len().min(scaled(30_000, scale)).min(30_000)];
     for (name, f) in [
-        ("naive-parallel-baseline", naive_parallel_dbscan as fn(&[geom::Point<3>], f64, usize) -> baselines::BaselineClustering),
-        ("disjoint-set-baseline", disjoint_set_dbscan as fn(&[geom::Point<3>], f64, usize) -> baselines::BaselineClustering),
+        (
+            "naive-parallel-baseline",
+            naive_parallel_dbscan
+                as fn(&[geom::Point<3>], f64, usize) -> baselines::BaselineClustering,
+        ),
+        (
+            "disjoint-set-baseline",
+            disjoint_set_dbscan
+                as fn(&[geom::Point<3>], f64, usize) -> baselines::BaselineClustering,
+        ),
     ] {
         let mut single = None;
         for &threads in &thread_counts() {

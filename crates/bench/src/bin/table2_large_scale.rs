@@ -34,7 +34,12 @@ fn our_exact_row<const D: usize>(workload: &Workload<D>, eps_values: &[f64]) {
     );
     println!("eps,implementation,time_s,clusters");
     for &eps in eps_values {
-        let result = run_variant(&workload.points, eps, workload.min_pts, VariantConfig::exact());
+        let result = run_variant(
+            &workload.points,
+            eps,
+            workload.min_pts,
+            VariantConfig::exact(),
+        );
         println!(
             "{eps},our-exact,{},{}",
             secs(result.elapsed),
@@ -53,13 +58,25 @@ fn baseline_rows<const D: usize>(workload: &Workload<D>, eps: f64, subsample: us
     );
     println!("implementation,time_s,clusters");
     let ours = run_variant(sub, eps, workload.min_pts, VariantConfig::exact());
-    println!("our-exact,{},{}", secs(ours.elapsed), ours.clustering.num_clusters());
+    println!(
+        "our-exact,{},{}",
+        secs(ours.elapsed),
+        ours.clustering.num_clusters()
+    );
     let start = Instant::now();
     let naive = naive_parallel_dbscan(sub, eps, workload.min_pts);
-    println!("naive-parallel-baseline,{},{}", secs(start.elapsed()), naive.num_clusters);
+    println!(
+        "naive-parallel-baseline,{},{}",
+        secs(start.elapsed()),
+        naive.num_clusters
+    );
     let start = Instant::now();
     let pds = disjoint_set_dbscan(sub, eps, workload.min_pts);
-    println!("disjoint-set-baseline,{},{}", secs(start.elapsed()), pds.num_clusters);
+    println!(
+        "disjoint-set-baseline,{},{}",
+        secs(start.elapsed()),
+        pds.num_clusters
+    );
 }
 
 fn main() {

@@ -15,9 +15,16 @@
 
 #![forbid(unsafe_code)]
 
-use datagen::{seed_spreader, single_cell_like, skewed_geolife_like, uniform_fill, SeedSpreaderConfig};
+use datagen::{
+    seed_spreader, single_cell_like, skewed_geolife_like, uniform_fill, SeedSpreaderConfig,
+};
+use dbscan_engine::{CacheStats, QueryStats, Snapshot};
 use geom::Point;
-use pardbscan::{Clustering, Dbscan, VariantConfig};
+use pardbscan::pipeline::SpatialIndex;
+use pardbscan::{
+    cluster_border, cluster_core, mark_core, ClusterCoreOptions, Clustering, Dbscan, DbscanParams,
+    VariantConfig,
+};
 use std::time::{Duration, Instant};
 
 /// Scale factor applied to the default dataset sizes. `1.0` keeps the
@@ -143,7 +150,151 @@ pub fn run_variant<const D: usize>(
         .variant(variant)
         .run()
         .expect("benchmark configurations are valid");
-    RunResult { elapsed: start.elapsed(), clustering }
+    RunResult {
+        elapsed: start.elapsed(),
+        clustering,
+    }
+}
+
+/// Result of one timed engine query.
+pub struct EngineRunResult {
+    /// Wall-clock time of the query (as observed by the caller).
+    pub elapsed: Duration,
+    /// The clustering itself.
+    pub clustering: Clustering,
+    /// The engine's per-query phase timings and cache flags.
+    pub stats: QueryStats,
+}
+
+/// Runs one named variant through an engine snapshot (reusing whatever
+/// cached phase state the snapshot already holds).
+pub fn run_variant_on_snapshot<const D: usize>(
+    snapshot: &Snapshot<D>,
+    eps: f64,
+    min_pts: usize,
+    variant: VariantConfig,
+) -> EngineRunResult {
+    let start = Instant::now();
+    let result = snapshot
+        .query_variant(DbscanParams::new(eps, min_pts), variant)
+        .expect("benchmark configurations are valid");
+    EngineRunResult {
+        elapsed: start.elapsed(),
+        clustering: result.clustering,
+        stats: result.stats,
+    }
+}
+
+/// Result of one run through the phase-granular pipeline API against a
+/// shared, prebuilt [`SpatialIndex`]: MarkCore and the cluster phases are
+/// timed separately, per variant. The per-(ε, minPts) sweep binaries use
+/// this so that variants differing only in MarkCore method stay
+/// distinguishable (an engine snapshot would serve them the same cached
+/// core set).
+pub struct PhaseRunResult {
+    /// Time in MarkCore with this variant's RangeCount method.
+    pub mark_core_time: Duration,
+    /// Time in ClusterCore + ClusterBorder + canonicalization.
+    pub cluster_time: Duration,
+    /// The clustering.
+    pub clustering: Clustering,
+}
+
+impl PhaseRunResult {
+    /// MarkCore + cluster time (everything downstream of the shared index).
+    pub fn query_time(&self) -> Duration {
+        self.mark_core_time + self.cluster_time
+    }
+}
+
+/// Runs phases 2–4 of one variant against a shared spatial index.
+pub fn run_variant_on_index<const D: usize>(
+    index: &SpatialIndex<D>,
+    min_pts: usize,
+    variant: VariantConfig,
+) -> PhaseRunResult {
+    assert_eq!(
+        variant.cell_method,
+        index.cell_method,
+        "variant {} would be mislabeled: the shared index was built with {:?}",
+        variant.paper_name(),
+        index.cell_method
+    );
+    let start = Instant::now();
+    let core = mark_core(index, min_pts, variant.mark_core);
+    let mark_core_time = start.elapsed();
+    let start = Instant::now();
+    let options = ClusterCoreOptions::from_variant(&variant);
+    let core_clusters = cluster_core(index, &core, &options);
+    let sets = cluster_border(index, &core, &core_clusters);
+    let clustering = Clustering::from_raw(core.core_flags.clone(), sets);
+    let cluster_time = start.elapsed();
+    PhaseRunResult {
+        mark_core_time,
+        cluster_time,
+        clustering,
+    }
+}
+
+/// One-line cache summary for a snapshot, printed by the sweep binaries so
+/// the engine's reuse is visible in the raw output.
+pub fn cache_summary(stats: &CacheStats) -> String {
+    format!(
+        "partition builds {} / hits {} ({:.0}% hit), mark-core runs {} / hits {} ({:.0}% hit)",
+        stats.partition_misses,
+        stats.partition_hits,
+        stats.partition_hit_rate() * 100.0,
+        stats.core_misses,
+        stats.core_hits,
+        stats.core_hit_rate() * 100.0,
+    )
+}
+
+/// Escapes a string for inclusion in a JSON document (the benchmark
+/// binaries emit machine-readable JSON without a serde dependency).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so it round-trips as a JSON number (never NaN/inf —
+/// those become `null`).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders [`CacheStats`] as a JSON object.
+pub fn cache_stats_json(stats: &CacheStats) -> String {
+    format!(
+        "{{\"partition_hits\":{},\"partition_misses\":{},\"core_hits\":{},\"core_misses\":{}}}",
+        stats.partition_hits, stats.partition_misses, stats.core_hits, stats.core_misses
+    )
+}
+
+/// Value of a `--flag value` style command-line option, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
 }
 
 /// Runs `f` on a dedicated rayon pool with `threads` worker threads. Used by
@@ -233,7 +384,7 @@ mod tests {
 
     #[test]
     fn with_threads_restricts_the_pool() {
-        let observed = with_threads(2, || rayon::current_num_threads());
+        let observed = with_threads(2, rayon::current_num_threads);
         assert_eq!(observed, 2);
     }
 

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `num_cpus` crate, backed by
+//! `std::thread::available_parallelism`.
+
+/// Number of logical CPUs (at least 1).
+pub fn get() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of physical CPUs; this stand-in cannot distinguish SMT siblings,
+/// so it reports the logical count.
+pub fn get_physical() -> usize {
+    get()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn at_least_one_cpu() {
+        assert!(super::get() >= 1);
+        assert!(super::get_physical() >= 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset used by this workspace's property tests: the
+//! [`Strategy`] trait with `prop_map`, strategies for numeric ranges and
+//! tuples, `prop::collection::vec`, [`ProptestConfig`], and the `proptest!`
+//! / `prop_assert*` macros. Cases are generated from a per-test
+//! deterministic seed; there is no shrinking — a failing case panics with
+//! the ordinary assertion message (the generated inputs are deterministic
+//! per test name and case index, so failures still reproduce exactly).
+
+use rand::prelude::*;
+use std::ops::Range;
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude`.
+    pub use crate::{prop, ProptestConfig, Strategy, TestCaseGen};
+    // Macros are exported at the crate root; re-export for `prelude::*` users.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Namespace mirror of `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Run configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Random source handed to strategies — one per generated case.
+pub struct TestCaseGen {
+    rng: StdRng,
+}
+
+impl TestCaseGen {
+    /// Deterministic generator for `(test name, case index)`.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestCaseGen {
+            rng: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values — mirrors `proptest::strategy::Strategy` minus
+/// shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, gen: &mut TestCaseGen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, gen: &mut TestCaseGen) -> U {
+        (self.f)(self.inner.generate(gen))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, gen: &mut TestCaseGen) -> f64 {
+        gen.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut TestCaseGen) -> $t {
+                gen.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_int_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, gen: &mut TestCaseGen) -> Self::Value {
+                ($(self.$idx.generate(gen),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Collection strategies — mirrors `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestCaseGen};
+    use rand::prelude::*;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, 0..n)` — a vector of up to `n - 1` generated elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut TestCaseGen) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                gen.rng().gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// Mirrors `proptest::prop_assert!` (panics instead of returning a failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __gen =
+                    $crate::TestCaseGen::for_case(stringify!($name), __case as u64);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __gen);)*
+                $body
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Mirrors `proptest::proptest!`: declares deterministic randomized tests.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn generated_values_respect_ranges(
+            x in 0.0f64..10.0,
+            n in 1usize..5,
+        ) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length_and_maps(
+            v in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..8)
+                .prop_map(|v| v.into_iter().map(|(a, b)| a + b).collect::<Vec<_>>()),
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&s| (0.0..2.0).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name_and_index() {
+        let mut a = TestCaseGen::for_case("t", 3);
+        let mut b = TestCaseGen::for_case("t", 3);
+        let s = 0.0f64..1.0;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,599 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! this workspace ships a small API-compatible subset of rayon implemented
+//! on `std::thread::scope`. Parallel iterators are *eager*: every adapter
+//! materializes its output, and the element-wise stages (`map`, `filter`,
+//! `for_each`, `reduce`, …) split the data across scoped worker threads when
+//! (a) the input is large enough to amortize a thread spawn and (b) the
+//! global thread budget — shared by nested parallel calls and `join` — has
+//! tokens left. On a single-core machine everything degrades to the
+//! sequential path with no thread spawns at all.
+//!
+//! Only the surface actually used by this workspace is provided; it is not a
+//! general-purpose rayon replacement.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+pub mod prelude {
+    //! The traits needed to call `.par_iter()` / `.into_par_iter()` / the
+    //! `par_sort*` family, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+/// Minimum number of items per element-wise pass before worker threads are
+/// considered. Below this the spawn overhead dominates any win.
+const SEQ_CUTOFF: usize = 8192;
+
+// ---------------------------------------------------------------------------
+// Thread budget and pool emulation
+// ---------------------------------------------------------------------------
+
+/// Tokens for *extra* (non-calling) threads, shared process-wide so nested
+/// parallelism cannot explode the thread count.
+fn budget() -> &'static AtomicUsize {
+    static BUDGET: OnceLock<AtomicUsize> = OnceLock::new();
+    BUDGET.get_or_init(|| AtomicUsize::new(default_threads().saturating_sub(1)))
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn acquire_tokens(want: usize) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    let budget = budget();
+    let mut available = budget.load(Ordering::Relaxed);
+    loop {
+        let take = available.min(want);
+        if take == 0 {
+            return 0;
+        }
+        match budget.compare_exchange_weak(
+            available,
+            available - take,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return take,
+            Err(now) => available = now,
+        }
+    }
+}
+
+fn release_tokens(n: usize) {
+    if n > 0 {
+        budget().fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Returns acquired tokens on drop, so a panicking closure inside a parallel
+/// region cannot permanently shrink the process-wide budget.
+struct TokenGuard(usize);
+
+impl Drop for TokenGuard {
+    fn drop(&mut self) {
+        release_tokens(self.0);
+    }
+}
+
+thread_local! {
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with this thread's pool-width override set to `limit`, restoring
+/// the previous value afterwards. Used to propagate an installed pool's
+/// width into scoped worker threads (thread-locals don't inherit).
+fn with_thread_limit<R>(limit: Option<usize>, f: impl FnOnce() -> R) -> R {
+    CURRENT_THREADS.with(|c| {
+        let prev = c.replace(limit);
+        let out = f();
+        c.set(prev);
+        out
+    })
+}
+
+/// Number of threads of the "current pool": the installed pool's size if
+/// running under [`ThreadPool::install`], the machine's parallelism otherwise.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool. Never fails in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_threads).max(1),
+        })
+    }
+}
+
+/// A scoped "pool": this stand-in has no persistent workers; `install` simply
+/// bounds the advertised width (and thus the splitting factor) of parallel
+/// calls made from the closure.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with [`current_num_threads`] reporting this pool's size.
+    /// Parallel calls (including `join`) made from `f` — and from workers
+    /// they spawn — split at most that wide.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_thread_limit(Some(self.num_threads), f)
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Runs two closures, potentially in parallel, returning both results —
+/// mirrors `rayon::join`. The second closure runs on a scoped thread when the
+/// global budget allows, sequentially otherwise (so recursive joins cannot
+/// spawn unboundedly).
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let limit = CURRENT_THREADS.with(|c| c.get());
+    if limit.unwrap_or(usize::MAX) > 1 && acquire_tokens(1) == 1 {
+        let _guard = TokenGuard(1);
+        std::thread::scope(|s| {
+            let b = s.spawn(|| with_thread_limit(limit, oper_b));
+            let ra = oper_a();
+            (ra, b.join().expect("rayon-shim: joined closure panicked"))
+        })
+    } else {
+        (oper_a(), oper_b())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core parallel transform
+// ---------------------------------------------------------------------------
+
+/// Applies `f` to every item, in order, splitting across scoped threads when
+/// worthwhile and permitted by the budget.
+fn par_transform<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let want = current_num_threads()
+        .saturating_sub(1)
+        .min(n / SEQ_CUTOFF.max(1));
+    let extra = acquire_tokens(want);
+    if extra == 0 {
+        return items.into_iter().map(f).collect();
+    }
+    let _guard = TokenGuard(extra);
+    let workers = extra + 1;
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let limit = CURRENT_THREADS.with(|c| c.get());
+    let out: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    with_thread_limit(limit, || chunk.into_iter().map(f).collect::<Vec<U>>())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim: worker panicked"))
+            .collect()
+    });
+    out.into_iter().flatten().collect()
+}
+
+// ---------------------------------------------------------------------------
+// ParIter: the eager parallel iterator
+// ---------------------------------------------------------------------------
+
+/// An eager "parallel iterator" over a materialized item list. Adapter
+/// methods mirror `rayon::iter::ParallelIterator` names and semantics for the
+/// subset used in this workspace.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    fn new(items: Vec<T>) -> Self {
+        ParIter { items }
+    }
+
+    /// Maps each item through `f`.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter::new(par_transform(self.items, f))
+    }
+
+    /// Keeps the items for which `pred` holds.
+    pub fn filter<P: Fn(&T) -> bool + Sync>(self, pred: P) -> ParIter<T> {
+        let kept = par_transform(self.items, |t| if pred(&t) { Some(t) } else { None });
+        ParIter::new(kept.into_iter().flatten().collect())
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        let out = par_transform(self.items, f);
+        ParIter::new(out.into_iter().flatten().collect())
+    }
+
+    /// Maps each item to a serial iterator and concatenates the results
+    /// (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let out = par_transform(self.items, |t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter::new(out.into_iter().flatten().collect())
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter::new(self.items.into_iter().enumerate().collect())
+    }
+
+    /// Zips with another parallel iterator, truncating to the shorter side.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<(T, Z::Item)> {
+        ParIter::new(
+            self.items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
+        )
+    }
+
+    /// Appends the items of another parallel iterator.
+    pub fn chain<Z: IntoParallelIterator<Item = T>>(self, other: Z) -> ParIter<T> {
+        let mut items = self.items;
+        items.extend(other.into_par_iter().items);
+        ParIter::new(items)
+    }
+
+    /// Hint accepted for API compatibility; splitting is governed by the
+    /// budget in this stand-in.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Calls `f` on every item.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_transform(self.items, f);
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Rayon-style reduce with an identity constructor.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), &op)
+    }
+
+    /// Reduce without an identity; `None` on empty input.
+    pub fn reduce_with<OP: Fn(T, T) -> T + Sync>(self, op: OP) -> Option<T> {
+        self.items.into_iter().reduce(&op)
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Smallest item.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    /// Largest item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Smallest item under a key function.
+    pub fn min_by_key<K: Ord, F: Fn(&T) -> K + Sync>(self, f: F) -> Option<T> {
+        self.items.into_iter().min_by_key(|t| f(t))
+    }
+
+    /// Largest item under a key function.
+    pub fn max_by_key<K: Ord, F: Fn(&T) -> K + Sync>(self, f: F) -> Option<T> {
+        self.items.into_iter().max_by_key(|t| f(t))
+    }
+
+    /// Whether `pred` holds for any item.
+    pub fn any<P: Fn(T) -> bool + Sync>(self, pred: P) -> bool {
+        self.items.into_iter().any(pred)
+    }
+
+    /// Whether `pred` holds for all items.
+    pub fn all<P: Fn(T) -> bool + Sync>(self, pred: P) -> bool {
+        self.items.into_iter().all(pred)
+    }
+
+    /// Some item satisfying `pred`, if any (rayon's `find_any`).
+    pub fn find_any<P: Fn(&T) -> bool + Sync>(self, pred: P) -> Option<T> {
+        self.items.into_iter().find(|t| pred(t))
+    }
+}
+
+impl<T: Copy + Send + Sync> ParIter<&T> {
+    /// Copies the referenced items (mirrors `ParallelIterator::copied`).
+    pub fn copied(self) -> ParIter<T> {
+        ParIter::new(self.items.into_iter().copied().collect())
+    }
+}
+
+impl<T: Clone + Send + Sync> ParIter<&T> {
+    /// Clones the referenced items (mirrors `ParallelIterator::cloned`).
+    pub fn cloned(self) -> ParIter<T> {
+        ParIter::new(self.items.into_iter().cloned().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------------
+
+/// Types convertible into a [`ParIter`] — mirrors
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts into the eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter::new(self)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter::new(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter::new(self.iter().collect())
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter::new(self.collect())
+            }
+        }
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter::new(self.collect())
+            }
+        }
+    )*};
+}
+impl_range_into_par_iter!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// `par_iter` / `par_windows` / `par_chunks` on slices — mirrors
+/// `rayon::slice::ParallelSlice` (and the `par_iter` of
+/// `IntoParallelRefIterator`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over references to the elements.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over overlapping windows of length `size`.
+    fn par_windows(&self, size: usize) -> ParIter<&[T]>;
+    /// Parallel iterator over non-overlapping chunks of length `size`.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter::new(self.iter().collect())
+    }
+    fn par_windows(&self, size: usize) -> ParIter<&[T]> {
+        ParIter::new(self.windows(size).collect())
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter::new(self.chunks(size).collect())
+    }
+}
+
+/// The `par_sort*` family on mutable slices — mirrors
+/// `rayon::slice::ParallelSliceMut`. Sorting delegates to the (already very
+/// fast) standard library sorts.
+pub trait ParallelSliceMut<T: Send> {
+    /// Stable sort.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// Stable sort by comparator.
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    /// Stable sort by key.
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    /// Unstable sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort by comparator.
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    /// Unstable sort by key.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_by(compare);
+    }
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key);
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_unstable_by(compare);
+    }
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..100_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 100_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn filter_zip_reduce() {
+        let a = [1u64, 2, 3, 4, 5];
+        let b = [10u64, 20, 30, 40, 50];
+        let total: u64 = a
+            .par_iter()
+            .zip(b.par_iter())
+            .filter(|(&x, _)| x % 2 == 1)
+            .map(|(&x, &y)| x + y)
+            .sum();
+        assert_eq!(total, 11 + 33 + 55);
+    }
+
+    #[test]
+    fn install_overrides_current_num_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn install_limits_join_to_sequential_at_width_one() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            let main_id = std::thread::current().id();
+            let (a, b) = join(
+                || std::thread::current().id(),
+                || std::thread::current().id(),
+            );
+            assert_eq!(a, main_id, "width-1 pool must not fan out");
+            assert_eq!(b, main_id, "width-1 pool must not fan out");
+        });
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn rayon_style_reduce_with_identity() {
+        let m = (0..10usize)
+            .into_par_iter()
+            .map(|i| i as f64)
+            .reduce(|| f64::NEG_INFINITY, f64::max);
+        assert_eq!(m, 9.0);
+    }
+}

@@ -32,7 +32,12 @@ pub fn read_csv<const D: usize>(path: &Path) -> io::Result<Vec<Point<D>>> {
         if fields.len() < D {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("line {}: expected {} columns, found {}", lineno + 1, D, fields.len()),
+                format!(
+                    "line {}: expected {} columns, found {}",
+                    lineno + 1,
+                    D,
+                    fields.len()
+                ),
             ));
         }
         let mut coords = [0.0; D];
@@ -74,10 +79,7 @@ mod tests {
     fn roundtrip_preserves_points() {
         let dir = std::env::temp_dir();
         let path = dir.join("pardbscan_io_test_roundtrip.csv");
-        let pts = vec![
-            Point::new([1.5, -2.25, 3.0]),
-            Point::new([0.0, 0.125, 1e6]),
-        ];
+        let pts = vec![Point::new([1.5, -2.25, 3.0]), Point::new([0.0, 0.125, 1e6])];
         write_csv(&path, &pts).unwrap();
         let back: Vec<Point<3>> = read_csv(&path).unwrap();
         assert_eq!(back, pts);

@@ -89,8 +89,7 @@ pub fn seed_spreader<const D: usize>(config: &SeedSpreaderConfig) -> Vec<Point<D
         } else {
             let mut coords = [0.0; D];
             for (i, c) in coords.iter_mut().enumerate() {
-                *c = (position[i] + rng.gen_range(-vicinity..vicinity))
-                    .clamp(0.0, config.extent);
+                *c = (position[i] + rng.gen_range(-vicinity..vicinity)).clamp(0.0, config.extent);
             }
             out.push(Point::new(coords));
             // Random-walk step.

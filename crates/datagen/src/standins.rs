@@ -81,7 +81,10 @@ mod tests {
             .iter()
             .filter(|p| (p.x() - center).abs() <= 5.0 && (p.y() - center).abs() <= 5.0)
             .count();
-        assert!(hot as f64 > 0.75 * n as f64, "only {hot} points in the hot spot");
+        assert!(
+            hot as f64 > 0.75 * n as f64,
+            "only {hot} points in the hot spot"
+        );
     }
 
     #[test]
@@ -100,7 +103,9 @@ mod tests {
         let a = skewed_geolife_like::<3>(1000, 100.0, 0.9, 1.0, 7);
         let b = skewed_geolife_like::<3>(1000, 100.0, 0.9, 1.0, 7);
         assert_eq!(a, b);
-        assert!(a.iter().all(|p| (0..3).all(|i| p.coords[i] >= 0.0 && p.coords[i] <= 100.0)));
+        assert!(a
+            .iter()
+            .all(|p| (0..3).all(|i| p.coords[i] >= 0.0 && p.coords[i] <= 100.0)));
     }
 
     #[test]

@@ -44,13 +44,21 @@ mod tests {
     fn respects_count_and_bounds() {
         let pts = uniform_fill::<3>(10_000, 50.0, 3);
         assert_eq!(pts.len(), 10_000);
-        assert!(pts.iter().all(|p| (0..3).all(|i| p.coords[i] >= 0.0 && p.coords[i] < 50.0)));
+        assert!(pts
+            .iter()
+            .all(|p| (0..3).all(|i| p.coords[i] >= 0.0 && p.coords[i] < 50.0)));
     }
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(uniform_fill::<2>(5000, 10.0, 1), uniform_fill::<2>(5000, 10.0, 1));
-        assert_ne!(uniform_fill::<2>(5000, 10.0, 1), uniform_fill::<2>(5000, 10.0, 2));
+        assert_eq!(
+            uniform_fill::<2>(5000, 10.0, 1),
+            uniform_fill::<2>(5000, 10.0, 1)
+        );
+        assert_ne!(
+            uniform_fill::<2>(5000, 10.0, 1),
+            uniform_fill::<2>(5000, 10.0, 2)
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ fn main() {
     // Cluster sizes, largest first.
     let mut sizes: Vec<usize> = clustering.cluster_members().iter().map(Vec::len).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
-    println!("  five largest clusters: {:?}", &sizes[..sizes.len().min(5)]);
+    println!(
+        "  five largest clusters: {:?}",
+        &sizes[..sizes.len().min(5)]
+    );
 
     // Per-point labels distinguish core, border and noise points.
     let mut border = 0usize;

@@ -25,7 +25,10 @@ fn main() {
     let min_pts = 100;
 
     println!("trajectory hot-spot detection on {n} skewed points (eps={eps}, minPts={min_pts})");
-    println!("{:<28} {:>10} {:>10} {:>10}", "variant", "time (ms)", "clusters", "noise");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "variant", "time (ms)", "clusters", "noise"
+    );
 
     let mut reference = None;
     for variant in [

@@ -6,53 +6,58 @@
 //! A border point can therefore belong to several clusters; a non-core point
 //! within ε of no core point is noise.
 
-use crate::context::Context;
+use crate::pipeline::{CoreSet, SpatialIndex};
 use rayon::prelude::*;
 
-/// Runs ClusterBorder. `core_clusters[pid]` is the raw cluster id of core
-/// point `pid` (from [`crate::cluster_core::cluster_core`]); the return value
-/// extends it to a per-point *set* of raw cluster ids covering core, border
-/// and noise points (noise ⇒ empty set).
-pub(crate) fn cluster_border<const D: usize>(
-    ctx: &Context<D>,
+/// Runs ClusterBorder over a prebuilt [`SpatialIndex`] and [`CoreSet`].
+/// `core_clusters[pid]` is the raw cluster id of core point `pid` (from
+/// [`crate::cluster_core::cluster_core`]); the return value extends it to a
+/// per-point *set* of raw cluster ids covering core, border and noise points
+/// (noise ⇒ empty set).
+pub fn cluster_border<const D: usize>(
+    index: &SpatialIndex<D>,
+    core: &CoreSet<D>,
     core_clusters: &[Option<usize>],
 ) -> Vec<Vec<usize>> {
-    let n = ctx.partition.num_points();
-    let eps_sq = ctx.eps * ctx.eps;
+    let n = index.partition.num_points();
+    let eps_sq = index.eps * index.eps;
 
     // Raw cluster id of each *cell* (all core points of a cell share one).
-    let cell_cluster: Vec<Option<usize>> = (0..ctx.num_cells())
+    let cell_cluster: Vec<Option<usize>> = (0..index.num_cells())
         .into_par_iter()
         .map(|c| {
-            ctx.partition
+            index
+                .partition
                 .cell_point_ids(c)
                 .iter()
-                .find(|&&pid| ctx.core_flags[pid])
+                .find(|&&pid| core.core_flags[pid])
                 .map(|&pid| core_clusters[pid].expect("core point has a cluster"))
         })
         .collect();
 
-    let border_assignments: Vec<Vec<(usize, Vec<usize>)>> = (0..ctx.num_cells())
+    let border_assignments: Vec<Vec<(usize, Vec<usize>)>> = (0..index.num_cells())
         .into_par_iter()
         .map(|c| {
             // Cells with ≥ minPts points contain only core points.
-            if ctx.partition.cells[c].len >= ctx.min_pts {
+            if index.partition.cells[c].len >= core.min_pts {
                 return Vec::new();
             }
-            let ids = ctx.partition.cell_point_ids(c);
-            let pts = ctx.partition.cell_points(c);
+            let ids = index.partition.cell_point_ids(c);
+            let pts = index.partition.cell_points(c);
             ids.par_iter()
                 .zip(pts.par_iter())
-                .filter(|(&pid, _)| !ctx.core_flags[pid])
+                .filter(|(&pid, _)| !core.core_flags[pid])
                 .map(|(&pid, p)| {
                     let mut memberships = Vec::new();
                     // The point's own cell first, then the neighbouring cells.
-                    for h in std::iter::once(c).chain(ctx.neighbors[c].iter().copied()) {
-                        let Some(cluster) = cell_cluster[h] else { continue };
+                    for h in std::iter::once(c).chain(index.neighbors[c].iter().copied()) {
+                        let Some(cluster) = cell_cluster[h] else {
+                            continue;
+                        };
                         if memberships.contains(&cluster) {
                             continue;
                         }
-                        let hit = ctx.core_points[h].iter().any(|q| p.dist_sq(q) <= eps_sq);
+                        let hit = core.core_points[h].iter().any(|q| p.dist_sq(q) <= eps_sq);
                         if hit {
                             memberships.push(cluster);
                         }
@@ -85,14 +90,19 @@ mod tests {
     use geom::Point2;
 
     fn run_pipeline(pts: &[Point2], eps: f64, min_pts: usize) -> (Vec<bool>, Vec<Vec<usize>>) {
-        let mut ctx = Context::build(pts, eps, min_pts, CellMethod::Grid);
-        mark_core(&mut ctx, MarkCoreMethod::Scan);
+        let index = SpatialIndex::build(pts, eps, CellMethod::Grid).unwrap();
+        let core = mark_core(&index, min_pts, MarkCoreMethod::Scan);
         let core_clusters = cluster_core(
-            &ctx,
-            &ClusterCoreOptions { method: CellGraphMethod::Bcp, bucketing: false, rho: None },
+            &index,
+            &core,
+            &ClusterCoreOptions {
+                method: CellGraphMethod::Bcp,
+                bucketing: false,
+                rho: None,
+            },
         );
-        let sets = cluster_border(&ctx, &core_clusters);
-        (ctx.core_flags, sets)
+        let sets = cluster_border(&index, &core, &core_clusters);
+        (core.core_flags, sets)
     }
 
     #[test]
@@ -137,7 +147,9 @@ mod tests {
 
     #[test]
     fn core_points_keep_exactly_one_cluster() {
-        let pts: Vec<Point2> = (0..30).map(|i| Point2::new([0.05 * i as f64, 0.0])).collect();
+        let pts: Vec<Point2> = (0..30)
+            .map(|i| Point2::new([0.05 * i as f64, 0.0]))
+            .collect();
         let (core, sets) = run_pipeline(&pts, 1.0, 3);
         for (i, s) in sets.iter().enumerate() {
             assert!(core[i]);

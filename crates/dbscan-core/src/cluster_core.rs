@@ -18,15 +18,16 @@
 //! the components are computed from that explicit edge list.
 
 use crate::connectivity::{bcp_connected, quadtree_connected, usec_connected};
-use crate::context::Context;
 use crate::params::CellGraphMethod;
+use crate::pipeline::{CoreSet, SpatialIndex};
 use geom::{DelaunayTriangulation, Point, Point2};
 use rayon::prelude::*;
 use spatial::SubdivisionTree;
 use unionfind::ConcurrentUnionFind;
 
 /// Options of the cell-graph construction.
-pub(crate) struct ClusterCoreOptions {
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterCoreOptions {
     /// Connectivity query implementation.
     pub method: CellGraphMethod,
     /// Whether to process cells in sequential batches of decreasing size
@@ -37,37 +38,53 @@ pub(crate) struct ClusterCoreOptions {
     pub rho: Option<f64>,
 }
 
-/// Runs ClusterCore and returns, for every original point id, the raw cluster
-/// id (the union-find root of its cell) — only core points receive one.
-pub(crate) fn cluster_core<const D: usize>(
-    ctx: &Context<D>,
+impl ClusterCoreOptions {
+    /// The options a [`crate::params::VariantConfig`] implies for this
+    /// phase. Single source of truth for the variant → options mapping,
+    /// shared by [`crate::Dbscan::run`] and every phase-granular caller.
+    pub fn from_variant(variant: &crate::params::VariantConfig) -> Self {
+        ClusterCoreOptions {
+            method: variant.cell_graph,
+            bucketing: variant.bucketing,
+            rho: variant.rho,
+        }
+    }
+}
+
+/// Runs ClusterCore over a prebuilt [`SpatialIndex`] and [`CoreSet`], and
+/// returns, for every original point id, the raw cluster id (the union-find
+/// root of its cell) — only core points receive one.
+pub fn cluster_core<const D: usize>(
+    index: &SpatialIndex<D>,
+    core: &CoreSet<D>,
     options: &ClusterCoreOptions,
 ) -> Vec<Option<usize>> {
-    let num_cells = ctx.num_cells();
+    let num_cells = index.num_cells();
     let uf = ConcurrentUnionFind::new(num_cells);
 
     match options.method {
-        CellGraphMethod::Delaunay => cluster_core_delaunay(ctx, &uf),
-        _ => cluster_core_queries(ctx, options, &uf),
+        CellGraphMethod::Delaunay => cluster_core_delaunay(index, core, &uf),
+        _ => cluster_core_queries(index, core, options, &uf),
     }
 
     // Assign the cell's component root to each of its core points.
     let assignments: Vec<Vec<(usize, usize)>> = (0..num_cells)
         .into_par_iter()
         .map(|c| {
-            if !ctx.is_core_cell(c) {
+            if !core.is_core_cell(c) {
                 return Vec::new();
             }
             let root = uf.find(c);
-            ctx.partition
+            index
+                .partition
                 .cell_point_ids(c)
                 .iter()
-                .filter(|&&pid| ctx.core_flags[pid])
+                .filter(|&&pid| core.core_flags[pid])
                 .map(|&pid| (pid, root))
                 .collect()
         })
         .collect();
-    let mut clusters = vec![None; ctx.partition.num_points()];
+    let mut clusters = vec![None; index.partition.num_points()];
     for cell_assignments in assignments {
         for (pid, root) in cell_assignments {
             clusters[pid] = Some(root);
@@ -79,35 +96,39 @@ pub(crate) fn cluster_core<const D: usize>(
 /// Query-based construction (BCP, quadtree-BCP, USEC), with the union-find
 /// pruning and optional bucketing.
 fn cluster_core_queries<const D: usize>(
-    ctx: &Context<D>,
+    index: &SpatialIndex<D>,
+    core: &CoreSet<D>,
     options: &ClusterCoreOptions,
     uf: &ConcurrentUnionFind,
 ) {
     // SortBySize(G): core cells in non-increasing order of core-point count.
-    let mut core_cells: Vec<usize> = (0..ctx.num_cells()).filter(|&c| ctx.is_core_cell(c)).collect();
-    core_cells.par_sort_by_key(|&c| std::cmp::Reverse(ctx.core_count(c)));
+    let mut core_cells: Vec<usize> = (0..index.num_cells())
+        .filter(|&c| core.is_core_cell(c))
+        .collect();
+    core_cells.par_sort_by_key(|&c| std::cmp::Reverse(core.core_count(c)));
 
     // Quadtrees over core points, for the quadtree-based connectivity query.
-    let needs_trees = matches!(options.method, CellGraphMethod::QuadTreeBcp) || options.rho.is_some();
+    let needs_trees =
+        matches!(options.method, CellGraphMethod::QuadTreeBcp) || options.rho.is_some();
     let trees: Vec<Option<SubdivisionTree<D>>> = if needs_trees {
-        (0..ctx.num_cells())
+        (0..index.num_cells())
             .into_par_iter()
             .map(|c| {
-                ctx.is_core_cell(c).then(|| match options.rho {
+                core.is_core_cell(c).then(|| match options.rho {
                     Some(rho) => SubdivisionTree::build_approximate(
-                        &ctx.core_points[c],
-                        ctx.partition.cells[c].bbox,
+                        &core.core_points[c],
+                        index.partition.cells[c].bbox,
                         rho,
                     ),
                     None => SubdivisionTree::build_exact(
-                        &ctx.core_points[c],
-                        ctx.partition.cells[c].bbox,
+                        &core.core_points[c],
+                        index.partition.cells[c].bbox,
                     ),
                 })
             })
             .collect()
     } else {
-        (0..ctx.num_cells()).map(|_| None).collect()
+        (0..index.num_cells()).map(|_| None).collect()
     };
 
     // Bucketing: process the sorted cells in batches; within a batch cells are
@@ -120,35 +141,33 @@ fn cluster_core_queries<const D: usize>(
     };
 
     let connected = |g: usize, h: usize| -> bool {
-        let g_pts = &ctx.core_points[g];
-        let h_pts = &ctx.core_points[h];
-        let g_bbox = &ctx.partition.cells[g].bbox;
-        let h_bbox = &ctx.partition.cells[h].bbox;
+        let g_pts = &core.core_points[g];
+        let h_pts = &core.core_points[h];
+        let g_bbox = &index.partition.cells[g].bbox;
+        let h_bbox = &index.partition.cells[h].bbox;
         match (options.method, options.rho) {
             (CellGraphMethod::Usec, _) => {
                 let g2 = as_2d(g_pts);
                 let h2 = as_2d(h_pts);
                 let g_bbox2 = bbox_2d(g_bbox);
                 let h_bbox2 = bbox_2d(h_bbox);
-                usec_connected(&g2, &g_bbox2, &h2, &h_bbox2, ctx.eps)
+                usec_connected(&g2, &g_bbox2, &h2, &h_bbox2, index.eps)
             }
             (CellGraphMethod::QuadTreeBcp, rho) | (CellGraphMethod::Bcp, rho @ Some(_)) => {
                 let tree = trees[h].as_ref().expect("core cell has a quadtree");
-                quadtree_connected(g_pts, tree, h_bbox, ctx.eps, rho)
+                quadtree_connected(g_pts, tree, h_bbox, index.eps, rho)
             }
-            (CellGraphMethod::Bcp, None) => {
-                bcp_connected(g_pts, g_bbox, h_pts, h_bbox, ctx.eps)
-            }
+            (CellGraphMethod::Bcp, None) => bcp_connected(g_pts, g_bbox, h_pts, h_bbox, index.eps),
             (CellGraphMethod::Delaunay, _) => unreachable!("handled separately"),
         }
     };
 
     for batch in core_cells.chunks(batch_size) {
         batch.par_iter().for_each(|&g| {
-            for &h in &ctx.neighbors[g] {
+            for &h in &index.neighbors[g] {
                 // The higher-id cell owns the pair so each unordered pair is
                 // examined once (Algorithm 3, line 6).
-                if h >= g || !ctx.is_core_cell(h) {
+                if h >= g || !core.is_core_cell(h) {
                     continue;
                 }
                 if uf.same_set(g, h) {
@@ -165,11 +184,15 @@ fn cluster_core_queries<const D: usize>(
 /// Delaunay-based construction (2D only): triangulate all core points, keep
 /// edges of length ≤ ε between different cells, and union the corresponding
 /// cells.
-fn cluster_core_delaunay<const D: usize>(ctx: &Context<D>, uf: &ConcurrentUnionFind) {
+fn cluster_core_delaunay<const D: usize>(
+    index: &SpatialIndex<D>,
+    core: &CoreSet<D>,
+    uf: &ConcurrentUnionFind,
+) {
     // Gather all core points with their owning cell, in a deterministic order.
     let mut all_core: Vec<(Point2, usize)> = Vec::new();
-    for c in 0..ctx.num_cells() {
-        for p in &ctx.core_points[c] {
+    for c in 0..index.num_cells() {
+        for p in &core.core_points[c] {
             all_core.push((Point2::new([p.coords[0], p.coords[1]]), c));
         }
     }
@@ -178,7 +201,7 @@ fn cluster_core_delaunay<const D: usize>(ctx: &Context<D>, uf: &ConcurrentUnionF
     }
     let points: Vec<Point2> = all_core.iter().map(|&(p, _)| p).collect();
     let triangulation = DelaunayTriangulation::build(&points);
-    let eps_sq = ctx.eps * ctx.eps;
+    let eps_sq = index.eps * index.eps;
     let edges = triangulation.edges();
     // Parallel filter of the triangulation edges (the paper's construction),
     // then union the surviving cell pairs.
@@ -214,11 +237,7 @@ mod tests {
 
     /// Reference clustering of the core points: connected components of the
     /// "within eps" graph over core points only.
-    fn reference_core_components(
-        pts: &[Point2],
-        core: &[bool],
-        eps: f64,
-    ) -> Vec<Option<usize>> {
+    fn reference_core_components(pts: &[Point2], core: &[bool], eps: f64) -> Vec<Option<usize>> {
         let n = pts.len();
         let mut uf = unionfind::SequentialUnionFind::new(n);
         for i in 0..n {
@@ -262,10 +281,14 @@ mod tests {
         method: CellGraphMethod,
         bucketing: bool,
     ) -> (Vec<Option<usize>>, Vec<bool>) {
-        let mut ctx = Context::build(pts, eps, min_pts, cell_method);
-        mark_core(&mut ctx, MarkCoreMethod::Scan);
-        let options = ClusterCoreOptions { method, bucketing, rho: None };
-        (cluster_core(&ctx, &options), ctx.core_flags)
+        let index = SpatialIndex::build(pts, eps, cell_method).unwrap();
+        let core = mark_core(&index, min_pts, MarkCoreMethod::Scan);
+        let options = ClusterCoreOptions {
+            method,
+            bucketing,
+            rho: None,
+        };
+        (cluster_core(&index, &core, &options), core.core_flags)
     }
 
     #[test]
@@ -288,13 +311,15 @@ mod tests {
                     let (got, core) = run_method(&pts, eps, min_pts, cell_method, graph, bucketing);
                     let (want, ref_core) = reference.get_or_insert_with(|| {
                         let core = {
-                            let mut ctx = Context::build(&pts, eps, min_pts, CellMethod::Grid);
-                            mark_core(&mut ctx, MarkCoreMethod::Scan);
-                            ctx.core_flags
+                            let index = SpatialIndex::build(&pts, eps, CellMethod::Grid).unwrap();
+                            mark_core(&index, min_pts, MarkCoreMethod::Scan).core_flags
                         };
                         (reference_core_components(&pts, &core, eps), core)
                     });
-                    assert_eq!(&core, ref_core, "{cell_method:?}/{graph:?} core flags differ");
+                    assert_eq!(
+                        &core, ref_core,
+                        "{cell_method:?}/{graph:?} core flags differ"
+                    );
                     assert!(
                         clusters_equivalent(&got, want),
                         "{cell_method:?}/{graph:?}/bucketing={bucketing} clusters differ"
@@ -309,12 +334,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut pts = Vec::new();
         for _ in 0..60 {
-            pts.push(Point2::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]));
+            pts.push(Point2::new([
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ]));
         }
         for _ in 0..60 {
-            pts.push(Point2::new([rng.gen_range(50.0..51.0), rng.gen_range(50.0..51.0)]));
+            pts.push(Point2::new([
+                rng.gen_range(50.0..51.0),
+                rng.gen_range(50.0..51.0),
+            ]));
         }
-        let (clusters, core) = run_method(&pts, 0.5, 5, CellMethod::Grid, CellGraphMethod::Bcp, false);
+        let (clusters, core) =
+            run_method(&pts, 0.5, 5, CellMethod::Grid, CellGraphMethod::Bcp, false);
         assert!(core.iter().all(|&c| c));
         let left = clusters[0].unwrap();
         let right = clusters[60].unwrap();

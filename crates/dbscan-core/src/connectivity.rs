@@ -200,7 +200,11 @@ mod tests {
             // widths in a random direction).
             let na = rng.gen_range(1..25);
             let (a, a_bbox) = random_cell(&mut rng, [0.0, 0.0], side, na);
-            let dx = if rng.gen_bool(0.7) { rng.gen_range(1..3) as f64 * side } else { 0.0 };
+            let dx = if rng.gen_bool(0.7) {
+                rng.gen_range(1..3) as f64 * side
+            } else {
+                0.0
+            };
             let dy = if dx == 0.0 {
                 rng.gen_range(1..3) as f64 * side
             } else {
@@ -210,8 +214,16 @@ mod tests {
             let (b, b_bbox) = random_cell(&mut rng, [dx, dy], side, nb);
             let want = brute_connected(&a, &b, eps);
 
-            assert_eq!(bcp_connected(&a, &a_bbox, &b, &b_bbox, eps), want, "bcp trial {trial}");
-            assert_eq!(usec_connected(&a, &a_bbox, &b, &b_bbox, eps), want, "usec trial {trial}");
+            assert_eq!(
+                bcp_connected(&a, &a_bbox, &b, &b_bbox, eps),
+                want,
+                "bcp trial {trial}"
+            );
+            assert_eq!(
+                usec_connected(&a, &a_bbox, &b, &b_bbox, eps),
+                want,
+                "usec trial {trial}"
+            );
 
             let b_tree = SubdivisionTree::build_exact(&b, b_bbox);
             assert_eq!(
@@ -283,12 +295,24 @@ mod tests {
         let near = vec![Point2::new([0.9, 0.0])];
         let near_bbox = BoundingBox::new([0.8, 0.0], [1.0, 0.5]);
         let near_tree = SubdivisionTree::build_approximate(&near, near_bbox, rho);
-        assert!(quadtree_connected(&a, &near_tree, &near_bbox, eps, Some(rho)));
+        assert!(quadtree_connected(
+            &a,
+            &near_tree,
+            &near_bbox,
+            eps,
+            Some(rho)
+        ));
         // Clearly beyond eps(1+rho).
         let far = vec![Point2::new([2.0, 0.0])];
         let far_bbox = BoundingBox::new([1.9, 0.0], [2.1, 0.5]);
         let far_tree = SubdivisionTree::build_approximate(&far, far_bbox, rho);
-        assert!(!quadtree_connected(&a, &far_tree, &far_bbox, eps, Some(rho)));
+        assert!(!quadtree_connected(
+            &a,
+            &far_tree,
+            &far_bbox,
+            eps,
+            Some(rho)
+        ));
     }
 
     #[test]

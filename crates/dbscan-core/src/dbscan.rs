@@ -3,11 +3,11 @@
 
 use crate::cluster_border::cluster_border;
 use crate::cluster_core::{cluster_core, ClusterCoreOptions};
-use crate::context::Context;
 use crate::mark_core::mark_core;
 use crate::params::{
     CellGraphMethod, CellMethod, DbscanError, DbscanParams, MarkCoreMethod, VariantConfig,
 };
+use crate::pipeline::SpatialIndex;
 use crate::result::Clustering;
 use geom::Point;
 
@@ -98,50 +98,33 @@ impl<'a, const D: usize> Dbscan<'a, D> {
         self
     }
 
+    /// The full [`VariantConfig`] this builder currently describes.
+    pub fn variant_config(&self) -> VariantConfig {
+        VariantConfig {
+            cell_method: self.cell_method,
+            mark_core: self.mark_core,
+            cell_graph: self.cell_graph,
+            bucketing: self.bucketing,
+            rho: self.rho,
+        }
+    }
+
     /// Runs the configured variant.
     pub fn run(self) -> Result<Clustering, DbscanError> {
         self.params.validate()?;
-        if let Some(rho) = self.rho {
-            if !(rho.is_finite() && rho > 0.0) {
-                return Err(DbscanError::InvalidParams(format!(
-                    "rho must be positive and finite, got {rho}"
-                )));
-            }
-        }
-        if D != 2 {
-            if self.cell_method == CellMethod::Box {
-                return Err(DbscanError::RequiresTwoDimensions("the box cell method"));
-            }
-            match self.cell_graph {
-                CellGraphMethod::Delaunay => {
-                    return Err(DbscanError::RequiresTwoDimensions(
-                        "the Delaunay cell-graph method",
-                    ))
-                }
-                CellGraphMethod::Usec => {
-                    return Err(DbscanError::RequiresTwoDimensions(
-                        "the USEC cell-graph method",
-                    ))
-                }
-                _ => {}
-            }
-        }
+        self.variant_config().validate_for_dimension(D)?;
 
         // Phase 1: cells (Algorithm 1 line 2).
-        let mut ctx = Context::build(self.points, self.params.eps, self.params.min_pts, self.cell_method);
+        let index = SpatialIndex::build(self.points, self.params.eps, self.cell_method)?;
         // Phase 2: mark core points (line 3).
-        mark_core(&mut ctx, self.mark_core);
+        let core = mark_core(&index, self.params.min_pts, self.mark_core);
         // Phase 3: cluster core points via the cell graph (line 4).
-        let options = ClusterCoreOptions {
-            method: self.cell_graph,
-            bucketing: self.bucketing,
-            rho: self.rho,
-        };
-        let core_clusters = cluster_core(&ctx, &options);
+        let options = ClusterCoreOptions::from_variant(&self.variant_config());
+        let core_clusters = cluster_core(&index, &core, &options);
         // Phase 4: assign border points (line 5).
-        let cluster_sets = cluster_border(&ctx, &core_clusters);
+        let cluster_sets = cluster_border(&index, &core, &core_clusters);
 
-        Ok(Clustering::from_raw(ctx.core_flags, cluster_sets))
+        Ok(Clustering::from_raw(core.core_flags, cluster_sets))
     }
 }
 
@@ -190,15 +173,21 @@ mod tests {
     fn rejects_two_d_methods_in_higher_dimensions() {
         let pts = vec![geom::Point::new([0.0, 0.0, 0.0])];
         assert!(matches!(
-            Dbscan::exact(&pts, 1.0, 1).cell_method(CellMethod::Box).run(),
+            Dbscan::exact(&pts, 1.0, 1)
+                .cell_method(CellMethod::Box)
+                .run(),
             Err(DbscanError::RequiresTwoDimensions(_))
         ));
         assert!(matches!(
-            Dbscan::exact(&pts, 1.0, 1).cell_graph(CellGraphMethod::Usec).run(),
+            Dbscan::exact(&pts, 1.0, 1)
+                .cell_graph(CellGraphMethod::Usec)
+                .run(),
             Err(DbscanError::RequiresTwoDimensions(_))
         ));
         assert!(matches!(
-            Dbscan::exact(&pts, 1.0, 1).cell_graph(CellGraphMethod::Delaunay).run(),
+            Dbscan::exact(&pts, 1.0, 1)
+                .cell_graph(CellGraphMethod::Delaunay)
+                .run(),
             Err(DbscanError::RequiresTwoDimensions(_))
         ));
     }
@@ -241,7 +230,9 @@ mod tests {
 
     #[test]
     fn convenience_functions_work() {
-        let pts: Vec<Point2> = (0..20).map(|i| Point2::new([0.1 * i as f64, 0.0])).collect();
+        let pts: Vec<Point2> = (0..20)
+            .map(|i| Point2::new([0.1 * i as f64, 0.0]))
+            .collect();
         let exact = dbscan(&pts, 0.5, 3).unwrap();
         assert_eq!(exact.num_clusters(), 1);
         let approx = dbscan_approx(&pts, 0.5, 3, 0.01).unwrap();

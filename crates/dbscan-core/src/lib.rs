@@ -57,17 +57,21 @@
 mod cluster_border;
 mod cluster_core;
 mod connectivity;
-mod context;
 mod dbscan;
 mod mark_core;
 mod params;
+pub mod pipeline;
 mod result;
 
+pub use cluster_border::cluster_border;
+pub use cluster_core::{cluster_core, ClusterCoreOptions};
 pub use connectivity::bichromatic_closest_pair;
 pub use dbscan::{dbscan, dbscan_approx, Dbscan};
+pub use mark_core::mark_core;
 pub use params::{
     CellGraphMethod, CellMethod, DbscanError, DbscanParams, MarkCoreMethod, VariantConfig,
 };
+pub use pipeline::{CoreSet, SpatialIndex};
 pub use result::{Clustering, PointLabel};
 
 /// Re-export of the point types used by the public API, so downstream users

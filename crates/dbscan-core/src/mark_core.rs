@@ -12,24 +12,31 @@
 //! ([`MarkCoreMethod::QuadTree`], §5.2). Counting stops early once minPts is
 //! reached.
 
-use crate::context::Context;
 use crate::params::MarkCoreMethod;
+use crate::pipeline::{CoreSet, SpatialIndex};
 use geom::Point;
 use rayon::prelude::*;
 use spatial::SubdivisionTree;
 
-/// Runs MarkCore, filling `ctx.core_flags` (indexed by original point id) and
-/// the per-cell core point lists.
-pub(crate) fn mark_core<const D: usize>(ctx: &mut Context<D>, method: MarkCoreMethod) {
-    let n = ctx.partition.num_points();
+/// Runs MarkCore over a prebuilt [`SpatialIndex`], producing the per-point
+/// core flags (indexed by original point id) and the per-cell core point
+/// lists.
+pub fn mark_core<const D: usize>(
+    index: &SpatialIndex<D>,
+    min_pts: usize,
+    method: MarkCoreMethod,
+) -> CoreSet<D> {
+    let n = index.partition.num_points();
     if n == 0 {
-        ctx.core_points = Vec::new();
-        return;
+        return CoreSet {
+            min_pts,
+            core_flags: Vec::new(),
+            core_points: Vec::new(),
+        };
     }
-    let eps = ctx.eps;
-    let min_pts = ctx.min_pts;
-    let partition = &ctx.partition;
-    let neighbors = &ctx.neighbors;
+    let eps = index.eps;
+    let partition = &index.partition;
+    let neighbors = &index.neighbors;
 
     // Quadtrees are only needed for cells that get queried, i.e. cells that
     // are neighbours of at least one small cell (or are small themselves:
@@ -100,8 +107,13 @@ pub(crate) fn mark_core<const D: usize>(ctx: &mut Context<D>, method: MarkCoreMe
             core_flags[pid] = flag;
         }
     }
-    ctx.core_flags = core_flags;
-    ctx.collect_core_points();
+    let mut core = CoreSet {
+        min_pts,
+        core_flags,
+        core_points: Vec::new(),
+    };
+    core.collect_core_points(partition);
+    core
 }
 
 /// Number of points of `cell_points` within ε of `p`, capped at `needed`
@@ -156,10 +168,10 @@ mod tests {
         cell_method: CellMethod,
     ) {
         let want = brute_force_core_flags(pts, eps, min_pts);
+        let index = SpatialIndex::build(pts, eps, cell_method).unwrap();
         for method in [MarkCoreMethod::Scan, MarkCoreMethod::QuadTree] {
-            let mut ctx = Context::build(pts, eps, min_pts, cell_method);
-            mark_core(&mut ctx, method);
-            assert_eq!(ctx.core_flags, want, "method {method:?}");
+            let core = mark_core(&index, min_pts, method);
+            assert_eq!(core.core_flags, want, "method {method:?}");
         }
     }
 
@@ -194,9 +206,9 @@ mod tests {
         let pts: Vec<Point2> = (0..50)
             .map(|i| Point2::new([0.001 * i as f64, 0.0]))
             .collect();
-        let mut ctx = Context::build(&pts, 10.0, 10, CellMethod::Grid);
-        mark_core(&mut ctx, MarkCoreMethod::Scan);
-        assert!(ctx.core_flags.iter().all(|&c| c));
+        let index = SpatialIndex::build(&pts, 10.0, CellMethod::Grid).unwrap();
+        let core = mark_core(&index, 10, MarkCoreMethod::Scan);
+        assert!(core.core_flags.iter().all(|&c| c));
     }
 
     #[test]
@@ -206,18 +218,18 @@ mod tests {
             Point2::new([100.0, 100.0]),
             Point2::new([200.0, 0.0]),
         ];
-        let mut ctx = Context::build(&pts, 1.0, 2, CellMethod::Grid);
-        mark_core(&mut ctx, MarkCoreMethod::Scan);
-        assert!(ctx.core_flags.iter().all(|&c| !c));
-        assert!(ctx.core_points.iter().all(|c| c.is_empty()));
+        let index = SpatialIndex::build(&pts, 1.0, CellMethod::Grid).unwrap();
+        let core = mark_core(&index, 2, MarkCoreMethod::Scan);
+        assert!(core.core_flags.iter().all(|&c| !c));
+        assert!(core.core_points.iter().all(|c| c.is_empty()));
     }
 
     #[test]
     fn min_pts_one_makes_every_point_core() {
         let pts = vec![Point2::new([0.0, 0.0]), Point2::new([50.0, 50.0])];
-        let mut ctx = Context::build(&pts, 1.0, 1, CellMethod::Grid);
-        mark_core(&mut ctx, MarkCoreMethod::Scan);
-        assert!(ctx.core_flags.iter().all(|&c| c));
+        let index = SpatialIndex::build(&pts, 1.0, CellMethod::Grid).unwrap();
+        let core = mark_core(&index, 1, MarkCoreMethod::Scan);
+        assert!(core.core_flags.iter().all(|&c| c));
     }
 
     #[test]
@@ -234,10 +246,16 @@ mod tests {
             Point2::new([1.2, 0.0]),
         ];
         let want = brute_force_core_flags(&pts, 1.05, 5);
-        let mut ctx = Context::build(&pts, 1.05, 5, CellMethod::Grid);
-        mark_core(&mut ctx, MarkCoreMethod::Scan);
-        assert_eq!(ctx.core_flags, want);
-        assert!(want.iter().any(|&c| c), "test fixture should contain core points");
-        assert!(!want.iter().all(|&c| c), "test fixture should contain non-core points");
+        let index = SpatialIndex::build(&pts, 1.05, CellMethod::Grid).unwrap();
+        let core = mark_core(&index, 5, MarkCoreMethod::Scan);
+        assert_eq!(core.core_flags, want);
+        assert!(
+            want.iter().any(|&c| c),
+            "test fixture should contain core points"
+        );
+        assert!(
+            !want.iter().all(|&c| c),
+            "test fixture should contain non-core points"
+        );
     }
 }

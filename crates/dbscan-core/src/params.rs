@@ -118,7 +118,10 @@ impl VariantConfig {
 
     /// The paper's `our-approx` configuration.
     pub fn approx(rho: f64) -> Self {
-        VariantConfig { rho: Some(rho), ..Self::exact() }
+        VariantConfig {
+            rho: Some(rho),
+            ..Self::exact()
+        }
     }
 
     /// The paper's `our-approx-qt` configuration.
@@ -133,7 +136,11 @@ impl VariantConfig {
     /// One of the paper's six 2D exact configurations
     /// (`our-2d-{grid,box}-{bcp,usec,delaunay}`).
     pub fn two_d(cell_method: CellMethod, cell_graph: CellGraphMethod) -> Self {
-        VariantConfig { cell_method, cell_graph, ..Self::exact() }
+        VariantConfig {
+            cell_method,
+            cell_graph,
+            ..Self::exact()
+        }
     }
 
     /// Enables or disables the bucketing heuristic.
@@ -142,10 +149,44 @@ impl VariantConfig {
         self
     }
 
+    /// Checks this variant against the data dimension: ρ (if any) must be
+    /// positive and finite, and the 2D-only methods (box cells, Delaunay or
+    /// USEC cell graphs) require `dim == 2`. Shared by [`crate::Dbscan::run`]
+    /// and the `dbscan-engine` query paths so both reject exactly the same
+    /// configurations.
+    pub fn validate_for_dimension(&self, dim: usize) -> Result<(), DbscanError> {
+        if let Some(rho) = self.rho {
+            if !(rho.is_finite() && rho > 0.0) {
+                return Err(DbscanError::InvalidParams(format!(
+                    "rho must be positive and finite, got {rho}"
+                )));
+            }
+        }
+        if dim != 2 {
+            if self.cell_method == CellMethod::Box {
+                return Err(DbscanError::RequiresTwoDimensions("the box cell method"));
+            }
+            match self.cell_graph {
+                CellGraphMethod::Delaunay => {
+                    return Err(DbscanError::RequiresTwoDimensions(
+                        "the Delaunay cell-graph method",
+                    ))
+                }
+                CellGraphMethod::Usec => {
+                    return Err(DbscanError::RequiresTwoDimensions(
+                        "the USEC cell-graph method",
+                    ))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
     /// The name the paper uses for this variant (e.g. `our-exact-qt-bucketing`,
     /// `our-2d-grid-bcp`).
     pub fn paper_name(&self) -> String {
-        let mut name = if let Some(_) = self.rho {
+        let mut name = if self.rho.is_some() {
             match self.mark_core {
                 MarkCoreMethod::Scan => "our-approx".to_string(),
                 MarkCoreMethod::QuadTree => "our-approx-qt".to_string(),

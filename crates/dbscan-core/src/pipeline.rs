@@ -1,0 +1,315 @@
+//! Phase-granular pipeline state for Algorithm 1.
+//!
+//! The four phases of the paper's Algorithm 1 (cells, MarkCore, ClusterCore,
+//! ClusterBorder) communicate through two explicit, separately-buildable
+//! state types:
+//!
+//! * [`SpatialIndex`] — the output of phase 1 for a given `(ε, cell method)`:
+//!   the cell partition plus, for every cell, the ids of the non-empty cells
+//!   within ε. It depends **only** on ε and the cell method — not on minPts,
+//!   the cell-graph method, or ρ — so it can be reused across every query
+//!   that shares ε.
+//! * [`CoreSet`] — the output of MarkCore (phase 2) for a given
+//!   `(SpatialIndex, minPts)`: per-point core flags and per-cell core-point
+//!   lists. The flags are the same whichever RangeCount implementation
+//!   computed them, so a core set is reusable across cell-graph methods,
+//!   bucketing choices, and ρ.
+//!
+//! [`crate::Dbscan::run`] composes the phases exactly as before; the
+//! `dbscan-engine` crate composes them with caching so that repeated queries
+//! over the same point set skip the phases their parameters do not
+//! invalidate.
+
+use crate::params::{CellMethod, DbscanError};
+use geom::Point;
+use rayon::prelude::*;
+use spatial::{box_partition, grid_partition, CellKdTree, CellPartition};
+
+/// Immutable phase-1 state: the ε-cell partition of a point set plus the
+/// per-cell neighbour lists. Reusable by every query with the same
+/// `(ε, cell method)`.
+///
+/// The partition's bulk arrays are `Arc`-shared ([`CellPartition`] is O(1) to
+/// clone), so a `SpatialIndex` is cheap to hand out from a cache.
+#[derive(Clone)]
+pub struct SpatialIndex<const D: usize> {
+    /// The ε the index was built for.
+    pub eps: f64,
+    /// The cell construction method used.
+    pub cell_method: CellMethod,
+    /// The cell partition of the input points.
+    pub partition: CellPartition<D>,
+    /// For every cell, the ids of the non-empty cells that may contain
+    /// points within ε of it (excluding the cell itself), sorted.
+    pub neighbors: std::sync::Arc<Vec<Vec<usize>>>,
+}
+
+impl<const D: usize> SpatialIndex<D> {
+    /// Builds the partition and the neighbour lists (Algorithm 1 line 2).
+    ///
+    /// Neighbour cells are found with grid-key enumeration when the grid
+    /// method is used (the paper's 2D approach, constant candidates per
+    /// cell), and with the k-d tree over cells otherwise (§5.1; also the
+    /// only option for the irregular box cells).
+    ///
+    /// Fails with [`DbscanError::RequiresTwoDimensions`] if the box method
+    /// is requested for `D != 2`, and with [`DbscanError::InvalidParams`]
+    /// for a non-positive or non-finite ε.
+    pub fn build(
+        points: &[Point<D>],
+        eps: f64,
+        cell_method: CellMethod,
+    ) -> Result<Self, DbscanError> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(DbscanError::InvalidParams(format!(
+                "eps must be positive and finite, got {eps}"
+            )));
+        }
+        let partition = match cell_method {
+            CellMethod::Grid => grid_partition(points, eps),
+            CellMethod::Box => {
+                if D != 2 {
+                    return Err(DbscanError::RequiresTwoDimensions("the box cell method"));
+                }
+                let pts2: Vec<geom::Point2> = points
+                    .iter()
+                    .map(|p| geom::Point2::new([p.coords[0], p.coords[1]]))
+                    .collect();
+                let part2 = box_partition(&pts2, eps);
+                // Convert the 2D partition back into the generic-D shape.
+                CellPartition::from_parts(
+                    part2.eps,
+                    part2
+                        .points
+                        .iter()
+                        .map(|p| {
+                            let mut c = [0.0; D];
+                            c[0] = p.x();
+                            c[1] = p.y();
+                            Point::new(c)
+                        })
+                        .collect(),
+                    part2.point_ids.to_vec(),
+                    part2
+                        .cells
+                        .iter()
+                        .map(|info| spatial::CellInfo {
+                            start: info.start,
+                            len: info.len,
+                            bbox: {
+                                let mut lo = [0.0; D];
+                                let mut hi = [0.0; D];
+                                lo[0] = info.bbox.lo[0];
+                                lo[1] = info.bbox.lo[1];
+                                hi[0] = info.bbox.hi[0];
+                                hi[1] = info.bbox.hi[1];
+                                geom::BoundingBox::new(lo, hi)
+                            },
+                            key: None,
+                        })
+                        .collect(),
+                    None,
+                )
+            }
+        };
+
+        let neighbors = compute_neighbors(&partition, eps);
+        Ok(SpatialIndex {
+            eps,
+            cell_method,
+            partition,
+            neighbors: std::sync::Arc::new(neighbors),
+        })
+    }
+
+    /// Number of cells in the partition.
+    pub fn num_cells(&self) -> usize {
+        self.partition.num_cells()
+    }
+
+    /// Number of indexed points.
+    pub fn num_points(&self) -> usize {
+        self.partition.num_points()
+    }
+}
+
+/// Immutable phase-2 state: MarkCore's output for one `(index, minPts)`
+/// pair. The core flags depend only on the point set, ε and minPts — not on
+/// the RangeCount implementation that computed them — so a `CoreSet` is
+/// reusable across cell-graph methods and ρ values.
+#[derive(Clone)]
+pub struct CoreSet<const D: usize> {
+    /// The minPts the set was computed for.
+    pub min_pts: usize,
+    /// Core flag per *original* point id.
+    pub core_flags: Vec<bool>,
+    /// For every cell, its core points.
+    pub core_points: Vec<Vec<Point<D>>>,
+}
+
+impl<const D: usize> CoreSet<D> {
+    /// Number of core points in cell `c`.
+    pub fn core_count(&self, c: usize) -> usize {
+        self.core_points[c].len()
+    }
+
+    /// Returns `true` if cell `c` contains at least one core point.
+    pub fn is_core_cell(&self, c: usize) -> bool {
+        !self.core_points[c].is_empty()
+    }
+
+    /// Total number of core points. Summed over the per-cell lists —
+    /// O(cells), not O(points) — so stats stay cheap on cached fast paths.
+    pub fn num_core_points(&self) -> usize {
+        self.core_points.iter().map(Vec::len).sum()
+    }
+
+    /// Populates `core_points` from `core_flags` against a partition.
+    pub(crate) fn collect_core_points(&mut self, partition: &CellPartition<D>) {
+        let core_flags = &self.core_flags;
+        self.core_points = (0..partition.num_cells())
+            .into_par_iter()
+            .map(|c| {
+                partition
+                    .cell_points(c)
+                    .iter()
+                    .zip(partition.cell_point_ids(c))
+                    .filter(|(_, &pid)| core_flags[pid])
+                    .map(|(p, _)| *p)
+                    .collect()
+            })
+            .collect();
+    }
+}
+
+/// Computes, for every cell, the sorted ids of the other cells whose boxes
+/// are within ε.
+///
+/// In 2D the grid-key enumeration of §4.1 is used (a constant number of
+/// candidate keys looked up in the concurrent hash table). For d ≥ 3 the
+/// number of candidate keys grows exponentially with d, so — exactly as the
+/// paper prescribes in §5.1 — the non-empty cells are put in a k-d tree and
+/// each cell range-queries it for the non-empty neighbours. The box method
+/// has irregular cells with no key arithmetic, so it always uses the k-d
+/// tree.
+fn compute_neighbors<const D: usize>(partition: &CellPartition<D>, eps: f64) -> Vec<Vec<usize>> {
+    if partition.num_cells() == 0 {
+        return Vec::new();
+    }
+    match &partition.grid_index {
+        Some(index) if D <= 2 => (0..partition.num_cells())
+            .into_par_iter()
+            .map(|c| {
+                let key = partition.cells[c].key.expect("grid cells have keys");
+                let mut nbrs = index.neighbor_cells(&key);
+                nbrs.sort_unstable();
+                nbrs
+            })
+            .collect(),
+        _ => {
+            let boxes: Vec<geom::BoundingBox<D>> = partition.cells.iter().map(|c| c.bbox).collect();
+            let tree = CellKdTree::build(&boxes);
+            (0..partition.num_cells())
+                .into_par_iter()
+                .map(|c| tree.cells_within(&boxes[c], eps, c))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point2;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, extent: f64, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    /// Brute-force neighbour reference: cells whose boxes are within eps.
+    fn reference_neighbors<const D: usize>(
+        partition: &CellPartition<D>,
+        eps: f64,
+    ) -> Vec<Vec<usize>> {
+        (0..partition.num_cells())
+            .map(|c| {
+                (0..partition.num_cells())
+                    .filter(|&o| {
+                        o != c
+                            && partition.cells[c]
+                                .bbox
+                                .dist_sq_to_box(&partition.cells[o].bbox)
+                                <= eps * eps * (1.0 + 1e-9)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_neighbors_match_bruteforce() {
+        let pts = random_points(1000, 30.0, 3);
+        let index = SpatialIndex::build(&pts, 2.0, CellMethod::Grid).unwrap();
+        let reference = reference_neighbors(&index.partition, 2.0);
+        assert_eq!(*index.neighbors, reference);
+    }
+
+    #[test]
+    fn box_neighbors_cover_every_epsilon_close_pair_of_cells() {
+        let pts = random_points(800, 25.0, 5);
+        let index = SpatialIndex::build(&pts, 1.5, CellMethod::Box).unwrap();
+        // The kd-tree path uses an exact eps cutoff; the brute-force reference
+        // uses a slightly inflated one, so check containment rather than
+        // equality (a cell at distance exactly eps may legitimately differ by
+        // a rounding ulp).
+        let reference = reference_neighbors(&index.partition, 1.5);
+        for (mine, wanted) in index.neighbors.iter().zip(&reference) {
+            for m in mine {
+                assert!(wanted.contains(m));
+            }
+        }
+    }
+
+    #[test]
+    fn build_rejects_invalid_eps_and_box_in_3d() {
+        let pts = vec![Point2::new([0.0, 0.0])];
+        assert!(SpatialIndex::build(&pts, 0.0, CellMethod::Grid).is_err());
+        assert!(SpatialIndex::build(&pts, f64::NAN, CellMethod::Grid).is_err());
+        let pts3 = vec![Point::new([0.0, 0.0, 0.0])];
+        assert!(matches!(
+            SpatialIndex::build(&pts3, 1.0, CellMethod::Box),
+            Err(DbscanError::RequiresTwoDimensions(_))
+        ));
+    }
+
+    #[test]
+    fn collect_core_points_filters_by_flag() {
+        let pts = random_points(200, 10.0, 7);
+        let index = SpatialIndex::build(&pts, 1.0, CellMethod::Grid).unwrap();
+        // Mark every other original point as core.
+        let mut core = CoreSet {
+            min_pts: 5,
+            core_flags: (0..pts.len()).map(|i| i % 2 == 0).collect(),
+            core_points: Vec::new(),
+        };
+        core.collect_core_points(&index.partition);
+        let total: usize = (0..index.num_cells()).map(|c| core.core_count(c)).sum();
+        assert_eq!(total, pts.len().div_ceil(2));
+    }
+
+    #[test]
+    fn spatial_index_clone_is_shared() {
+        let pts = random_points(500, 20.0, 9);
+        let index = SpatialIndex::build(&pts, 1.5, CellMethod::Grid).unwrap();
+        let copy = index.clone();
+        assert!(std::sync::Arc::ptr_eq(&index.neighbors, &copy.neighbors));
+        assert!(std::sync::Arc::ptr_eq(
+            &index.partition.points,
+            &copy.partition.points
+        ));
+    }
+}

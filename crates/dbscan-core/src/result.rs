@@ -69,7 +69,11 @@ impl Clustering {
             clusters.push(mapped);
         }
         let num_clusters = remap.len();
-        Clustering { core, clusters, num_clusters }
+        Clustering {
+            core,
+            clusters,
+            num_clusters,
+        }
     }
 
     /// Number of points.
@@ -182,10 +186,7 @@ mod tests {
 
     #[test]
     fn labels_distinguish_core_border_noise() {
-        let c = Clustering::from_raw(
-            vec![true, false, false],
-            vec![vec![5], vec![5], vec![]],
-        );
+        let c = Clustering::from_raw(vec![true, false, false], vec![vec![5], vec![5], vec![]]);
         assert_eq!(c.label(0), PointLabel::Core(0));
         assert_eq!(c.label(1), PointLabel::Border(vec![0]));
         assert_eq!(c.label(2), PointLabel::Noise);
@@ -198,10 +199,7 @@ mod tests {
 
     #[test]
     fn cluster_members_include_border_points_in_every_cluster() {
-        let c = Clustering::from_raw(
-            vec![true, true, false],
-            vec![vec![1], vec![2], vec![1, 2]],
-        );
+        let c = Clustering::from_raw(vec![true, true, false], vec![vec![1], vec![2], vec![1, 2]]);
         let members = c.cluster_members();
         assert_eq!(members.len(), 2);
         assert!(members[0].contains(&0) && members[0].contains(&2));

@@ -1,0 +1,138 @@
+//! Parameter exploration through the engine: sweep ε and minPts over a
+//! dataset and report the resulting clustering structure — the workflow the
+//! paper follows to find the "correct clustering" parameters for each
+//! dataset (§7, Datasets).
+//!
+//! This is the `dbscan-engine` port of the old one-shot explorer: the whole
+//! ε × minPts grid runs as a single [`Snapshot::sweep`], so each ε's cell
+//! partition is built once and shared across all minPts values, and the
+//! printed per-query stats plus the final cache hit rates make the reuse
+//! visible instead of taking it on faith.
+//!
+//! Optionally reads a CSV of 2D points (one `x,y` row per point); otherwise
+//! generates a variable-density seed-spreader dataset, which is exactly the
+//! regime where a single global (ε, minPts) choice is delicate.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dbscan-engine --example parameter_explorer [points.csv]
+//! ```
+
+use datagen::io::read_csv;
+use datagen::{seed_spreader, SeedSpreaderConfig};
+use dbscan_engine::Engine;
+use geom::Point2;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn load_points() -> Vec<Point2> {
+    if let Some(path) = std::env::args().nth(1) {
+        let path = PathBuf::from(path);
+        match read_csv::<2>(&path) {
+            Ok(points) => {
+                println!("loaded {} points from {}", points.len(), path.display());
+                return points;
+            }
+            Err(err) => {
+                eprintln!(
+                    "failed to read {}: {err}; falling back to synthetic data",
+                    path.display()
+                );
+            }
+        }
+    }
+    let config = SeedSpreaderConfig {
+        extent: 20_000.0,
+        vicinity: 80.0,
+        step: 40.0,
+        ..SeedSpreaderConfig::varden(100_000, 23)
+    };
+    seed_spreader::<2>(&config)
+}
+
+fn main() {
+    let points = load_points();
+    let n = points.len();
+    println!("exploring DBSCAN parameters over {n} points\n");
+
+    let eps_values = [50.0, 100.0, 200.0, 400.0, 800.0];
+    let min_pts_values = [10usize, 100, 1_000];
+
+    let snapshot = Engine::new().index(points);
+    let start = Instant::now();
+    let grid = snapshot
+        .sweep(&eps_values, &min_pts_values)
+        .expect("valid parameters");
+    let sweep_time = start.elapsed();
+
+    println!(
+        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "eps", "minPts", "clusters", "core", "noise", "cells", "time (ms)", "reused"
+    );
+    for cell in &grid {
+        let reused = match (cell.stats.partition_cache_hit, cell.stats.core_cache_hit) {
+            (true, true) => "p+c",
+            (true, false) => "p",
+            (false, true) => "c",
+            (false, false) => "-",
+        };
+        println!(
+            "{:>10} {:>8} {:>10} {:>12} {:>12} {:>10} {:>10.1} {:>10}",
+            cell.eps,
+            cell.min_pts,
+            cell.clustering.num_clusters(),
+            cell.stats.num_core_points,
+            cell.clustering.num_noise(),
+            cell.stats.num_cells,
+            cell.stats.total_time.as_secs_f64() * 1e3,
+            reused,
+        );
+    }
+
+    let stats = snapshot.cache_stats();
+    println!(
+        "\nsweep of {} queries in {:.1} ms: {} partition builds (one per eps — a one-shot \
+         loop would have done {}), partition cache hit rate {:.0}%",
+        grid.len(),
+        sweep_time.as_secs_f64() * 1e3,
+        stats.partition_misses,
+        grid.len(),
+        stats.partition_hit_rate() * 100.0,
+    );
+
+    // A second look at a promising corner of the grid, through the quadtree
+    // variant this time: same (eps, minPts) keys, so both the partition and
+    // the MarkCore state come straight from cache — only the cell graph and
+    // the border assignment re-run.
+    let start = Instant::now();
+    for cell in &grid {
+        let requeried = snapshot
+            .query_variant(
+                dbscan_engine::DbscanParams::new(cell.eps, cell.min_pts),
+                dbscan_engine::VariantConfig::exact_qt(),
+            )
+            .expect("valid parameters");
+        assert_eq!(requeried.clustering, cell.clustering);
+        assert!(requeried.stats.partition_cache_hit && requeried.stats.core_cache_hit);
+    }
+    let requery_time = start.elapsed();
+    let stats = snapshot.cache_stats();
+    println!(
+        "re-querying all {} grid cells with the quadtree variant: {:.1} ms (vs {:.1} ms for \
+         the first pass), 0 new partition builds, 0 new mark-core runs; cumulative hit rates: \
+         partition {:.0}%, mark-core {:.0}%",
+        grid.len(),
+        requery_time.as_secs_f64() * 1e3,
+        sweep_time.as_secs_f64() * 1e3,
+        stats.partition_hit_rate() * 100.0,
+        stats.core_hit_rate() * 100.0,
+    );
+
+    println!(
+        "\nReading the table: very small eps (or very large minPts) pushes everything to noise;\n\
+         very large eps merges everything into one cluster. The paper picks, per dataset, the\n\
+         smallest eps whose clustering is stable — the same procedure applies here, and the\n\
+         engine makes the whole grid cost roughly |eps values| partition builds instead of\n\
+         |eps values| x |minPts values|."
+    );
+}

@@ -1,0 +1,129 @@
+//! Per-query and per-snapshot observability.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Timing and reuse statistics of one [`crate::Snapshot::query`] call.
+///
+/// Phase durations follow Algorithm 1: `partition_time` is phase 1 (cells +
+/// neighbour lists), `mark_core_time` phase 2, `cluster_core_time` phase 3,
+/// `cluster_border_time` phase 4 plus result canonicalization. A phase
+/// served from cache reports a zero duration and the corresponding
+/// `*_cache_hit` flag.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// The ε of the query.
+    pub eps: f64,
+    /// The minPts of the query.
+    pub min_pts: usize,
+    /// Whether phase 1 was served from the snapshot's partition cache.
+    pub partition_cache_hit: bool,
+    /// Whether phase 2 was served from the snapshot's core-set cache.
+    pub core_cache_hit: bool,
+    /// Time spent building the cell partition + neighbour lists (zero on a
+    /// cache hit).
+    pub partition_time: Duration,
+    /// Time spent in MarkCore (zero on a cache hit).
+    pub mark_core_time: Duration,
+    /// Time spent in ClusterCore (always computed).
+    pub cluster_core_time: Duration,
+    /// Time spent in ClusterBorder + canonicalization (always computed).
+    pub cluster_border_time: Duration,
+    /// End-to-end wall time of the query.
+    pub total_time: Duration,
+    /// Number of non-empty ε-cells in the partition used.
+    pub num_cells: usize,
+    /// Number of core points found.
+    pub num_core_points: usize,
+}
+
+/// Cumulative cache counters of a [`crate::Snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries whose spatial index was served from cache.
+    pub partition_hits: usize,
+    /// Queries that had to build a spatial index (== partition builds).
+    pub partition_misses: usize,
+    /// Queries whose core set was served from cache.
+    pub core_hits: usize,
+    /// Queries that had to run MarkCore.
+    pub core_misses: usize,
+}
+
+impl CacheStats {
+    /// Fraction of queries that reused a cached spatial index (0 when no
+    /// queries ran).
+    pub fn partition_hit_rate(&self) -> f64 {
+        rate(self.partition_hits, self.partition_misses)
+    }
+
+    /// Fraction of queries that reused a cached core set.
+    pub fn core_hit_rate(&self) -> f64 {
+        rate(self.core_hits, self.core_misses)
+    }
+}
+
+fn rate(hits: usize, misses: usize) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Thread-safe counter block backing [`CacheStats`].
+#[derive(Default)]
+pub(crate) struct CacheCounters {
+    partition_hits: AtomicUsize,
+    partition_misses: AtomicUsize,
+    core_hits: AtomicUsize,
+    core_misses: AtomicUsize,
+}
+
+impl CacheCounters {
+    pub(crate) fn record_partition(&self, hit: bool) {
+        if hit {
+            self.partition_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.partition_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_core(&self, hit: bool) {
+        if hit {
+            self.core_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.core_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            partition_hits: self.partition_hits.load(Ordering::Relaxed),
+            partition_misses: self.partition_misses.load(Ordering::Relaxed),
+            core_hits: self.core_hits.load(Ordering::Relaxed),
+            core_misses: self.core_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rates() {
+        let counters = CacheCounters::default();
+        counters.record_partition(false);
+        counters.record_partition(true);
+        counters.record_partition(true);
+        counters.record_core(false);
+        let stats = counters.snapshot();
+        assert_eq!(stats.partition_hits, 2);
+        assert_eq!(stats.partition_misses, 1);
+        assert!((stats.partition_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.core_hit_rate(), 0.0);
+        assert_eq!(CacheStats::default().partition_hit_rate(), 0.0);
+    }
+}

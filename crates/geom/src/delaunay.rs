@@ -55,7 +55,9 @@ impl DelaunayTriangulation {
 
         // Super-triangle far enough away to behave like points at infinity.
         let (lo, hi) = bounds(input);
-        let diag = ((hi[0] - lo[0]).powi(2) + (hi[1] - lo[1]).powi(2)).sqrt().max(1.0);
+        let diag = ((hi[0] - lo[0]).powi(2) + (hi[1] - lo[1]).powi(2))
+            .sqrt()
+            .max(1.0);
         let cx = 0.5 * (lo[0] + hi[0]);
         let cy = 0.5 * (lo[1] + hi[1]);
         let m = 1.0e6 * diag;
@@ -112,9 +114,7 @@ impl DelaunayTriangulation {
             .triangles
             .iter()
             .filter(|t| t.alive)
-            .flat_map(|t| {
-                [(t.v[0], t.v[1]), (t.v[1], t.v[2]), (t.v[2], t.v[0])]
-            })
+            .flat_map(|t| [(t.v[0], t.v[1]), (t.v[1], t.v[2]), (t.v[2], t.v[0])])
             .filter(|&(a, b)| a < self.num_input && b < self.num_input)
             .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
             .collect();
@@ -126,13 +126,20 @@ impl DelaunayTriangulation {
             let mut order: Vec<usize> = (0..self.num_input).collect();
             order.sort_by(|&i, &j| {
                 let (p, q) = (self.points[i], self.points[j]);
-                p.x().partial_cmp(&q.x())
+                p.x()
+                    .partial_cmp(&q.x())
                     .unwrap()
                     .then(p.y().partial_cmp(&q.y()).unwrap())
             });
             edges = order
                 .windows(2)
-                .map(|w| if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) })
+                .map(|w| {
+                    if w[0] < w[1] {
+                        (w[0], w[1])
+                    } else {
+                        (w[1], w[0])
+                    }
+                })
                 .collect();
         }
         edges
@@ -197,14 +204,16 @@ impl DelaunayTriangulation {
                 continue;
             }
             let inside = (0..3).all(|k| {
-                orient2d(self.points[t.v[k]], self.points[t.v[(k + 1) % 3]], p)
-                    != Sign::Negative
+                orient2d(self.points[t.v[k]], self.points[t.v[(k + 1) % 3]], p) != Sign::Negative
             });
             if inside {
                 return i;
             }
         }
-        self.triangles.iter().position(|t| t.alive).unwrap_or(current)
+        self.triangles
+            .iter()
+            .position(|t| t.alive)
+            .unwrap_or(current)
     }
 
     /// Inserts input point `idx`, returning one of the newly created
@@ -249,8 +258,8 @@ impl DelaunayTriangulation {
                 let a = t.v[k];
                 let b = t.v[(k + 1) % 3];
                 if let Some(&nbr) = self.edge_map.get(&(b, a)) {
-                    if !in_cavity.contains_key(&nbr) {
-                        in_cavity.insert(nbr, false); // provisional; corrected when popped
+                    if let std::collections::hash_map::Entry::Vacant(e) = in_cavity.entry(nbr) {
+                        e.insert(false); // provisional; corrected when popped
                         stack.push(nbr);
                     }
                 }
@@ -389,7 +398,10 @@ mod tests {
                 }
             }
             let key = if i < best { (i, best) } else { (best, i) };
-            assert!(edges.contains(&key), "nearest-neighbour edge {key:?} missing");
+            assert!(
+                edges.contains(&key),
+                "nearest-neighbour edge {key:?} missing"
+            );
         }
     }
 
@@ -407,7 +419,9 @@ mod tests {
     #[test]
     fn tiny_inputs() {
         assert!(DelaunayTriangulation::build(&[]).edges().is_empty());
-        assert!(DelaunayTriangulation::build(&[p(1.0, 1.0)]).edges().is_empty());
+        assert!(DelaunayTriangulation::build(&[p(1.0, 1.0)])
+            .edges()
+            .is_empty());
         let two = DelaunayTriangulation::build(&[p(0.0, 0.0), p(1.0, 1.0)]);
         assert_eq!(two.edges(), vec![(0, 1)]);
     }

@@ -40,7 +40,9 @@ pub fn morton_order(points: &[Point2]) -> Vec<usize> {
         return Vec::new();
     }
     let bb = crate::point::BoundingBox::containing(points).expect("non-empty");
-    let extent = (bb.hi[0] - bb.lo[0]).max(bb.hi[1] - bb.lo[1]).max(f64::MIN_POSITIVE);
+    let extent = (bb.hi[0] - bb.lo[0])
+        .max(bb.hi[1] - bb.lo[1])
+        .max(f64::MIN_POSITIVE);
     let mut order: Vec<usize> = (0..points.len()).collect();
     let codes: Vec<u64> = points
         .iter()

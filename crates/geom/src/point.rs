@@ -174,8 +174,8 @@ impl<const D: usize> BoundingBox<D> {
     /// The centre of the box.
     pub fn center(&self) -> Point<D> {
         let mut c = [0.0; D];
-        for i in 0..D {
-            c[i] = 0.5 * (self.lo[i] + self.hi[i]);
+        for (i, ci) in c.iter_mut().enumerate() {
+            *ci = 0.5 * (self.lo[i] + self.hi[i]);
         }
         Point::new(c)
     }

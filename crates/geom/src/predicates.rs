@@ -72,8 +72,7 @@ pub fn in_circle(a: Point2, b: Point2, c: Point2, d: Point2) -> Sign {
     let det = alift * bcdet + blift * cadet + clift * abdet;
 
     // Static filter (Shewchuk's iccerrboundA-style bound).
-    let permanent =
-        (bcdet.abs()) * alift + (cadet.abs()) * blift + (abdet.abs()) * clift;
+    let permanent = (bcdet.abs()) * alift + (cadet.abs()) * blift + (abdet.abs()) * clift;
     let errbound = 1.1102230246251565e-15 * permanent;
     if det > errbound {
         Sign::Positive
@@ -118,8 +117,14 @@ mod tests {
 
     #[test]
     fn orientation_basic_cases() {
-        assert_eq!(orient2d(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)), Sign::Positive);
-        assert_eq!(orient2d(p(0.0, 0.0), p(0.0, 1.0), p(1.0, 0.0)), Sign::Negative);
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)),
+            Sign::Positive
+        );
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(0.0, 1.0), p(1.0, 0.0)),
+            Sign::Negative
+        );
         assert_eq!(orient2d(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)), Sign::Zero);
     }
 

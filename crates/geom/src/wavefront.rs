@@ -134,7 +134,10 @@ impl Wavefront {
                 natural_end
             };
             if end >= start {
-                arcs.push(Arc { center: c, x_end: end });
+                arcs.push(Arc {
+                    center: c,
+                    x_end: end,
+                });
             }
         }
         Wavefront { arcs, eps, side }
@@ -351,10 +354,7 @@ mod tests {
         for _ in 0..200 {
             let eps = 1.0;
             let xs = [0.0, 0.0, 0.5, 0.5, 1.0];
-            let centers: Vec<Point2> = xs
-                .iter()
-                .map(|&x| p(x, rng.gen_range(-1.5..0.0)))
-                .collect();
+            let centers: Vec<Point2> = xs.iter().map(|&x| p(x, rng.gen_range(-1.5..0.0))).collect();
             let wf = Wavefront::build(&centers, eps, 0.0, Side::CentersBelow);
             for _ in 0..40 {
                 let q = p(rng.gen_range(-1.5..2.5), rng.gen_range(0.0..1.5));
@@ -372,16 +372,28 @@ mod tests {
                 let eps = 1.0;
                 let (centers, queries): (Vec<Point2>, Vec<Point2>) = match side {
                     Side::CentersAbove => (
-                        (0..15).map(|_| p(rng.gen_range(-3.0..3.0), rng.gen_range(0.0..2.0))).collect(),
-                        (0..15).map(|_| p(rng.gen_range(-3.0..3.0), rng.gen_range(-2.0..0.0))).collect(),
+                        (0..15)
+                            .map(|_| p(rng.gen_range(-3.0..3.0), rng.gen_range(0.0..2.0)))
+                            .collect(),
+                        (0..15)
+                            .map(|_| p(rng.gen_range(-3.0..3.0), rng.gen_range(-2.0..0.0)))
+                            .collect(),
                     ),
                     Side::CentersLeft => (
-                        (0..15).map(|_| p(rng.gen_range(-2.0..0.0), rng.gen_range(-3.0..3.0))).collect(),
-                        (0..15).map(|_| p(rng.gen_range(0.0..2.0), rng.gen_range(-3.0..3.0))).collect(),
+                        (0..15)
+                            .map(|_| p(rng.gen_range(-2.0..0.0), rng.gen_range(-3.0..3.0)))
+                            .collect(),
+                        (0..15)
+                            .map(|_| p(rng.gen_range(0.0..2.0), rng.gen_range(-3.0..3.0)))
+                            .collect(),
                     ),
                     _ => (
-                        (0..15).map(|_| p(rng.gen_range(0.0..2.0), rng.gen_range(-3.0..3.0))).collect(),
-                        (0..15).map(|_| p(rng.gen_range(-2.0..0.0), rng.gen_range(-3.0..3.0))).collect(),
+                        (0..15)
+                            .map(|_| p(rng.gen_range(0.0..2.0), rng.gen_range(-3.0..3.0)))
+                            .collect(),
+                        (0..15)
+                            .map(|_| p(rng.gen_range(-2.0..0.0), rng.gen_range(-3.0..3.0)))
+                            .collect(),
                     ),
                 };
                 let wf = Wavefront::build(&centers, eps, 0.0, side);

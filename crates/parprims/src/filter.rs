@@ -49,14 +49,16 @@ where
         .zip(ranges.par_iter())
         .for_each(|(out_block, &(s, e))| {
             let mut k = 0usize;
-            for i in s..e {
-                if pred(i, &input[i]) {
-                    out_block[k] = Some((i, input[i].clone()));
+            for (i, item) in input.iter().enumerate().take(e).skip(s) {
+                if pred(i, item) {
+                    out_block[k] = Some((i, item.clone()));
                     k += 1;
                 }
             }
         });
-    out.into_iter().map(|o| o.expect("filter slot filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("filter slot filled"))
+        .collect()
 }
 
 /// Returns the number of elements satisfying `pred` (a filter without the
@@ -88,16 +90,16 @@ where
 
 /// Splits `out` into per-block sub-slices where block `b` starts at
 /// `offsets[b]` and the final block ends at `total`.
-fn split_counts<'a, T>(
-    out: &'a mut [T],
-    offsets: &[usize],
-    total: usize,
-) -> Vec<&'a mut [T]> {
+fn split_counts<'a, T>(out: &'a mut [T], offsets: &[usize], total: usize) -> Vec<&'a mut [T]> {
     let mut result = Vec::with_capacity(offsets.len());
     let mut rest = out;
     let mut consumed = 0usize;
     for b in 0..offsets.len() {
-        let end = if b + 1 < offsets.len() { offsets[b + 1] } else { total };
+        let end = if b + 1 < offsets.len() {
+            offsets[b + 1]
+        } else {
+            total
+        };
         let len = end - offsets[b];
         debug_assert_eq!(offsets[b], consumed);
         let (head, tail) = rest.split_at_mut(len);

@@ -106,8 +106,12 @@ mod tests {
     fn merges_random_sorted_inputs() {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..20 {
-            let mut a: Vec<u32> = (0..rng.gen_range(0..5000)).map(|_| rng.gen_range(0..10_000)).collect();
-            let mut b: Vec<u32> = (0..rng.gen_range(0..5000)).map(|_| rng.gen_range(0..10_000)).collect();
+            let mut a: Vec<u32> = (0..rng.gen_range(0..5000))
+                .map(|_| rng.gen_range(0..10_000))
+                .collect();
+            let mut b: Vec<u32> = (0..rng.gen_range(0..5000))
+                .map(|_| rng.gen_range(0..10_000))
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             let got = merge_sorted(&a, &b);

@@ -27,13 +27,7 @@ pub fn pointer_jump_roots(parent: &[usize]) -> Vec<usize> {
         .map(|i| if parent[i] == ROOT { i } else { parent[i] })
         .collect();
     loop {
-        let next: Vec<usize> = current
-            .par_iter()
-            .map(|&p| {
-                let pp = current[p];
-                pp
-            })
-            .collect();
+        let next: Vec<usize> = current.par_iter().map(|&p| current[p]).collect();
         if next == current {
             return current;
         }
@@ -107,7 +101,10 @@ mod tests {
             let n = rng.gen_range(1..5000);
             let mut is_head: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.05)).collect();
             is_head[0] = true;
-            assert_eq!(strip_heads_to_assignment(&is_head), reference_assignment(&is_head));
+            assert_eq!(
+                strip_heads_to_assignment(&is_head),
+                reference_assignment(&is_head)
+            );
         }
     }
 

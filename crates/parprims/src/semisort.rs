@@ -72,10 +72,8 @@ impl Hasher for FxLikeHasher {
 }
 
 fn hash_key<K: Hash>(key: &K) -> u64 {
-    let mut h = BuildHasherDefault::<FxLikeHasher>::default().build_hasher();
-    key.hash(&mut h);
     // Final avalanche so that taking the low bits for bucketing is safe.
-    let mut x = h.finish();
+    let mut x = BuildHasherDefault::<FxLikeHasher>::default().hash_one(key);
     x ^= x >> 33;
     x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     x ^= x >> 33;
@@ -92,10 +90,15 @@ where
 {
     let n = pairs.len();
     if n == 0 {
-        return GroupedByKey { pairs, group_starts: Vec::new() };
+        return GroupedByKey {
+            pairs,
+            group_starts: Vec::new(),
+        };
     }
 
-    let nbuckets = (num_threads() * num_threads() * 4).clamp(16, 4096).next_power_of_two();
+    let nbuckets = (num_threads() * num_threads() * 4)
+        .clamp(16, 4096)
+        .next_power_of_two();
     let mask = (nbuckets - 1) as u64;
     let ranges = block_ranges(n, 2048);
 
@@ -128,9 +131,9 @@ where
     {
         let mut cursor = bucket_starts[..nbuckets].to_vec();
         for (blk, c) in counts.iter().enumerate() {
-            for b in 0..nbuckets {
-                slot_offset[blk][b] = cursor[b];
-                cursor[b] += c[b];
+            for ((slot, cur), &count) in slot_offset[blk].iter_mut().zip(cursor.iter_mut()).zip(c) {
+                *slot = *cur;
+                *cur += count;
             }
         }
     }
@@ -169,7 +172,10 @@ where
             }
             let mut groups: HashMap<K, Vec<(K, V)>> = HashMap::with_capacity(slice.len());
             for (k, v) in slice {
-                groups.entry(k.clone()).or_default().push((k.clone(), v.clone()));
+                groups
+                    .entry(k.clone())
+                    .or_default()
+                    .push((k.clone(), v.clone()));
             }
             let mut flat = Vec::with_capacity(slice.len());
             for (_, g) in groups {
@@ -196,7 +202,10 @@ where
         }
         out.extend(bucket);
     }
-    GroupedByKey { pairs: out, group_starts }
+    GroupedByKey {
+        pairs: out,
+        group_starts,
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +235,11 @@ mod tests {
         }
         seen_keys.sort_unstable();
         seen_keys.dedup();
-        assert_eq!(seen_keys.len(), reference.len(), "a key appears in two groups");
+        assert_eq!(
+            seen_keys.len(),
+            reference.len(),
+            "a key appears in two groups"
+        );
     }
 
     #[test]

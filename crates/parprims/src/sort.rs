@@ -91,9 +91,7 @@ where
         .par_iter()
         .enumerate()
         .map(|(b, &(s, e))| {
-            let mut cursor: Vec<usize> = (0..num_keys)
-                .map(|k| offsets[k * nblocks + b])
-                .collect();
+            let mut cursor: Vec<usize> = (0..num_keys).map(|k| offsets[k * nblocks + b]).collect();
             let mut local = Vec::with_capacity(e - s);
             for v in &data[s..e] {
                 let k = key(v);
@@ -109,7 +107,9 @@ where
             out[pos] = Some(v);
         }
     }
-    out.into_iter().map(|o| o.expect("scatter slot filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("scatter slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -147,9 +147,16 @@ mod tests {
         // Stability: within a key, original order (the second component is the
         // original index) must be preserved.
         for k in 0..16 {
-            let ours: Vec<u64> = got.iter().filter(|&&(kk, _)| kk == k).map(|&(_, v)| v).collect();
-            let reference: Vec<u64> =
-                data.iter().filter(|&&(kk, _)| kk == k).map(|&(_, v)| v).collect();
+            let ours: Vec<u64> = got
+                .iter()
+                .filter(|&&(kk, _)| kk == k)
+                .map(|&(_, v)| v)
+                .collect();
+            let reference: Vec<u64> = data
+                .iter()
+                .filter(|&&(kk, _)| kk == k)
+                .map(|&(_, v)| v)
+                .collect();
             assert_eq!(ours, reference, "key {k} not stable");
         }
     }

@@ -56,7 +56,12 @@ impl<const D: usize> GridIndex<D> {
         for (i, k) in keys.iter().enumerate() {
             key_to_cell.insert(*k, i);
         }
-        GridIndex { origin, side, eps, key_to_cell }
+        GridIndex {
+            origin,
+            side,
+            eps,
+            key_to_cell,
+        }
     }
 
     /// The cell side length ε/√D.

@@ -41,9 +41,12 @@ impl<const D: usize> CellKdTree<D> {
         let root = if ids.is_empty() {
             None
         } else {
-            Some(build_node(cell_boxes, ids, 0))
+            Some(build_node(cell_boxes, ids))
         };
-        CellKdTree { root, boxes: cell_boxes.to_vec() }
+        CellKdTree {
+            root,
+            boxes: cell_boxes.to_vec(),
+        }
     }
 
     /// Number of cells indexed.
@@ -69,18 +72,18 @@ impl<const D: usize> CellKdTree<D> {
     }
 }
 
-fn build_node<const D: usize>(
-    boxes: &[BoundingBox<D>],
-    ids: Vec<usize>,
-    depth: usize,
-) -> Node<D> {
+fn build_node<const D: usize>(boxes: &[BoundingBox<D>], ids: Vec<usize>) -> Node<D> {
     let bounds = ids
         .iter()
         .map(|&i| boxes[i])
         .reduce(|a, b| a.union(&b))
         .expect("non-empty node");
     if ids.len() <= LEAF_SIZE {
-        return Node { bounds, items: ids, children: None };
+        return Node {
+            bounds,
+            items: ids,
+            children: None,
+        };
     }
     // Split on the widest axis of the node bounds at the median cell centre.
     let axis = {
@@ -106,16 +109,17 @@ fn build_node<const D: usize>(
     let left_ids = sorted;
     let (left, right) = if left_ids.len() + right_ids.len() >= PARALLEL_CUTOFF {
         join(
-            || build_node(boxes, left_ids, depth + 1),
-            || build_node(boxes, right_ids, depth + 1),
+            || build_node(boxes, left_ids),
+            || build_node(boxes, right_ids),
         )
     } else {
-        (
-            build_node(boxes, left_ids, depth + 1),
-            build_node(boxes, right_ids, depth + 1),
-        )
+        (build_node(boxes, left_ids), build_node(boxes, right_ids))
     };
-    Node { bounds, items: Vec::new(), children: Some((Box::new(left), Box::new(right))) }
+    Node {
+        bounds,
+        items: Vec::new(),
+        children: Some((Box::new(left), Box::new(right))),
+    }
 }
 
 fn collect_within<const D: usize>(
@@ -227,10 +231,7 @@ mod tests {
 
     #[test]
     fn exclusion_of_self_works() {
-        let boxes = vec![
-            unit_box_at([0.0, 0.0], 1.0),
-            unit_box_at([0.5, 0.5], 1.0),
-        ];
+        let boxes = vec![unit_box_at([0.0, 0.0], 1.0), unit_box_at([0.5, 0.5], 1.0)];
         let tree = CellKdTree::build(&boxes);
         assert_eq!(tree.cells_within(&boxes[0], 1.0, 0), vec![1]);
         assert_eq!(tree.cells_within(&boxes[0], 1.0, usize::MAX), vec![0, 1]);

@@ -12,6 +12,7 @@ use crate::gridkey::{cell_bbox, cell_key, cell_side, GridIndex};
 use geom::{BoundingBox, Point, Point2};
 use parprims::{semisort_by_key, strip_heads_to_assignment};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Metadata of one non-empty cell of a [`CellPartition`].
 #[derive(Debug, Clone)]
@@ -30,22 +31,46 @@ pub struct CellInfo<const D: usize> {
 
 /// A partition of the input points into cells, with points stored grouped by
 /// cell. Point *ids* always refer to indices in the original input slice.
+///
+/// The bulk data lives behind `Arc`s, so cloning a partition is O(1): the
+/// index-once / query-many engine keeps partitions in a cache and hands out
+/// shared copies to concurrent queries without duplicating the point arrays.
+#[derive(Clone)]
 pub struct CellPartition<const D: usize> {
     /// The ε parameter the partition was built for.
     pub eps: f64,
     /// The input points, re-ordered so that each cell's points are
-    /// contiguous.
-    pub points: Vec<Point<D>>,
-    /// `point_ids[i]` is the original index of `points[i]`.
-    pub point_ids: Vec<usize>,
-    /// Per-cell metadata.
-    pub cells: Vec<CellInfo<D>>,
+    /// contiguous (shared, immutable).
+    pub points: Arc<Vec<Point<D>>>,
+    /// `point_ids[i]` is the original index of `points[i]` (shared,
+    /// immutable).
+    pub point_ids: Arc<Vec<usize>>,
+    /// Per-cell metadata (shared, immutable).
+    pub cells: Arc<Vec<CellInfo<D>>>,
     /// For grid partitions, the key → cell-id index used for O(1) neighbour
     /// enumeration.
-    pub grid_index: Option<GridIndex<D>>,
+    pub grid_index: Option<Arc<GridIndex<D>>>,
 }
 
 impl<const D: usize> CellPartition<D> {
+    /// Assembles a partition from freshly built parts, taking shared
+    /// ownership of the bulk arrays.
+    pub fn from_parts(
+        eps: f64,
+        points: Vec<Point<D>>,
+        point_ids: Vec<usize>,
+        cells: Vec<CellInfo<D>>,
+        grid_index: Option<GridIndex<D>>,
+    ) -> Self {
+        CellPartition {
+            eps,
+            points: Arc::new(points),
+            point_ids: Arc::new(point_ids),
+            cells: Arc::new(cells),
+            grid_index: grid_index.map(Arc::new),
+        }
+    }
+
     /// Number of cells.
     pub fn num_cells(&self) -> usize {
         self.cells.len()
@@ -89,7 +114,7 @@ impl<const D: usize> CellPartition<D> {
             return Err("point_ids length mismatch".into());
         }
         let mut seen = vec![false; n];
-        for &id in &self.point_ids {
+        for &id in self.point_ids.iter() {
             if id >= n {
                 return Err(format!("point id {id} out of range"));
             }
@@ -133,28 +158,25 @@ pub fn grid_partition<const D: usize>(points: &[Point<D>], eps: f64) -> CellPart
     assert!(eps > 0.0, "eps must be positive");
     let n = points.len();
     if n == 0 {
-        return CellPartition {
+        return CellPartition::from_parts(
             eps,
-            points: Vec::new(),
-            point_ids: Vec::new(),
-            cells: Vec::new(),
-            grid_index: Some(GridIndex::new([0.0; D], eps, &[])),
-        };
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Some(GridIndex::new([0.0; D], eps, &[])),
+        );
     }
     let side = cell_side::<D>(eps);
     // Lower corner of the dataset (computed in parallel).
-    let origin = points
-        .par_iter()
-        .map(|p| p.coords)
-        .reduce(
-            || [f64::INFINITY; D],
-            |mut acc, c| {
-                for i in 0..D {
-                    acc[i] = acc[i].min(c[i]);
-                }
-                acc
-            },
-        );
+    let origin = points.par_iter().map(|p| p.coords).reduce(
+        || [f64::INFINITY; D],
+        |mut acc, c| {
+            for i in 0..D {
+                acc[i] = acc[i].min(c[i]);
+            }
+            acc
+        },
+    );
 
     // Semisort (cell key, point id) pairs to group points by cell.
     let pairs: Vec<([i64; D], usize)> = points
@@ -185,13 +207,7 @@ pub fn grid_partition<const D: usize>(points: &[Point<D>], eps: f64) -> CellPart
         keys.push(key);
     }
     let grid_index = GridIndex::new(origin, eps, &keys);
-    CellPartition {
-        eps,
-        points: reordered_points,
-        point_ids,
-        cells,
-        grid_index: Some(grid_index),
-    }
+    CellPartition::from_parts(eps, reordered_points, point_ids, cells, Some(grid_index))
 }
 
 /// Builds the 2D box partition of §4.2: points are sorted by x and greedily
@@ -204,13 +220,7 @@ pub fn box_partition(points: &[Point2], eps: f64) -> CellPartition<2> {
     assert!(eps > 0.0, "eps must be positive");
     let n = points.len();
     if n == 0 {
-        return CellPartition {
-            eps,
-            points: Vec::new(),
-            point_ids: Vec::new(),
-            cells: Vec::new(),
-            grid_index: None,
-        };
+        return CellPartition::from_parts(eps, Vec::new(), Vec::new(), Vec::new(), None);
     }
     let width = eps / (2.0f64).sqrt();
 
@@ -272,16 +282,15 @@ pub fn box_partition(points: &[Point2], eps: f64) -> CellPartition<2> {
                 point_ids.push(pid);
             }
             let bbox = BoundingBox::containing(&reordered_points[start..]).expect("non-empty cell");
-            cells.push(CellInfo { start, len: cell_members.len(), bbox, key: None });
+            cells.push(CellInfo {
+                start,
+                len: cell_members.len(),
+                bbox,
+                key: None,
+            });
         }
     }
-    CellPartition {
-        eps,
-        points: reordered_points,
-        point_ids,
-        cells,
-        grid_index: None,
-    }
+    CellPartition::from_parts(eps, reordered_points, point_ids, cells, None)
 }
 
 /// Greedy strip decomposition along one coordinate: `order` lists point ids
@@ -290,7 +299,11 @@ pub fn box_partition(points: &[Point2], eps: f64) -> CellPartition<2> {
 /// `width`. Returns, for every *rank* in `order`, the dense index of its
 /// strip. The head-finding walk follows the same parent chain as the paper's
 /// parallel formulation; membership is then resolved with pointer jumping.
-fn greedy_heads_and_assign(order: &[usize], coord: impl Fn(usize) -> f64, width: f64) -> Vec<usize> {
+fn greedy_heads_and_assign(
+    order: &[usize],
+    coord: impl Fn(usize) -> f64,
+    width: f64,
+) -> Vec<usize> {
     let m = order.len();
     let mut is_head = vec![false; m];
     let mut rank = 0usize;
@@ -407,7 +420,7 @@ mod tests {
         let eps = 2.0;
         let width = eps / (2.0f64).sqrt();
         let part = box_partition(&pts, eps);
-        for info in &part.cells {
+        for info in part.cells.iter() {
             assert!(info.bbox.hi[0] - info.bbox.lo[0] <= width + 1e-9);
             assert!(info.bbox.hi[1] - info.bbox.lo[1] <= width + 1e-9);
         }

@@ -64,10 +64,16 @@ impl<const D: usize> SubdivisionTree<D> {
     pub fn build_with_depth(points: &[Point<D>], bbox: BoundingBox<D>, max_depth: usize) -> Self {
         let pts = points.to_vec();
         if pts.is_empty() {
-            return SubdivisionTree { points: pts, root: None };
+            return SubdivisionTree {
+                points: pts,
+                root: None,
+            };
         }
         let (root, ordered) = build_node(pts, bbox, 0, max_depth, 0);
-        SubdivisionTree { points: ordered, root: Some(root) }
+        SubdivisionTree {
+            points: ordered,
+            root: Some(root),
+        }
     }
 
     /// Number of points stored in the tree.
@@ -102,9 +108,13 @@ impl<const D: usize> SubdivisionTree<D> {
     pub fn count_within_approx(&self, p: &Point<D>, eps: f64, rho: f64) -> usize {
         match &self.root {
             None => 0,
-            Some(root) => {
-                count_approx(root, &self.points, p, eps * eps, (eps * (1.0 + rho)).powi(2))
-            }
+            Some(root) => count_approx(
+                root,
+                &self.points,
+                p,
+                eps * eps,
+                (eps * (1.0 + rho)).powi(2),
+            ),
         }
     }
 
@@ -115,9 +125,13 @@ impl<const D: usize> SubdivisionTree<D> {
     pub fn any_within_approx(&self, p: &Point<D>, eps: f64, rho: f64) -> bool {
         match &self.root {
             None => false,
-            Some(root) => {
-                any_approx(root, &self.points, p, eps * eps, (eps * (1.0 + rho)).powi(2))
-            }
+            Some(root) => any_approx(
+                root,
+                &self.points,
+                p,
+                eps * eps,
+                (eps * (1.0 + rho)).powi(2),
+            ),
         }
     }
 }
@@ -139,7 +153,12 @@ fn build_node<const D: usize>(
     const ABSOLUTE_MAX_DEPTH: usize = 64;
     if count <= LEAF_SIZE || depth >= max_depth || depth >= ABSOLUTE_MAX_DEPTH {
         return (
-            Node { bbox, count, start: offset, children: Vec::new() },
+            Node {
+                bbox,
+                count,
+                start: offset,
+                children: Vec::new(),
+            },
             pts,
         );
     }
@@ -180,7 +199,12 @@ fn build_node<const D: usize>(
         let (k, group) = groups.pop().unwrap();
         let child_box = sub_box(&bbox, &center, k);
         let (child, ordered) = build_node(group, child_box, depth + 1, max_depth, offset);
-        let node = Node { bbox, count, start: offset, children: vec![child] };
+        let node = Node {
+            bbox,
+            count,
+            start: offset,
+            children: vec![child],
+        };
         return (node, ordered);
     }
 
@@ -211,18 +235,19 @@ fn build_node<const D: usize>(
         ordered.extend(pts);
     }
     (
-        Node { bbox, count, start: offset, children },
+        Node {
+            bbox,
+            count,
+            start: offset,
+            children,
+        },
         ordered,
     )
 }
 
 /// The `k`-th sub-box of `bbox` when split at `center` (bit i of `k` selects
 /// the upper half along axis i).
-fn sub_box<const D: usize>(
-    bbox: &BoundingBox<D>,
-    center: &Point<D>,
-    k: usize,
-) -> BoundingBox<D> {
+fn sub_box<const D: usize>(bbox: &BoundingBox<D>, center: &Point<D>, k: usize) -> BoundingBox<D> {
     let mut lo = bbox.lo;
     let mut hi = bbox.hi;
     for i in 0..D {
@@ -276,7 +301,9 @@ fn any_exact<const D: usize>(
             .iter()
             .any(|q| q.dist_sq(p) <= eps_sq);
     }
-    node.children.iter().any(|c| any_exact(c, points, p, eps_sq))
+    node.children
+        .iter()
+        .any(|c| any_exact(c, points, p, eps_sq))
 }
 
 fn count_approx<const D: usize>(

@@ -15,13 +15,13 @@ use rayon::prelude::*;
 /// `labels[v]` is a canonical component id in `0..num_components`
 /// (components are numbered by their smallest vertex, densely re-indexed in
 /// increasing order of that smallest vertex).
-pub fn connected_components(
-    num_vertices: usize,
-    edges: &[(usize, usize)],
-) -> (Vec<usize>, usize) {
+pub fn connected_components(num_vertices: usize, edges: &[(usize, usize)]) -> (Vec<usize>, usize) {
     let uf = ConcurrentUnionFind::new(num_vertices);
     edges.par_iter().for_each(|&(a, b)| {
-        assert!(a < num_vertices && b < num_vertices, "edge endpoint out of range");
+        assert!(
+            a < num_vertices && b < num_vertices,
+            "edge endpoint out of range"
+        );
         uf.union(a, b);
     });
     component_labels(&uf)
@@ -110,8 +110,9 @@ mod tests {
         for _ in 0..5 {
             let n = rng.gen_range(1..500);
             let m = rng.gen_range(0..1000);
-            let edges: Vec<(usize, usize)> =
-                (0..m).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+            let edges: Vec<(usize, usize)> = (0..m)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
             let (labels, k) = connected_components(n, &edges);
             // Reference via sequential union-find.
             let mut seq = crate::SequentialUnionFind::new(n);

@@ -58,7 +58,11 @@ impl SequentialUnionFind {
         if ra == rb {
             return false;
         }
-        let (small, large) = if self.size[ra] < self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (small, large) = if self.size[ra] < self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = large;
         self.size[large] += self.size[small];
         self.num_sets -= 1;

@@ -1,0 +1,7 @@
+//! Workspace-level integration test suite.
+//!
+//! This crate has no library code of its own; it exists so that the
+//! cross-crate integration tests in `tests/` (brute-force equivalence,
+//! DBSCAN axioms, approximate-guarantee sandwiching, engine/one-shot
+//! label-identity) have a package to live in. See the workspace `README.md`
+//! for the crate map.

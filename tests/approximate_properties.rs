@@ -41,7 +41,9 @@ fn core_partition_refines(fine: &Clustering, coarse: &Clustering) -> bool {
 
 fn check_sandwich<const D: usize>(points: &[Point<D>], eps: f64, min_pts: usize, rho: f64) {
     let exact_inner = Dbscan::exact(points, eps, min_pts).run().unwrap();
-    let exact_outer = Dbscan::exact(points, eps * (1.0 + rho), min_pts).run().unwrap();
+    let exact_outer = Dbscan::exact(points, eps * (1.0 + rho), min_pts)
+        .run()
+        .unwrap();
     for mark in [MarkCoreMethod::Scan, MarkCoreMethod::QuadTree] {
         let approx = Dbscan::exact(points, eps, min_pts)
             .mark_core(mark)
@@ -82,9 +84,12 @@ fn check_sandwich<const D: usize>(points: &[Point<D>], eps: f64, min_pts: usize,
             if approx.is_core(i) || approx.is_noise(i) {
                 continue;
             }
-            let near_core = (0..points.len())
-                .any(|j| approx.is_core(j) && points[i].within(&points[j], eps));
-            assert!(near_core, "{mark:?}: border point {i} has no core point within eps");
+            let near_core =
+                (0..points.len()).any(|j| approx.is_core(j) && points[i].within(&points[j], eps));
+            assert!(
+                near_core,
+                "{mark:?}: border point {i} has no core point within eps"
+            );
         }
     }
 }
@@ -127,7 +132,10 @@ fn tiny_rho_matches_exact_clustering_exactly_here() {
     // eps*rho).
     let mut pts = Vec::new();
     for i in 0..200 {
-        pts.push(geom::Point2::new([(i % 20) as f64 * 0.3, (i / 20) as f64 * 0.3]));
+        pts.push(geom::Point2::new([
+            (i % 20) as f64 * 0.3,
+            (i / 20) as f64 * 0.3,
+        ]));
         pts.push(geom::Point2::new([
             100.0 + (i % 20) as f64 * 0.3,
             100.0 + (i / 20) as f64 * 0.3,
@@ -143,5 +151,8 @@ fn tiny_rho_matches_exact_clustering_exactly_here() {
 fn rho_validation_rejects_nonpositive_values() {
     let pts = vec![geom::Point2::new([0.0, 0.0])];
     assert!(Dbscan::exact(&pts, 1.0, 1).approximate(0.0).run().is_err());
-    assert!(Dbscan::exact(&pts, 1.0, 1).approximate(f64::NAN).run().is_err());
+    assert!(Dbscan::exact(&pts, 1.0, 1)
+        .approximate(f64::NAN)
+        .run()
+        .is_err());
 }

@@ -93,13 +93,19 @@ fn pairs_at_exactly_eps_distance() {
     let want = to_clustering(&brute_force_dbscan(&pts, 1.0, 3));
     for c in all_2d_variants(&pts, 1.0, 3) {
         assert_eq!(c, want);
-        assert_eq!(c.num_clusters(), 1, "exactly-eps pair must connect the groups");
+        assert_eq!(
+            c.num_clusters(),
+            1,
+            "exactly-eps pair must connect the groups"
+        );
     }
 }
 
 #[test]
 fn min_pts_larger_than_n() {
-    let pts: Vec<Point2> = (0..50).map(|i| Point2::new([0.01 * i as f64, 0.0])).collect();
+    let pts: Vec<Point2> = (0..50)
+        .map(|i| Point2::new([0.01 * i as f64, 0.0]))
+        .collect();
     for c in all_2d_variants(&pts, 10.0, 1_000) {
         assert_eq!(c.num_clusters(), 0);
         assert!(c.core_flags().iter().all(|&x| !x));
@@ -151,6 +157,9 @@ fn thirteen_dimensional_points_run_exact_and_approximate() {
     let exact = Dbscan::exact(&pts, 5.0, 100).run().unwrap();
     assert_eq!(exact.num_clusters(), 1);
     assert!(exact.core_flags().iter().all(|&x| x));
-    let approx = Dbscan::exact(&pts, 5.0, 100).approximate(0.01).run().unwrap();
+    let approx = Dbscan::exact(&pts, 5.0, 100)
+        .approximate(0.01)
+        .run()
+        .unwrap();
     assert_eq!(approx.num_clusters(), 1);
 }

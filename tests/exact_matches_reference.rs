@@ -21,12 +21,21 @@ fn assert_matches_brute<const D: usize>(points: &[Point<D>], eps: f64, min_pts: 
     for mark in [MarkCoreMethod::Scan, MarkCoreMethod::QuadTree] {
         for bucketing in [false, true] {
             variants.push((CellMethod::Grid, mark, CellGraphMethod::Bcp, bucketing));
-            variants.push((CellMethod::Grid, mark, CellGraphMethod::QuadTreeBcp, bucketing));
+            variants.push((
+                CellMethod::Grid,
+                mark,
+                CellGraphMethod::QuadTreeBcp,
+                bucketing,
+            ));
         }
     }
     if D == 2 {
         for cell in [CellMethod::Grid, CellMethod::Box] {
-            for graph in [CellGraphMethod::Bcp, CellGraphMethod::Usec, CellGraphMethod::Delaunay] {
+            for graph in [
+                CellGraphMethod::Bcp,
+                CellGraphMethod::Usec,
+                CellGraphMethod::Delaunay,
+            ] {
                 variants.push((cell, MarkCoreMethod::Scan, graph, false));
             }
         }
@@ -40,7 +49,8 @@ fn assert_matches_brute<const D: usize>(points: &[Point<D>], eps: f64, min_pts: 
             .run()
             .unwrap();
         assert_eq!(
-            got, want,
+            got,
+            want,
             "variant {cell:?}/{mark:?}/{graph:?}/bucketing={bucketing} differs from brute force \
              (eps={eps}, min_pts={min_pts}, n={})",
             points.len()

@@ -3,7 +3,9 @@
 //! (thousands of cells, many clusters), checking structural properties rather
 //! than brute-force equality.
 
-use datagen::{seed_spreader, single_cell_like, skewed_geolife_like, uniform_fill, SeedSpreaderConfig};
+use datagen::{
+    seed_spreader, single_cell_like, skewed_geolife_like, uniform_fill, SeedSpreaderConfig,
+};
 use geom::Point;
 use pardbscan::{Dbscan, VariantConfig};
 
@@ -12,9 +14,16 @@ fn simden_3d_produces_many_clusters_with_little_noise() {
     let cfg = SeedSpreaderConfig::simden(30_000, 1);
     let pts = seed_spreader::<3>(&cfg);
     let c = Dbscan::exact(&pts, 1_000.0, 10).run().unwrap();
-    assert!(c.num_clusters() >= 3, "expected several clusters, got {}", c.num_clusters());
+    assert!(
+        c.num_clusters() >= 3,
+        "expected several clusters, got {}",
+        c.num_clusters()
+    );
     let noise_frac = c.num_noise() as f64 / pts.len() as f64;
-    assert!(noise_frac < 0.05, "noise fraction {noise_frac} unexpectedly high");
+    assert!(
+        noise_frac < 0.05,
+        "noise fraction {noise_frac} unexpectedly high"
+    );
     // Clusters cover all non-noise points and every cluster id is in range.
     for i in 0..pts.len() {
         for &cl in c.clusters_of(i) {
@@ -28,7 +37,10 @@ fn varden_2d_with_bucketing_matches_non_bucketed() {
     let cfg = SeedSpreaderConfig::varden(20_000, 2);
     let pts = seed_spreader::<2>(&cfg);
     let a = Dbscan::exact(&pts, 800.0, 50).run().unwrap();
-    let b = Dbscan::exact(&pts, 800.0, 50).bucketing(true).run().unwrap();
+    let b = Dbscan::exact(&pts, 800.0, 50)
+        .bucketing(true)
+        .run()
+        .unwrap();
     assert_eq!(a, b);
 }
 
@@ -61,7 +73,10 @@ fn skewed_dataset_runs_all_exact_variants_consistently() {
         VariantConfig::exact_qt(),
         VariantConfig::exact_qt().with_bucketing(true),
     ] {
-        let got = Dbscan::exact(&pts, 10.0, 100).variant(variant).run().unwrap();
+        let got = Dbscan::exact(&pts, 10.0, 100)
+            .variant(variant)
+            .run()
+            .unwrap();
         assert_eq!(got, reference, "{}", variant.paper_name());
     }
     // The hot spot forms at least one dense cluster.
@@ -73,8 +88,14 @@ fn approximate_runs_on_large_varden_and_respects_rho_monotonicity() {
     let cfg = SeedSpreaderConfig::varden(30_000, 6);
     let pts = seed_spreader::<5>(&cfg);
     let exact = Dbscan::exact(&pts, 2_000.0, 10).run().unwrap();
-    let approx_small = Dbscan::exact(&pts, 2_000.0, 10).approximate(0.001).run().unwrap();
-    let approx_large = Dbscan::exact(&pts, 2_000.0, 10).approximate(0.1).run().unwrap();
+    let approx_small = Dbscan::exact(&pts, 2_000.0, 10)
+        .approximate(0.001)
+        .run()
+        .unwrap();
+    let approx_large = Dbscan::exact(&pts, 2_000.0, 10)
+        .approximate(0.1)
+        .run()
+        .unwrap();
     // Approximation can only merge exact clusters, never split them, so the
     // cluster count is non-increasing in the amount of permitted merging.
     assert!(approx_small.num_clusters() <= exact.num_clusters());

@@ -48,7 +48,11 @@ fn check_dbscan_axioms<const D: usize>(
             .collect();
         expected.sort_unstable();
         expected.dedup();
-        assert_eq!(c.clusters_of(i), &expected[..], "memberships of non-core point {i}");
+        assert_eq!(
+            c.clusters_of(i),
+            &expected[..],
+            "memberships of non-core point {i}"
+        );
     }
 }
 
@@ -58,8 +62,11 @@ fn arb_points_2d(max_n: usize, extent: f64) -> impl Strategy<Value = Vec<Point2>
 }
 
 fn arb_points_3d(max_n: usize, extent: f64) -> impl Strategy<Value = Vec<Point<3>>> {
-    prop::collection::vec((0.0..extent, 0.0..extent, 0.0..extent), 0..max_n)
-        .prop_map(|v| v.into_iter().map(|(x, y, z)| Point::new([x, y, z])).collect())
+    prop::collection::vec((0.0..extent, 0.0..extent, 0.0..extent), 0..max_n).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y, z)| Point::new([x, y, z]))
+            .collect()
+    })
 }
 
 proptest! {

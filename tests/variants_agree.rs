@@ -19,7 +19,10 @@ fn all_2d_variants_agree_on_seed_spreader_data() {
     let min_pts = 20;
 
     let reference = Dbscan::exact(&pts, eps, min_pts).run().unwrap();
-    assert!(reference.num_clusters() >= 2, "fixture should produce several clusters");
+    assert!(
+        reference.num_clusters() >= 2,
+        "fixture should produce several clusters"
+    );
 
     for cell in [CellMethod::Grid, CellMethod::Box] {
         for graph in [
@@ -66,7 +69,10 @@ fn grid_variants_agree_on_5d_varden_data() {
         VariantConfig::exact_qt(),
         VariantConfig::exact_qt().with_bucketing(true),
     ] {
-        let got = Dbscan::exact(&pts, eps, min_pts).variant(variant).run().unwrap();
+        let got = Dbscan::exact(&pts, eps, min_pts)
+            .variant(variant)
+            .run()
+            .unwrap();
         assert_eq!(got, reference, "{}", variant.paper_name());
     }
 }
@@ -79,7 +85,10 @@ fn skewed_data_exercises_bucketing_consistently() {
     let eps = 8.0;
     let min_pts = 30;
     let plain = Dbscan::exact(&pts, eps, min_pts).run().unwrap();
-    let bucketed = Dbscan::exact(&pts, eps, min_pts).bucketing(true).run().unwrap();
+    let bucketed = Dbscan::exact(&pts, eps, min_pts)
+        .bucketing(true)
+        .run()
+        .unwrap();
     let qt = Dbscan::exact(&pts, eps, min_pts)
         .variant(VariantConfig::exact_qt().with_bucketing(true))
         .run()
@@ -105,8 +114,14 @@ fn paper_named_variants_run_end_to_end() {
     for (name, variant) in [
         ("our-exact", VariantConfig::exact()),
         ("our-exact-qt", VariantConfig::exact_qt()),
-        ("our-exact-bucketing", VariantConfig::exact().with_bucketing(true)),
-        ("our-exact-qt-bucketing", VariantConfig::exact_qt().with_bucketing(true)),
+        (
+            "our-exact-bucketing",
+            VariantConfig::exact().with_bucketing(true),
+        ),
+        (
+            "our-exact-qt-bucketing",
+            VariantConfig::exact_qt().with_bucketing(true),
+        ),
     ] {
         assert_eq!(variant.paper_name(), name);
         let got = Dbscan::exact(&pts, 2.0, 10).variant(variant).run().unwrap();
