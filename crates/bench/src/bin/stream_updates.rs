@@ -1,0 +1,263 @@
+//! Streaming updates: incremental `apply` vs. full re-cluster.
+//!
+//! The `dbscan-stream` subsystem maintains exact DBSCAN labels under point
+//! insertions and deletions by reprocessing only the ε-neighbourhood of the
+//! touched cells (plus any component a deletion may have split). This
+//! binary measures that claim: for update batches of 0.1%, 1% and 10% of n
+//! (half deletions, half insertions drawn from the same distribution), it
+//! times the incremental [`StreamingClusterer::apply`] against a full
+//! from-scratch `pardbscan::dbscan` run on the post-update point set.
+//!
+//! Expected shape: for small batches the incremental path wins by orders of
+//! magnitude because its work is proportional to the touched region; as the
+//! batch approaches a significant fraction of n (and churn triggers overlay
+//! compactions) the advantage shrinks — the crossover is the point where
+//! re-indexing is the better call, which is exactly the `freeze()` /
+//! `into_streaming()` hand-off the engine integration exists for.
+//!
+//! Output: a CSV block per dataset plus a machine-readable JSON document
+//! written to `BENCH_stream_updates.json` (override with `--json PATH`, or
+//! `--json -` to skip the file).
+//!
+//! ```text
+//! cargo run --release -p bench --bin stream_updates \
+//!     [--scale S] [--batches K] [--json PATH]
+//! ```
+
+use bench::*;
+use dbscan_stream::{StreamingClusterer, UpdateBatch};
+use geom::Point;
+use pardbscan::DbscanParams;
+use std::time::Instant;
+
+/// Deterministic xorshift64* so the bin needs no rand dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+struct FractionReport {
+    fraction: f64,
+    batch_size: usize,
+    apply_s: f64,
+    full_s: f64,
+    cells_touched: usize,
+    points_rescanned: usize,
+    components_reclustered: usize,
+    compactions: usize,
+}
+
+struct DatasetReport {
+    name: String,
+    n: usize,
+    eps: f64,
+    min_pts: usize,
+    series: Vec<FractionReport>,
+}
+
+/// Runs `batches` update batches of `fraction * n` points (half deletes,
+/// half inserts) through a fresh clusterer, timing incremental apply and a
+/// full re-cluster of the final live set after every batch.
+fn run_fraction<const D: usize>(
+    initial: &[Point<D>],
+    insert_pool: &[Point<D>],
+    params: DbscanParams,
+    fraction: f64,
+    batches: usize,
+    seed: u64,
+) -> FractionReport {
+    let n = initial.len();
+    let batch_size = ((n as f64 * fraction).round() as usize).max(2);
+    let mut rng = Lcg(seed | 1);
+    let mut clusterer =
+        StreamingClusterer::new(initial.to_vec(), params).expect("benchmark dataset is valid");
+
+    let mut pool = insert_pool.iter().copied().cycle();
+    let mut apply_total = 0.0f64;
+    let mut full_total = 0.0f64;
+    let mut report = FractionReport {
+        fraction,
+        batch_size,
+        apply_s: 0.0,
+        full_s: 0.0,
+        cells_touched: 0,
+        points_rescanned: 0,
+        components_reclustered: 0,
+        compactions: 0,
+    };
+    for _ in 0..batches {
+        let mut live_ids: Vec<usize> = clusterer
+            .live_points()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        // Partial Fisher–Yates: pick batch_size/2 distinct ids to delete.
+        let num_deletes = (batch_size / 2).min(live_ids.len());
+        for i in 0..num_deletes {
+            let j = i + rng.below(live_ids.len() - i);
+            live_ids.swap(i, j);
+        }
+        let deletes: Vec<usize> = live_ids[..num_deletes].to_vec();
+        let inserts: Vec<Point<D>> = (0..batch_size - num_deletes)
+            .map(|_| pool.next().expect("cyclic pool"))
+            .collect();
+
+        let stats = clusterer
+            .apply(UpdateBatch { inserts, deletes })
+            .expect("benchmark batches are valid");
+        apply_total += stats.elapsed.as_secs_f64();
+        report.cells_touched += stats.cells_touched;
+        report.points_rescanned += stats.points_rescanned;
+        report.components_reclustered += stats.components_reclustered;
+        report.compactions += stats.compacted as usize;
+
+        // The comparison point: cluster the same final point set from
+        // scratch (what a non-incremental service would have to do).
+        let live: Vec<Point<D>> = clusterer
+            .live_points()
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        let start = Instant::now();
+        let full = pardbscan::dbscan(&live, params.eps, params.min_pts).unwrap();
+        full_total += start.elapsed().as_secs_f64();
+        assert_eq!(full.len(), clusterer.num_live());
+    }
+    report.apply_s = apply_total / batches as f64;
+    report.full_s = full_total / batches as f64;
+    report
+}
+
+fn run_dataset<const D: usize>(
+    workload: &Workload<D>,
+    fractions: &[f64],
+    batches: usize,
+) -> DatasetReport {
+    let n = workload.points.len() / 2;
+    let (initial, insert_pool) = workload.points.split_at(n);
+    let params = DbscanParams::new(workload.eps, workload.min_pts);
+    println!(
+        "\n## dataset {} (n = {}, eps = {}, minPts = {})",
+        workload.name, n, workload.eps, workload.min_pts
+    );
+    println!(
+        "fraction,batch,apply_s,full_recluster_s,speedup,cells_touched,points_rescanned,\
+         components_reclustered,compactions"
+    );
+    let mut series = Vec::new();
+    for (i, &fraction) in fractions.iter().enumerate() {
+        let report = run_fraction(
+            initial,
+            insert_pool,
+            params,
+            fraction,
+            batches,
+            0xBEEF ^ (i as u64) << 8,
+        );
+        println!(
+            "{},{},{:.6},{:.6},{:.1},{},{},{},{}",
+            report.fraction,
+            report.batch_size,
+            report.apply_s,
+            report.full_s,
+            report.full_s / report.apply_s.max(1e-12),
+            report.cells_touched,
+            report.points_rescanned,
+            report.components_reclustered,
+            report.compactions,
+        );
+        series.push(report);
+    }
+    DatasetReport {
+        name: workload.name.clone(),
+        n,
+        eps: workload.eps,
+        min_pts: workload.min_pts,
+        series,
+    }
+}
+
+fn report_json(scale: f64, batches: usize, reports: &[DatasetReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"stream_updates\",\n  \"scale\": {},\n  \"batches_per_fraction\": {},\n  \"datasets\": [\n",
+        json_f64(scale),
+        batches
+    ));
+    for (i, report) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"eps\": {}, \"min_pts\": {}, \"series\": [\n",
+            json_escape(&report.name),
+            report.n,
+            json_f64(report.eps),
+            report.min_pts
+        ));
+        for (j, f) in report.series.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"fraction\": {}, \"batch\": {}, \"apply_s\": {}, \"full_recluster_s\": {}, \
+                 \"speedup\": {}, \"cells_touched\": {}, \"points_rescanned\": {}, \
+                 \"components_reclustered\": {}, \"compactions\": {}}}{}\n",
+                json_f64(f.fraction),
+                f.batch_size,
+                json_f64(f.apply_s),
+                json_f64(f.full_s),
+                json_f64(f.full_s / f.apply_s.max(1e-12)),
+                f.cells_touched,
+                f.points_rescanned,
+                f.components_reclustered,
+                f.compactions,
+                if j + 1 < report.series.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let batches = arg_value("--batches")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(1);
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_stream_updates.json".to_string());
+    print_header(
+        "Streaming updates",
+        "incremental apply vs full re-cluster across update-batch sizes",
+    );
+
+    // The paper's update fractions: 0.1%, 1% and 10% of n per batch.
+    let fractions = [0.001, 0.01, 0.1];
+    // Workload point counts are doubled: half seeds the clusterer, half is
+    // the insert pool, so inserts follow the dataset distribution.
+    let reports = vec![
+        run_dataset(&ss_simden::<3>(scaled(200_000, scale)), &fractions, batches),
+        run_dataset(&ss_varden::<2>(scaled(200_000, scale)), &fractions, batches),
+        run_dataset(&uniform::<3>(scaled(100_000, scale)), &fractions, batches),
+    ];
+
+    let json = report_json(scale, batches, &reports);
+    println!("\n# JSON\n{json}");
+    if json_path != "-" {
+        match std::fs::write(&json_path, &json) {
+            Ok(()) => println!("# wrote {json_path}"),
+            Err(err) => eprintln!("# failed to write {json_path}: {err}"),
+        }
+    }
+}

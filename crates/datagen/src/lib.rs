@@ -7,7 +7,7 @@
 //! Cosmo50, OpenStreetMap, TeraClickLog). The real datasets are not
 //! redistributable here, so this crate provides:
 //!
-//! * [`seed_spreader`] — the seed-spreader random-walk generator with
+//! * [`mod@seed_spreader`] — the seed-spreader random-walk generator with
 //!   similar- and variable-density presets,
 //! * [`uniform`] — UniformFill (uniform points in a hypercube of side √n),
 //! * [`standins`] — synthetic stand-ins reproducing the two structural

@@ -25,7 +25,8 @@ use spatial::SubdivisionTree;
 const BCP_BLOCK: usize = 64;
 
 /// Returns `true` if some pair `(p, q)` with `p ∈ a`, `q ∈ b` has
-/// `d(p, q) ≤ eps`, using ε-box filtering and blocked early termination.
+/// `d(p, q) ≤ eps`, using ε-box filtering and blocked early termination
+/// (the single implementation lives in [`bcp_witness`]).
 pub(crate) fn bcp_connected<const D: usize>(
     a: &[Point<D>],
     a_bbox: &BoundingBox<D>,
@@ -33,39 +34,57 @@ pub(crate) fn bcp_connected<const D: usize>(
     b_bbox: &BoundingBox<D>,
     eps: f64,
 ) -> bool {
+    bcp_witness(a, a_bbox, b, b_bbox, eps).is_some()
+}
+
+/// Like [`bcp_connected`], but returns the *positions* (into `a` and `b`)
+/// of the first within-ε pair found, or `None` if the cells are not
+/// connected. The incremental maintenance path (`dbscan-stream`) caches the
+/// returned pair as the edge's **witness**: as long as both witness points
+/// are alive and core, the edge provably persists and no new BCP query is
+/// needed when their cells lose other points.
+pub(crate) fn bcp_witness<const D: usize>(
+    a: &[Point<D>],
+    a_bbox: &BoundingBox<D>,
+    b: &[Point<D>],
+    b_bbox: &BoundingBox<D>,
+    eps: f64,
+) -> Option<(usize, usize)> {
     if a.is_empty() || b.is_empty() {
-        return false;
+        return None;
     }
     let eps_sq = eps * eps;
     // Optimization 1 (Gan & Tao): drop points farther than ε from the other
     // cell's bounding box — they cannot participate in a ≤ ε pair.
-    let a_filtered: Vec<&Point<D>> = a
+    let a_filtered: Vec<(usize, &Point<D>)> = a
         .iter()
-        .filter(|p| b_bbox.dist_sq_to_point(p) <= eps_sq)
+        .enumerate()
+        .filter(|(_, p)| b_bbox.dist_sq_to_point(p) <= eps_sq)
         .collect();
     if a_filtered.is_empty() {
-        return false;
+        return None;
     }
-    let b_filtered: Vec<&Point<D>> = b
+    let b_filtered: Vec<(usize, &Point<D>)> = b
         .iter()
-        .filter(|p| a_bbox.dist_sq_to_point(p) <= eps_sq)
+        .enumerate()
+        .filter(|(_, p)| a_bbox.dist_sq_to_point(p) <= eps_sq)
         .collect();
     if b_filtered.is_empty() {
-        return false;
+        return None;
     }
     // Optimization 2: blocked early termination.
     for a_block in a_filtered.chunks(BCP_BLOCK) {
         for b_block in b_filtered.chunks(BCP_BLOCK) {
-            for p in a_block {
-                for q in b_block {
+            for &(i, p) in a_block {
+                for &(j, q) in b_block {
                     if p.dist_sq(q) <= eps_sq {
-                        return true;
+                        return Some((i, j));
                     }
                 }
             }
         }
     }
-    false
+    None
 }
 
 /// The exact bichromatic closest pair (point indices into `a` / `b` plus the

@@ -71,7 +71,7 @@ pub use mark_core::mark_core;
 pub use params::{
     CellGraphMethod, CellMethod, DbscanError, DbscanParams, MarkCoreMethod, VariantConfig,
 };
-pub use pipeline::{CoreSet, SpatialIndex};
+pub use pipeline::{connect_region, mark_core_region, CoreSet, RegionEdge, SpatialIndex};
 pub use result::{Clustering, PointLabel};
 
 /// Re-export of the point types used by the public API, so downstream users

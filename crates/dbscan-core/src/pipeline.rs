@@ -182,6 +182,183 @@ impl<const D: usize> CoreSet<D> {
     }
 }
 
+/// Localized MarkCore: recomputes the core flags of the points of `dirty`
+/// cells only, against an arbitrary (possibly mutable-overlay) cell store
+/// accessed through closures.
+///
+/// This is the incremental-maintenance counterpart of [`crate::mark_core`]:
+/// when a batch of point insertions/deletions touches a set of cells, only
+/// points whose ε-neighbourhood intersects a touched cell can change core
+/// status — and a point's ε-neighbourhood is confined to its own cell plus
+/// that cell's ε-neighbour cells. The caller (the `dbscan-stream`
+/// clusterer) passes `dirty` = touched ∪ neighbours(touched); this function
+/// recomputes exactly those cells' flags and nothing else.
+///
+/// * `cell_points(c)` returns the live `(point id, point)` pairs of cell
+///   `c`; every cell's points are pairwise within ε (the defining cell
+///   property), so a cell with ≥ minPts live points is all-core without any
+///   distance test.
+/// * `neighbors(c)` returns the ids of the cells whose boxes are within ε
+///   of `c`'s box (excluding `c`).
+///
+/// Each referenced cell's points are fetched once (cells shared by several
+/// dirty cells' neighbourhoods are not re-materialized per query), and the
+/// per-cell recomputation runs in parallel. Returns, per dirty cell, the
+/// `(point id, is_core)` flags of its points.
+pub fn mark_core_region<const D: usize, P, N>(
+    eps: f64,
+    min_pts: usize,
+    dirty: &[usize],
+    cell_points: P,
+    neighbors: N,
+) -> Vec<(usize, Vec<(usize, bool)>)>
+where
+    P: Fn(usize) -> Vec<(usize, Point<D>)> + Sync,
+    N: Fn(usize) -> Vec<usize> + Sync,
+{
+    // Fetch the dirty cells' own points first: a cell with ≥ minPts points
+    // is all-core by the cell property alone, so only the *small* dirty
+    // cells need their neighbourhoods materialized at all.
+    let own_points: Vec<Vec<(usize, Point<D>)>> =
+        dirty.par_iter().map(|&c| cell_points(c)).collect();
+    let neighbor_lists: Vec<Vec<usize>> = dirty
+        .par_iter()
+        .zip(own_points.par_iter())
+        .map(|(&c, own)| {
+            if own.len() >= min_pts {
+                Vec::new()
+            } else {
+                neighbors(c)
+            }
+        })
+        .collect();
+    let mut needed: Vec<usize> = neighbor_lists.iter().flatten().copied().collect();
+    needed.sort_unstable();
+    needed.dedup();
+    let in_dirty: std::collections::HashMap<usize, usize> =
+        dirty.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    needed.retain(|c| !in_dirty.contains_key(c));
+    let fetched: Vec<(usize, Vec<(usize, Point<D>)>)> =
+        needed.par_iter().map(|&c| (c, cell_points(c))).collect();
+    let points_of: std::collections::HashMap<usize, &Vec<(usize, Point<D>)>> = fetched
+        .iter()
+        .map(|(c, pts)| (*c, pts))
+        .chain(
+            dirty
+                .iter()
+                .zip(own_points.iter())
+                .map(|(&c, pts)| (c, pts)),
+        )
+        .collect();
+
+    let eps_sq = eps * eps;
+    dirty
+        .par_iter()
+        .zip(own_points.par_iter().zip(neighbor_lists.par_iter()))
+        .map(|(&c, (own, nbrs))| {
+            if own.len() >= min_pts {
+                // Any two points of a cell are within ε of each other, so
+                // the cell's size alone certifies every point core.
+                return (c, own.iter().map(|&(pid, _)| (pid, true)).collect());
+            }
+            let flags = own
+                .iter()
+                .map(|&(pid, p)| {
+                    let mut count = own.len();
+                    for &h in nbrs {
+                        if count >= min_pts {
+                            break;
+                        }
+                        for &(_, q) in points_of[&h].iter() {
+                            if p.dist_sq(&q) <= eps_sq {
+                                count += 1;
+                                if count >= min_pts {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    (pid, count >= min_pts)
+                })
+                .collect();
+            (c, flags)
+        })
+        .collect()
+}
+
+/// One cell-graph edge found by [`connect_region`]: the connected cell pair
+/// plus a *witness* — the ids of a concrete within-ε pair of core points,
+/// one from each cell. The incremental maintenance path caches witnesses:
+/// as long as both witness points stay alive and core, the edge provably
+/// persists and a later update to either cell needs no new BCP query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionEdge {
+    /// The connected cell pair, as passed in.
+    pub cells: (usize, usize),
+    /// Point ids of a within-ε pair: `witness.0` is in `cells.0`,
+    /// `witness.1` in `cells.1`.
+    pub witness: (usize, usize),
+}
+
+/// Localized ClusterCore connectivity: evaluates the BCP ε-connectivity
+/// query for an explicit list of candidate cell pairs, in parallel, and
+/// returns the pairs that are connected (the cell-graph edges of the
+/// affected region), each with a connectivity witness.
+///
+/// This is the incremental re-derivation path: after an update batch, the
+/// `dbscan-stream` clusterer enumerates the candidate pairs itself — cells
+/// whose core sets changed, each paired with its ε-neighbour core cells,
+/// minus pairs whose cached witness still certifies the edge — and feeds
+/// the survivors here. `core_points(c)` returns cell `c`'s live core points
+/// as `(point id, point)` pairs and `bbox(c)` its geometric box (used for
+/// the ε-filtering inside the BCP query). Cells appearing in several pairs
+/// are materialized once.
+pub fn connect_region<const D: usize, C, B>(
+    eps: f64,
+    pairs: &[(usize, usize)],
+    core_points: C,
+    bbox: B,
+) -> Vec<RegionEdge>
+where
+    C: Fn(usize) -> Vec<(usize, Point<D>)> + Sync,
+    B: Fn(usize) -> geom::BoundingBox<D> + Sync,
+{
+    /// Per-cell data materialized once for the pair evaluations: the core
+    /// point ids, their coordinates, and the cell box.
+    type CellData<'a, const D: usize> = (Vec<usize>, Vec<Point<D>>, &'a geom::BoundingBox<D>);
+    /// One fetched cell: id, its `(point id, point)` core list, and its box.
+    type FetchedCell<const D: usize> = (usize, Vec<(usize, Point<D>)>, geom::BoundingBox<D>);
+
+    let mut cells: Vec<usize> = pairs.iter().flat_map(|&(g, h)| [g, h]).collect();
+    cells.sort_unstable();
+    cells.dedup();
+    let fetched: Vec<FetchedCell<D>> = cells
+        .par_iter()
+        .map(|&c| (c, core_points(c), bbox(c)))
+        .collect();
+    let data: std::collections::HashMap<usize, CellData<'_, D>> = fetched
+        .iter()
+        .map(|(c, pts, bb)| {
+            let ids: Vec<usize> = pts.iter().map(|&(id, _)| id).collect();
+            let coords: Vec<Point<D>> = pts.iter().map(|&(_, p)| p).collect();
+            (*c, (ids, coords, bb))
+        })
+        .collect();
+    pairs
+        .par_iter()
+        .filter_map(|&(g, h)| {
+            let (g_ids, g_pts, g_bbox) = &data[&g];
+            let (h_ids, h_pts, h_bbox) = &data[&h];
+            crate::connectivity::bcp_witness(g_pts, g_bbox, h_pts, h_bbox, eps).map(|(i, j)| {
+                RegionEdge {
+                    cells: (g, h),
+                    witness: (g_ids[i], h_ids[j]),
+                }
+            })
+        })
+        .collect()
+}
+
 /// Computes, for every cell, the sorted ids of the other cells whose boxes
 /// are within ε.
 ///
@@ -299,6 +476,89 @@ mod tests {
         core.collect_core_points(&index.partition);
         let total: usize = (0..index.num_cells()).map(|c| core.core_count(c)).sum();
         assert_eq!(total, pts.len().div_ceil(2));
+    }
+
+    #[test]
+    fn mark_core_region_over_all_cells_matches_mark_core() {
+        let pts = random_points(700, 18.0, 11);
+        for (eps, min_pts) in [(0.8, 4), (1.5, 9)] {
+            let index = SpatialIndex::build(&pts, eps, CellMethod::Grid).unwrap();
+            let want = crate::mark_core(&index, min_pts, crate::MarkCoreMethod::Scan);
+            let all_cells: Vec<usize> = (0..index.num_cells()).collect();
+            let region = mark_core_region(
+                eps,
+                min_pts,
+                &all_cells,
+                |c| {
+                    index
+                        .partition
+                        .cell_point_ids(c)
+                        .iter()
+                        .copied()
+                        .zip(index.partition.cell_points(c).iter().copied())
+                        .collect()
+                },
+                |c| index.neighbors[c].clone(),
+            );
+            let mut got = vec![false; pts.len()];
+            for (_, flags) in region {
+                for (pid, f) in flags {
+                    got[pid] = f;
+                }
+            }
+            assert_eq!(got, want.core_flags, "eps={eps}, minPts={min_pts}");
+        }
+    }
+
+    #[test]
+    fn connect_region_matches_bruteforce_bcp_and_witnesses_are_valid() {
+        let pts = random_points(500, 15.0, 13);
+        let eps = 1.2;
+        let min_pts = 4;
+        let index = SpatialIndex::build(&pts, eps, CellMethod::Grid).unwrap();
+        let core = crate::mark_core(&index, min_pts, crate::MarkCoreMethod::Scan);
+        let core_ids_of = |c: usize| -> Vec<(usize, Point<2>)> {
+            index
+                .partition
+                .cell_point_ids(c)
+                .iter()
+                .zip(index.partition.cell_points(c))
+                .filter(|(&pid, _)| core.core_flags[pid])
+                .map(|(&pid, p)| (pid, *p))
+                .collect()
+        };
+        // Candidate pairs: every neighbouring pair of core cells.
+        let mut pairs = Vec::new();
+        for g in 0..index.num_cells() {
+            if !core.is_core_cell(g) {
+                continue;
+            }
+            for &h in index.neighbors[g].iter() {
+                if h < g && core.is_core_cell(h) {
+                    pairs.push((h, g));
+                }
+            }
+        }
+        let edges = connect_region(eps, &pairs, core_ids_of, |c| index.partition.cells[c].bbox);
+        let eps_sq = eps * eps;
+        let connected: Vec<(usize, usize)> = edges.iter().map(|e| e.cells).collect();
+        for &(g, h) in &pairs {
+            let want = core.core_points[g]
+                .iter()
+                .any(|p| core.core_points[h].iter().any(|q| p.dist_sq(q) <= eps_sq));
+            assert_eq!(connected.contains(&(g, h)), want, "pair ({g}, {h})");
+        }
+        let p2c = index.partition.point_to_cell();
+        for edge in &edges {
+            let (wg, wh) = edge.witness;
+            assert_eq!(p2c[wg], edge.cells.0, "witness 0 is in its cell");
+            assert_eq!(p2c[wh], edge.cells.1, "witness 1 is in its cell");
+            assert!(core.core_flags[wg] && core.core_flags[wh]);
+            assert!(
+                pts[wg].dist_sq(&pts[wh]) <= eps_sq * (1.0 + 1e-12),
+                "witness pair is within eps"
+            );
+        }
     }
 
     #[test]

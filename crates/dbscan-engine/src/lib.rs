@@ -42,6 +42,18 @@
 //! are exact, but two independent runs — engine or one-shot alike — may
 //! legitimately connect or split core cells at distances in (ε, ε(1+ρ)].
 //!
+//! ## When the data changes: streaming mode
+//!
+//! A [`Snapshot`]'s points are immutable — the right trade for sweep-heavy
+//! serving, the wrong one for live ingest. The `dbscan-stream` crate
+//! covers the other axis of reuse: its `IntoStreaming::into_streaming`
+//! extension converts a snapshot into a `StreamingClusterer` that maintains
+//! exact labels under point insertions and deletions (reusing this
+//! snapshot's cached spatial index via [`Snapshot::cached_index`] when one
+//! matches), and `StreamingClusterer::freeze()` hands the updated point set
+//! back as a fresh [`Snapshot`]. A service can therefore alternate between
+//! ingest mode and sweep mode without ever re-indexing from cold state.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -120,6 +120,11 @@ pub struct QueryResult {
 }
 
 /// One cell of a [`Snapshot::sweep`] result grid.
+///
+/// The grids are **deduplicated before dispatch**: repeated ε entries (by
+/// exact bit pattern) and repeated minPts entries each produce a single
+/// column/row, so the result covers the *distinct* cross-product and no
+/// duplicate parameter pair is clustered twice.
 pub struct SweepCell {
     /// The ε of this grid cell.
     pub eps: f64,
@@ -141,6 +146,32 @@ impl<const D: usize> Snapshot<D> {
     /// Number of indexed points.
     pub fn num_points(&self) -> usize {
         self.points.len()
+    }
+
+    /// Consumes the snapshot and returns its points, in input order. The
+    /// bulk array is recovered without copying when no query result still
+    /// shares it. This is the hand-off used by
+    /// `dbscan_stream::IntoStreaming::into_streaming` to move a snapshot's
+    /// point set into a [`StreamingClusterer`] when the service switches
+    /// from sweep mode to ingest mode.
+    ///
+    /// [`StreamingClusterer`]: https://docs.rs/dbscan-stream
+    pub fn into_points(self) -> Vec<Point<D>> {
+        Arc::try_unwrap(self.points).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// The cached spatial index for `(eps, cell_method)`, if this snapshot
+    /// currently holds one. Refreshes the entry's LRU recency but does not
+    /// touch the hit/miss counters (it is a peek, not a logical query) and
+    /// never builds anything. `dbscan-stream` uses this to seed a streaming
+    /// clusterer from already-indexed phase-1 state instead of
+    /// re-partitioning.
+    pub fn cached_index(&self, eps: f64, cell_method: CellMethod) -> Option<Arc<SpatialIndex<D>>> {
+        let key = IndexKey {
+            eps_bits: eps.to_bits(),
+            cell_method,
+        };
+        lock(&self.partitions).get(&key).map(|(_, index)| index)
     }
 
     /// Runs the paper's default exact variant (`our-exact`) for `params`,
@@ -201,7 +232,10 @@ impl<const D: usize> Snapshot<D> {
     ///
     /// Each ε's spatial index is built (or fetched) once and shared across
     /// all of that ε's minPts values, so a sweep over `E × M` parameters
-    /// performs at most `E` partition builds instead of `E × M`. Cache
+    /// performs at most `E` partition builds instead of `E × M`. Repeated
+    /// grid entries are deduplicated (first occurrence wins the ordering)
+    /// before anything is dispatched, so a sloppy caller-supplied grid never
+    /// clusters the same `(ε, minPts)` pair twice — see [`SweepCell`]. Cache
     /// counters are kept per logical query: the cells that share a column's
     /// index count as partition hits, so [`Snapshot::cache_stats`] reads as
     /// "builds vs. queries" after a sweep.
@@ -219,6 +253,32 @@ impl<const D: usize> Snapshot<D> {
                 DbscanParams::new(eps, min_pts).validate()?;
             }
         }
+        // Deduplicate repeated grid entries (ε by exact bit pattern),
+        // preserving first-occurrence order.
+        let mut seen_eps = Vec::new();
+        let eps_grid: Vec<f64> = eps_grid
+            .iter()
+            .copied()
+            .filter(|eps| {
+                let bits = eps.to_bits();
+                !seen_eps.contains(&bits) && {
+                    seen_eps.push(bits);
+                    true
+                }
+            })
+            .collect();
+        let mut seen_min_pts = Vec::new();
+        let min_pts_grid: Vec<usize> = min_pts_grid
+            .iter()
+            .copied()
+            .filter(|m| {
+                !seen_min_pts.contains(m) && {
+                    seen_min_pts.push(*m);
+                    true
+                }
+            })
+            .collect();
+        let (eps_grid, min_pts_grid) = (&eps_grid[..], &min_pts_grid[..]);
         if eps_grid.is_empty() || min_pts_grid.is_empty() {
             // Zero queries: don't build indexes for columns nothing will use.
             return Ok(Vec::new());
@@ -558,6 +618,39 @@ mod tests {
         let redo = snapshot.query(DbscanParams::new(1.0, 3)).unwrap();
         assert!(!redo.stats.partition_cache_hit);
         assert!(!redo.stats.core_cache_hit);
+    }
+
+    #[test]
+    fn sweep_deduplicates_repeated_grid_entries() {
+        let pts = random_points(300, 15.0, 7);
+        let snapshot = Engine::new().index(pts.clone());
+        // Three distinct eps (one repeated twice), two distinct minPts (one
+        // repeated): the sweep must cover the 3 × 2 distinct cross-product.
+        let grid = snapshot.sweep(&[1.0, 1.5, 1.0, 2.0], &[4, 4, 8]).unwrap();
+        assert_eq!(grid.len(), 6, "duplicates are merged before dispatch");
+        let stats = snapshot.cache_stats();
+        assert_eq!(stats.partition_misses, 3, "one build per distinct eps");
+        assert_eq!(
+            stats.partition_hits + stats.partition_misses,
+            6,
+            "six logical queries, not eight"
+        );
+        for (k, cell) in grid.iter().enumerate() {
+            assert_eq!(cell.eps, [1.0, 1.5, 2.0][k / 2]);
+            assert_eq!(cell.min_pts, [4, 8][k % 2]);
+        }
+    }
+
+    #[test]
+    fn into_points_and_cached_index_round_trip() {
+        let pts = random_points(120, 8.0, 8);
+        let snapshot = Engine::new().index(pts.clone());
+        assert!(snapshot.cached_index(1.0, CellMethod::Grid).is_none());
+        snapshot.query(DbscanParams::new(1.0, 4)).unwrap();
+        let index = snapshot.cached_index(1.0, CellMethod::Grid).unwrap();
+        assert_eq!(index.num_points(), pts.len());
+        assert!(snapshot.cached_index(2.0, CellMethod::Grid).is_none());
+        assert_eq!(snapshot.into_points(), pts);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! | Primitive | Work | Depth | Module |
 //! |-----------|------|-------|--------|
 //! | Prefix sum | O(n) | O(log n) | [`prefix`] |
-//! | Filter / pack | O(n) | O(log n) | [`filter`] |
+//! | Filter / pack | O(n) | O(log n) | [`mod@filter`] |
 //! | Comparison sort | O(n log n) | O(log n) | [`sort`] |
 //! | Integer sort (poly-log key range) | O(n) | O(log n) | [`sort`] |
 //! | Semisort | O(n) expected | O(log n) w.h.p. | [`semisort`] |

@@ -37,6 +37,57 @@ pub fn cell_bbox<const D: usize>(key: &[i64; D], origin: &[f64; D], side: f64) -
     BoundingBox::new(lo, hi)
 }
 
+/// Calls `f` with every candidate neighbour key of `key`: each key within
+/// Chebyshev distance `⌈√D⌉ + 1`, excluding `key` itself. For cells of side
+/// ε/√D this radius covers every cell whose box can be within ε of `key`'s
+/// box; callers filter the candidates by presence (hash-table lookup) and by
+/// the exact box-to-box distance. Callback-shaped so the hot neighbour
+/// enumerations allocate nothing; [`candidate_neighbor_keys`] materializes
+/// the list when one is wanted.
+///
+/// The candidate count is `(2·(⌈√D⌉+1)+1)^D − 1`, cheap in 2D–3D but growing
+/// quickly with the dimension; higher-dimensional callers should use the k-d
+/// tree over cells (§5.1 of the paper) instead of this enumeration.
+pub fn for_each_candidate_neighbor_key<const D: usize>(
+    key: &[i64; D],
+    mut f: impl FnMut(&[i64; D]),
+) {
+    let radius = (D as f64).sqrt().ceil() as i64 + 1;
+    let mut delta = [-radius; D];
+    loop {
+        // Skip the zero offset (the cell itself).
+        if delta.iter().any(|&d| d != 0) {
+            let mut nk = *key;
+            for i in 0..D {
+                nk[i] += delta[i];
+            }
+            f(&nk);
+        }
+        // Advance the odometer over the (2·radius+1)^D offsets.
+        let mut dim = 0;
+        loop {
+            if dim == D {
+                return;
+            }
+            delta[dim] += 1;
+            if delta[dim] > radius {
+                delta[dim] = -radius;
+                dim += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The candidate neighbour keys of `key` as a materialized list. See
+/// [`for_each_candidate_neighbor_key`] for the enumeration contract.
+pub fn candidate_neighbor_keys<const D: usize>(key: &[i64; D]) -> Vec<[i64; D]> {
+    let mut out = Vec::new();
+    for_each_candidate_neighbor_key(key, |nk| out.push(*nk));
+    out
+}
+
 /// Lookup structure mapping cell keys to dense cell ids, together with the
 /// quantization parameters. This is the concurrent hash table of §4.1; after
 /// construction it is queried read-only (phase-concurrency).
@@ -93,51 +144,26 @@ impl<const D: usize> GridIndex<D> {
     /// Ids of the non-empty cells that could contain a point within ε of some
     /// point of the cell with key `key` (excluding the cell itself). This is
     /// the `NeighborCells(ε)` enumeration of the paper: a constant number of
-    /// candidate keys for constant `D`, each looked up in the hash table and
-    /// kept only if its box is within ε of the query cell's box.
-    ///
-    /// The candidate count is `(2·(⌈√D⌉+1)+1)^D`, which is cheap in 2D–3D but
-    /// grows quickly with the dimension; higher-dimensional callers should
-    /// use the k-d tree over cells (as §5.1 of the paper does) instead of
-    /// this enumeration.
+    /// candidate keys for constant `D` ([`for_each_candidate_neighbor_key`]),
+    /// each looked up in the hash table and kept only if its box is within ε
+    /// of the query cell's box. See [`for_each_candidate_neighbor_key`] for
+    /// the dimension caveat.
     pub fn neighbor_cells(&self, key: &[i64; D]) -> Vec<usize> {
         let my_box = cell_bbox(key, &self.origin, self.side);
-        let radius = (D as f64).sqrt().ceil() as i64 + 1;
         // Slightly inflated cutoff: the box-to-box filter is conservative (the
         // per-point ε test happens later), and the inflation keeps cells whose
         // exact distance is ε from being dropped by floating-point rounding.
         let cutoff = self.eps * self.eps * (1.0 + 1e-9);
         let mut out = Vec::new();
-        let mut delta = [-radius; D];
-        loop {
-            // Skip the zero offset (the cell itself).
-            if delta.iter().any(|&d| d != 0) {
-                let mut nk = *key;
-                for i in 0..D {
-                    nk[i] += delta[i];
-                }
-                if let Some(cell) = self.cell_of_key(&nk) {
-                    let nb_box = cell_bbox(&nk, &self.origin, self.side);
-                    if my_box.dist_sq_to_box(&nb_box) <= cutoff {
-                        out.push(cell);
-                    }
+        for_each_candidate_neighbor_key(key, |nk| {
+            if let Some(cell) = self.cell_of_key(nk) {
+                let nb_box = cell_bbox(nk, &self.origin, self.side);
+                if my_box.dist_sq_to_box(&nb_box) <= cutoff {
+                    out.push(cell);
                 }
             }
-            // Advance the odometer over the (2*radius+1)^D offsets.
-            let mut dim = 0;
-            loop {
-                if dim == D {
-                    return out;
-                }
-                delta[dim] += 1;
-                if delta[dim] > radius {
-                    delta[dim] = -radius;
-                    dim += 1;
-                } else {
-                    break;
-                }
-            }
-        }
+        });
+        out
     }
 }
 

@@ -9,16 +9,24 @@
 //!   non-empty neighbouring cells of a cell in higher dimensions (§5.1).
 //! * [`subdivision`] — per-cell quadtrees (2^d-way subdivision trees) used to
 //!   answer exact and ρ-approximate RangeCount queries (§5.2).
+//! * [`overlay`] — a mutable base-plus-delta layer over a grid partition
+//!   (per-cell insert lists, tombstones, key-stable compaction) so the grid
+//!   is updatable without re-semisorting; the substrate of the streaming
+//!   clusterer in `dbscan-stream`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gridkey;
 pub mod kdtree;
+pub mod overlay;
 pub mod partition;
 pub mod subdivision;
 
 pub use gridkey::GridIndex;
 pub use kdtree::CellKdTree;
-pub use partition::{box_partition, grid_partition, CellInfo, CellPartition};
+pub use overlay::{OverlayCell, OverlayPartition};
+pub use partition::{
+    box_partition, grid_partition, grid_partition_anchored, CellInfo, CellPartition,
+};
 pub use subdivision::SubdivisionTree;

@@ -12,7 +12,7 @@ use crate::gridkey::{cell_bbox, cell_key, cell_side, GridIndex};
 use geom::{BoundingBox, Point, Point2};
 use parprims::{semisort_by_key, strip_heads_to_assignment};
 use rayon::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Metadata of one non-empty cell of a [`CellPartition`].
 #[derive(Debug, Clone)]
@@ -50,6 +50,9 @@ pub struct CellPartition<const D: usize> {
     /// For grid partitions, the key → cell-id index used for O(1) neighbour
     /// enumeration.
     pub grid_index: Option<Arc<GridIndex<D>>>,
+    /// Lazily built original-point-id → cell-id map (shared across clones
+    /// like the bulk arrays, so it is computed at most once per partition).
+    point_to_cell: Arc<OnceLock<Vec<usize>>>,
 }
 
 impl<const D: usize> CellPartition<D> {
@@ -68,6 +71,7 @@ impl<const D: usize> CellPartition<D> {
             point_ids: Arc::new(point_ids),
             cells: Arc::new(cells),
             grid_index: grid_index.map(Arc::new),
+            point_to_cell: Arc::new(OnceLock::new()),
         }
     }
 
@@ -94,14 +98,19 @@ impl<const D: usize> CellPartition<D> {
     }
 
     /// Maps every original point index to the id of the cell containing it.
-    pub fn point_to_cell(&self) -> Vec<usize> {
-        let mut out = vec![usize::MAX; self.points.len()];
-        for (c, info) in self.cells.iter().enumerate() {
-            for i in info.start..info.start + info.len {
-                out[self.point_ids[i]] = c;
+    /// The map is built once on first use (and shared by clones, which alias
+    /// the same `Arc`-backed state); subsequent calls return the cached
+    /// slice.
+    pub fn point_to_cell(&self) -> &[usize] {
+        self.point_to_cell.get_or_init(|| {
+            let mut out = vec![usize::MAX; self.points.len()];
+            for (c, info) in self.cells.iter().enumerate() {
+                for i in info.start..info.start + info.len {
+                    out[self.point_ids[i]] = c;
+                }
             }
-        }
-        out
+            out
+        })
     }
 
     /// Internal consistency checks, used by tests and debug assertions:
@@ -156,17 +165,9 @@ impl<const D: usize> CellPartition<D> {
 /// non-empty cells are indexed with the concurrent hash table.
 pub fn grid_partition<const D: usize>(points: &[Point<D>], eps: f64) -> CellPartition<D> {
     assert!(eps > 0.0, "eps must be positive");
-    let n = points.len();
-    if n == 0 {
-        return CellPartition::from_parts(
-            eps,
-            Vec::new(),
-            Vec::new(),
-            Vec::new(),
-            Some(GridIndex::new([0.0; D], eps, &[])),
-        );
+    if points.is_empty() {
+        return grid_partition_anchored(points, eps, [0.0; D]);
     }
-    let side = cell_side::<D>(eps);
     // Lower corner of the dataset (computed in parallel).
     let origin = points.par_iter().map(|p| p.coords).reduce(
         || [f64::INFINITY; D],
@@ -177,6 +178,34 @@ pub fn grid_partition<const D: usize>(points: &[Point<D>], eps: f64) -> CellPart
             acc
         },
     );
+    grid_partition_anchored(points, eps, origin)
+}
+
+/// [`grid_partition`] with an explicit grid origin instead of the dataset's
+/// lower corner. Points below the origin get negative cell keys, which the
+/// quantization handles fine.
+///
+/// The updatable overlay ([`crate::OverlayPartition`]) compacts by rebuilding
+/// its base partition with the *original* anchor so that cell keys stay
+/// stable across compactions — per-point state keyed by cell key (e.g. the
+/// streaming clusterer's border adjacency) survives a rebuild untouched.
+pub fn grid_partition_anchored<const D: usize>(
+    points: &[Point<D>],
+    eps: f64,
+    origin: [f64; D],
+) -> CellPartition<D> {
+    assert!(eps > 0.0, "eps must be positive");
+    let n = points.len();
+    if n == 0 {
+        return CellPartition::from_parts(
+            eps,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Some(GridIndex::new(origin, eps, &[])),
+        );
+    }
+    let side = cell_side::<D>(eps);
 
     // Semisort (cell key, point id) pairs to group points by cell.
     let pairs: Vec<([i64; D], usize)> = points

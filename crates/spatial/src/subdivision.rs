@@ -46,7 +46,7 @@ pub struct SubdivisionTree<const D: usize> {
 
 impl<const D: usize> SubdivisionTree<D> {
     /// Builds an *exact* tree: sub-cells are split until they are empty or
-    /// contain at most [`LEAF_SIZE`] points.
+    /// contain at most `LEAF_SIZE` points.
     pub fn build_exact(points: &[Point<D>], bbox: BoundingBox<D>) -> Self {
         Self::build_with_depth(points, bbox, usize::MAX)
     }

@@ -1,0 +1,212 @@
+//! A growable union-find with component-membership tracking and component
+//! resets, for incremental cluster maintenance.
+//!
+//! The streaming DBSCAN subsystem (`dbscan-stream`) maintains cluster
+//! components under point insertions and deletions. Insertions only *merge*
+//! components, which an ordinary union-find handles; deletions may *split*
+//! one, which union-find famously cannot undo edge-by-edge. The paper-shaped
+//! way out is to re-derive connectivity for the affected component only — and
+//! for that the structure must answer "which elements are in this component?"
+//! in output-sensitive time, and must support dissolving a component back
+//! into singletons before its region is re-linked.
+//!
+//! [`DynamicUnionFind`] therefore differs from [`crate::ConcurrentUnionFind`]
+//! in three ways:
+//!
+//! * every root owns an explicit member list, merged small-into-large on
+//!   union (each element is re-parented O(log n) times in total);
+//! * because the *whole* smaller list is re-parented on every union, the
+//!   forest has depth ≤ 1 — `find` is a single array read;
+//! * [`DynamicUnionFind::reset_component`] dissolves one component into
+//!   singletons, returning its former members so the caller can re-link the
+//!   survivors.
+//!
+//! The structure is sequential (`&mut self` for mutations): the streaming
+//! update path applies batches one at a time and parallelizes *inside* the
+//! geometric phases, not across union-find mutations.
+
+/// A growable union-find over the elements `0..len` with per-component
+/// member lists and component resets.
+#[derive(Debug, Clone)]
+pub struct DynamicUnionFind {
+    /// Invariant: `parent[x]` is always the root of `x`'s component (depth
+    /// ≤ 1), maintained by re-parenting the smaller side of every union.
+    parent: Vec<usize>,
+    /// `members[r]` lists the component of root `r`; empty for non-roots.
+    members: Vec<Vec<usize>>,
+}
+
+impl DynamicUnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        DynamicUnionFind {
+            parent: (0..len).collect(),
+            members: (0..len).map(|i| vec![i]).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Appends a new singleton element and returns its id.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.members.push(vec![id]);
+        id
+    }
+
+    /// The root of `x`'s component. O(1) thanks to the depth-≤-1 invariant.
+    pub fn find(&self, x: usize) -> usize {
+        self.parent[x]
+    }
+
+    /// Returns `true` if `a` and `b` are in the same component.
+    pub fn same_set(&self, a: usize, b: usize) -> bool {
+        self.parent[a] == self.parent[b]
+    }
+
+    /// The members of `x`'s component (in no particular order).
+    pub fn members(&self, x: usize) -> &[usize] {
+        &self.members[self.parent[x]]
+    }
+
+    /// Size of `x`'s component.
+    pub fn component_size(&self, x: usize) -> usize {
+        self.members[self.parent[x]].len()
+    }
+
+    /// Unions the components of `a` and `b`; the smaller member list is
+    /// re-parented under the larger's root. Returns `true` if a link
+    /// happened (`false` if already connected).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.parent[a];
+        let rb = self.parent[b];
+        if ra == rb {
+            return false;
+        }
+        let (small, large) = if self.members[ra].len() <= self.members[rb].len() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let moved = std::mem::take(&mut self.members[small]);
+        for &m in &moved {
+            self.parent[m] = large;
+        }
+        self.members[large].extend(moved);
+        true
+    }
+
+    /// Dissolves `x`'s component: every member becomes a singleton again.
+    /// Returns the former member list so the caller can re-link the part of
+    /// it that should stay connected (the split path of the streaming
+    /// clusterer: reset the affected component, then re-derive its region's
+    /// connectivity from scratch).
+    pub fn reset_component(&mut self, x: usize) -> Vec<usize> {
+        let root = self.parent[x];
+        let moved = std::mem::take(&mut self.members[root]);
+        for &m in &moved {
+            self.parent[m] = m;
+            self.members[m] = vec![m];
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn singletons_then_unions_track_members() {
+        let mut uf = DynamicUnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "already connected");
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(0, 3));
+        assert_eq!(sorted(uf.members(1).to_vec()), vec![0, 1]);
+        assert_eq!(sorted(uf.members(4).to_vec()), vec![3, 4]);
+        assert_eq!(uf.component_size(2), 1);
+    }
+
+    #[test]
+    fn parent_always_points_at_root() {
+        let mut uf = DynamicUnionFind::new(64);
+        for i in 0..63 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..64 {
+            assert_eq!(uf.find(i), root);
+            assert_eq!(uf.parent[i], root, "depth must be at most 1");
+        }
+        assert_eq!(uf.component_size(17), 64);
+    }
+
+    #[test]
+    fn push_grows_with_singletons() {
+        let mut uf = DynamicUnionFind::new(2);
+        let id = uf.push();
+        assert_eq!(id, 2);
+        assert_eq!(uf.len(), 3);
+        assert_eq!(uf.members(id), &[id]);
+        uf.union(0, id);
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(1, 2));
+    }
+
+    #[test]
+    fn reset_component_restores_singletons() {
+        let mut uf = DynamicUnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(4, 5);
+        let members = uf.reset_component(2);
+        assert_eq!(sorted(members), vec![0, 1, 2]);
+        for i in 0..3 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.members(i), &[i]);
+        }
+        // Untouched components survive.
+        assert!(uf.same_set(4, 5));
+        // The reset elements can be re-linked differently.
+        uf.union(0, 2);
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(0, 1));
+    }
+
+    #[test]
+    fn matches_sequential_reference_on_random_unions() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 500;
+        let mut uf = DynamicUnionFind::new(n);
+        let mut seq = crate::SequentialUnionFind::new(n);
+        for _ in 0..2_000 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            assert_eq!(uf.union(a, b), seq.union(a, b));
+        }
+        for i in 0..n {
+            for j in [0, i / 3, n - 1] {
+                assert_eq!(uf.same_set(i, j), seq.same_set(i, j));
+            }
+            assert!(uf.members(i).contains(&i));
+        }
+    }
+}

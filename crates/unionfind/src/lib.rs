@@ -12,14 +12,22 @@
 //! explicit edge list in parallel (used by the Delaunay-based cell-graph
 //! construction, where the edges are produced by a filter over the
 //! triangulation rather than by on-the-fly connectivity queries).
+//!
+//! [`DynamicUnionFind`] serves the *incremental* maintenance path
+//! (`dbscan-stream`): it tracks the members of every component explicitly
+//! and supports growing the element set and dissolving one component back
+//! into singletons, which is how deletions that may split a cluster are
+//! scoped to re-clustering the affected component only.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod components;
 pub mod concurrent;
+pub mod dynamic;
 pub mod sequential;
 
 pub use components::{component_labels, connected_components};
 pub use concurrent::ConcurrentUnionFind;
+pub use dynamic::DynamicUnionFind;
 pub use sequential::SequentialUnionFind;
