@@ -1,0 +1,260 @@
+//! Hot-path microbenchmark: MarkCore, cell-graph BCP, and end-to-end
+//! `dbscan()` on the three synthetic generators.
+//!
+//! This is the regression harness for the flat-data-layout work (CSR
+//! neighbour adjacency, contiguous core-point storage, allocation-free BCP
+//! kernels, persistent worker pool): it times exactly the loops that
+//! refactor touches, at n ∈ {10k, 100k, 1M}, on SS-simden / SS-varden /
+//! UniformFill.
+//!
+//! Output: a CSV block per dataset plus a machine-readable JSON document
+//! written to `BENCH_hotpath.json`. To produce a before/after comparison,
+//! run the binary at the baseline commit with `--csv baseline.csv`, then at
+//! the head commit with `--baseline baseline.csv`: the JSON then carries a
+//! `before` object and a `speedup` object per row, plus the geometric-mean
+//! end-to-end speedup per point count.
+//!
+//! ```text
+//! cargo run --release -p bench --bin hotpath -- \
+//!     [--scale S] [--reps R] [--smoke] [--json PATH] [--csv PATH] \
+//!     [--baseline CSV]
+//! ```
+//!
+//! `--smoke` shrinks the run to one tiny point count with a single rep — the
+//! CI-friendly mode that catches panics and layout regressions without
+//! asserting timings.
+
+use bench::*;
+use pardbscan::pipeline::SpatialIndex;
+use pardbscan::{
+    cluster_core, dbscan, mark_core, CellGraphMethod, CellMethod, ClusterCoreOptions,
+    MarkCoreMethod,
+};
+use std::time::Instant;
+
+/// One measured row: a dataset at one point count.
+struct Row {
+    dataset: String,
+    n: usize,
+    eps: f64,
+    min_pts: usize,
+    partition_s: f64,
+    mark_core_s: f64,
+    cell_graph_s: f64,
+    dbscan_s: f64,
+}
+
+/// Times `f` exactly `reps.max(1)` times and returns the minimum wall-clock
+/// seconds (`main` picks the rep count per row: several for the small,
+/// noise-prone point counts, one for the multi-second ones).
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(&out);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn measure<const D: usize>(workload: &Workload<D>, reps: usize) -> Row {
+    let n = workload.points.len();
+    let (eps, min_pts) = (workload.eps, workload.min_pts);
+
+    let partition_s = time_min(reps, || {
+        SpatialIndex::build(&workload.points, eps, CellMethod::Grid).unwrap()
+    });
+    let index = SpatialIndex::build(&workload.points, eps, CellMethod::Grid).unwrap();
+    let mark_core_s = time_min(reps, || mark_core(&index, min_pts, MarkCoreMethod::Scan));
+    let core = mark_core(&index, min_pts, MarkCoreMethod::Scan);
+    let options = ClusterCoreOptions {
+        method: CellGraphMethod::Bcp,
+        bucketing: false,
+        rho: None,
+    };
+    let cell_graph_s = time_min(reps, || cluster_core(&index, &core, &options));
+    let dbscan_s = time_min(reps, || dbscan(&workload.points, eps, min_pts).unwrap());
+
+    let row = Row {
+        dataset: workload.name.clone(),
+        n,
+        eps,
+        min_pts,
+        partition_s,
+        mark_core_s,
+        cell_graph_s,
+        dbscan_s,
+    };
+    println!(
+        "{},{},{:.6},{:.6},{:.6},{:.6}",
+        row.dataset, row.n, row.partition_s, row.mark_core_s, row.cell_graph_s, row.dbscan_s
+    );
+    row
+}
+
+/// Baseline rows loaded from a `--csv` file produced by an earlier run.
+fn load_baseline(path: &str) -> Vec<Row> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("# could not read baseline {path}; emitting current timings only");
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.starts_with("dataset") && !l.trim().is_empty())
+        .filter_map(|l| {
+            let f: Vec<&str> = l.split(',').collect();
+            if f.len() != 6 {
+                return None;
+            }
+            Some(Row {
+                dataset: f[0].to_string(),
+                n: f[1].parse().ok()?,
+                eps: 0.0,
+                min_pts: 0,
+                partition_s: f[2].parse().ok()?,
+                mark_core_s: f[3].parse().ok()?,
+                cell_graph_s: f[4].parse().ok()?,
+                dbscan_s: f[5].parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+fn csv_block(rows: &[Row]) -> String {
+    let mut out = String::from("dataset,n,partition_s,mark_core_s,cell_graph_s,dbscan_s\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.6},{:.6}\n",
+            r.dataset, r.n, r.partition_s, r.mark_core_s, r.cell_graph_s, r.dbscan_s
+        ));
+    }
+    out
+}
+
+fn report_json(rows: &[Row], baseline: &[Row], smoke: bool) -> String {
+    let find_before = |r: &Row| {
+        baseline
+            .iter()
+            .find(|b| b.dataset == r.dataset && b.n == r.n)
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"hotpath\",\n  \"smoke\": {},\n  \"machine_cores\": {},\n  \"series\": [\n",
+        smoke,
+        num_cpus::get()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"eps\": {}, \"min_pts\": {}, \
+             \"partition_s\": {}, \"mark_core_s\": {}, \"cell_graph_s\": {}, \"dbscan_s\": {}",
+            json_escape(&r.dataset),
+            r.n,
+            json_f64(r.eps),
+            r.min_pts,
+            json_f64(r.partition_s),
+            json_f64(r.mark_core_s),
+            json_f64(r.cell_graph_s),
+            json_f64(r.dbscan_s),
+        ));
+        if let Some(b) = find_before(r) {
+            out.push_str(&format!(
+                ", \"before\": {{\"partition_s\": {}, \"mark_core_s\": {}, \"cell_graph_s\": {}, \
+                 \"dbscan_s\": {}}}, \"speedup\": {{\"partition\": {}, \"mark_core\": {}, \
+                 \"cell_graph\": {}, \"dbscan\": {}}}",
+                json_f64(b.partition_s),
+                json_f64(b.mark_core_s),
+                json_f64(b.cell_graph_s),
+                json_f64(b.dbscan_s),
+                json_f64(b.partition_s / r.partition_s.max(1e-12)),
+                json_f64(b.mark_core_s / r.mark_core_s.max(1e-12)),
+                json_f64(b.cell_graph_s / r.cell_graph_s.max(1e-12)),
+                json_f64(b.dbscan_s / r.dbscan_s.max(1e-12)),
+            ));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]");
+    // Geometric-mean end-to-end speedup per point count, across datasets.
+    if !baseline.is_empty() {
+        let mut ns: Vec<usize> = rows.iter().map(|r| r.n).collect();
+        ns.sort_unstable();
+        ns.dedup();
+        let mut entries = Vec::new();
+        for n in ns {
+            let speedups: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.n == n)
+                .filter_map(|r| find_before(r).map(|b| b.dbscan_s / r.dbscan_s.max(1e-12)))
+                .collect();
+            if !speedups.is_empty() {
+                let geomean =
+                    (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+                entries.push(format!("\"{}\": {}", n, json_f64(geomean)));
+            }
+        }
+        out.push_str(&format!(
+            ",\n  \"geomean_dbscan_speedup\": {{{}}}",
+            entries.join(", ")
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = arg_value("--reps")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(3)
+        .max(1);
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let csv_path = arg_value("--csv");
+    let baseline = arg_value("--baseline")
+        .map(|p| load_baseline(&p))
+        .unwrap_or_default();
+
+    print_header(
+        "hotpath",
+        "MarkCore / cell-graph BCP / end-to-end dbscan on the flattened hot paths",
+    );
+    println!("dataset,n,partition_s,mark_core_s,cell_graph_s,dbscan_s");
+
+    let ns: Vec<usize> = if smoke {
+        vec![2_000]
+    } else {
+        [10_000usize, 100_000, 1_000_000]
+            .iter()
+            .map(|&n| scaled(n, scale))
+            .collect()
+    };
+
+    let mut rows = Vec::new();
+    for &n in &ns {
+        // Big runs get a single rep: the min-of-reps guard matters for the
+        // microsecond-scale rows, not the multi-second ones.
+        let reps_n = if n >= 500_000 { 1 } else { reps };
+        rows.push(measure(&ss_simden::<2>(n), reps_n));
+        rows.push(measure(&ss_varden::<2>(n), reps_n));
+        rows.push(measure(&uniform::<2>(n), reps_n));
+    }
+
+    if let Some(path) = csv_path {
+        match std::fs::write(&path, csv_block(&rows)) {
+            Ok(()) => println!("# wrote {path}"),
+            Err(err) => eprintln!("# failed to write {path}: {err}"),
+        }
+    }
+    let json = report_json(&rows, &baseline, smoke);
+    println!("\n# JSON\n{json}");
+    if json_path != "-" {
+        match std::fs::write(&json_path, &json) {
+            Ok(()) => println!("# wrote {json_path}"),
+            Err(err) => eprintln!("# failed to write {json_path}: {err}"),
+        }
+    }
+}

@@ -227,7 +227,7 @@ pub fn run_variant_on_index<const D: usize>(
     let options = ClusterCoreOptions::from_variant(&variant);
     let core_clusters = cluster_core(index, &core, &options);
     let sets = cluster_border(index, &core, &core_clusters);
-    let clustering = Clustering::from_raw(core.core_flags.clone(), sets);
+    let clustering = Clustering::from_sets(core.core_flags.clone(), sets);
     let cluster_time = start.elapsed();
     PhaseRunResult {
         mark_core_time,

@@ -1,17 +1,23 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build environment has no network access and no vendored registry, so
-//! this workspace ships a small API-compatible subset of rayon implemented
-//! on `std::thread::scope`. Parallel iterators are *eager*: every adapter
-//! materializes its output, and the element-wise stages (`map`, `filter`,
-//! `for_each`, `reduce`, …) split the data across scoped worker threads when
-//! (a) the input is large enough to amortize a thread spawn and (b) the
-//! global thread budget — shared by nested parallel calls and `join` — has
-//! tokens left. On a single-core machine everything degrades to the
-//! sequential path with no thread spawns at all.
+//! this workspace ships a small API-compatible subset of rayon backed by a
+//! lazily-started **persistent worker pool** (the private `pool` module).
+//! Parallel
+//! iterators are *eager*: every adapter materializes its output, and the
+//! element-wise stages (`map`, `filter`, `for_each`, `reduce`, …) split the
+//! data across the pool's workers when (a) the input is large enough to
+//! amortize the hand-off and (b) the global thread budget — shared by
+//! nested parallel calls and `join` — has tokens left. The pool is sized
+//! and the budget funded from the machine's parallelism (overridable with
+//! the rayon-compatible `RAYON_NUM_THREADS` environment variable); on a
+//! single-core machine everything degrades to the sequential path and the
+//! pool is never even started.
 //!
 //! Only the surface actually used by this workspace is provided; it is not a
 //! general-purpose rayon replacement.
+
+mod pool;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -39,9 +45,29 @@ fn budget() -> &'static AtomicUsize {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        // Honour rayon's RAYON_NUM_THREADS override (used by CI to exercise
+        // the pool on small runners and by the speedup benches).
+        if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Number of persistent pool workers: everyone but the calling thread.
+/// Equals the token budget, which is what makes nested waits deadlock-free
+/// (see the `pool` module docs).
+pub(crate) fn pool_worker_count() -> usize {
+    default_threads().saturating_sub(1)
 }
 
 fn acquire_tokens(want: usize) -> usize {
@@ -167,9 +193,9 @@ impl std::fmt::Display for ThreadPoolBuildError {
 impl std::error::Error for ThreadPoolBuildError {}
 
 /// Runs two closures, potentially in parallel, returning both results —
-/// mirrors `rayon::join`. The second closure runs on a scoped thread when the
+/// mirrors `rayon::join`. The second closure runs on a pool worker when the
 /// global budget allows, sequentially otherwise (so recursive joins cannot
-/// spawn unboundedly).
+/// oversubscribe the machine).
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -180,11 +206,14 @@ where
     let limit = CURRENT_THREADS.with(|c| c.get());
     if limit.unwrap_or(usize::MAX) > 1 && acquire_tokens(1) == 1 {
         let _guard = TokenGuard(1);
-        std::thread::scope(|s| {
-            let b = s.spawn(|| with_thread_limit(limit, oper_b));
-            let ra = oper_a();
-            (ra, b.join().expect("rayon-shim: joined closure panicked"))
-        })
+        let mut rb: Option<RB> = None;
+        let ra = pool::scope(|scope| {
+            scope.submit(Box::new(|| {
+                rb = Some(with_thread_limit(limit, oper_b));
+            }));
+            oper_a()
+        });
+        (ra, rb.expect("rayon-shim: pooled join closure completed"))
     } else {
         (oper_a(), oper_b())
     }
@@ -194,8 +223,10 @@ where
 // Core parallel transform
 // ---------------------------------------------------------------------------
 
-/// Applies `f` to every item, in order, splitting across scoped threads when
-/// worthwhile and permitted by the budget.
+/// Applies `f` to every item, in order, splitting across the persistent
+/// pool's workers when worthwhile and permitted by the budget. The calling
+/// thread processes the first chunk itself while the workers handle the
+/// rest, and blocks until every chunk is done.
 fn par_transform<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -224,21 +255,28 @@ where
     }
     let f = &f;
     let limit = CURRENT_THREADS.with(|c| c.get());
-    let out: Vec<Vec<U>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                s.spawn(move || {
-                    with_thread_limit(limit, || chunk.into_iter().map(f).collect::<Vec<U>>())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon-shim: worker panicked"))
-            .collect()
+    let mut results: Vec<Option<Vec<U>>> = Vec::new();
+    results.resize_with(chunks.len(), || None);
+    pool::scope(|scope| {
+        let mut chunks = chunks.into_iter();
+        let mut slots = results.iter_mut();
+        let inline_chunk = chunks.next();
+        let inline_slot = slots.next();
+        for (chunk, slot) in chunks.zip(slots) {
+            scope.submit(Box::new(move || {
+                *slot = Some(with_thread_limit(limit, || {
+                    chunk.into_iter().map(f).collect::<Vec<U>>()
+                }));
+            }));
+        }
+        if let (Some(chunk), Some(slot)) = (inline_chunk, inline_slot) {
+            *slot = Some(chunk.into_iter().map(f).collect::<Vec<U>>());
+        }
     });
-    out.into_iter().flatten().collect()
+    results
+        .into_iter()
+        .flat_map(|slot| slot.expect("rayon-shim: every chunk completed"))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -586,6 +624,82 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn nested_par_iter_in_installed_pool_neither_deadlocks_nor_oversubscribes() {
+        // Regression test for the persistent pool: an outer par_iter whose
+        // items each run an inner par_iter, under an installed pool. Before
+        // the pool this exercised fresh scoped threads; now the outer chunks
+        // run on persistent workers and the inner calls contend for the
+        // remaining budget tokens from inside those workers — the shape that
+        // would deadlock a pool whose waiters could collectively exhaust it
+        // (see the pool module docs for why they cannot). The test both
+        // completes (no deadlock) and asserts the observed concurrency never
+        // exceeds the machine budget.
+        use std::sync::atomic::AtomicUsize;
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static DEPTH: Cell<usize> = const { Cell::new(0) };
+        }
+        // Counts *threads* concurrently inside tracked work (nested calls on
+        // the same thread are one busy thread, not two).
+        fn track<R>(f: impl FnOnce() -> R) -> R {
+            let outermost = DEPTH.with(|d| {
+                let depth = d.get();
+                d.set(depth + 1);
+                depth == 0
+            });
+            if outermost {
+                let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(live, Ordering::SeqCst);
+            }
+            let out = f();
+            DEPTH.with(|d| d.set(d.get() - 1));
+            if outermost {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+            out
+        }
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(default_threads())
+            .build()
+            .unwrap();
+        let total: u64 = pool.install(|| {
+            (0..(4 * SEQ_CUTOFF) as u64)
+                .into_par_iter()
+                .map(|i| {
+                    track(|| {
+                        let inner: u64 = (0..SEQ_CUTOFF as u64)
+                            .into_par_iter()
+                            .map(|j| track(|| j ^ i))
+                            .sum();
+                        inner
+                    })
+                })
+                .sum()
+        });
+        assert!(total > 0);
+        // The calling thread plus at most budget (= default_threads() - 1)
+        // concurrently working chunks; nesting must not exceed it.
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= default_threads().max(1),
+            "peak concurrency {} exceeded the {}-thread budget",
+            PEAK.load(Ordering::SeqCst),
+            default_threads()
+        );
+    }
+
+    #[test]
+    fn pooled_join_propagates_panics() {
+        // A panic inside a pooled closure must resurface in the caller, not
+        // wedge a worker (the pool survives and answers later joins).
+        let caught =
+            std::panic::catch_unwind(|| join(|| 1, || -> i32 { panic!("boom in pooled closure") }));
+        assert!(caught.is_err(), "panic must propagate through join");
+        let (a, b) = join(|| 2 + 2, || 3 + 3);
+        assert_eq!((a, b), (4, 6));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! The persistent worker pool behind the shim's parallel regions.
+//!
+//! The first version of this shim spawned fresh `std::thread::scope` threads
+//! for every parallel region, which made many-small-region callers (the
+//! engine's sweep cells, the streaming clusterer's localized re-runs) pay a
+//! thread-spawn latency per region. This module replaces that with a pool of
+//! `available_parallelism() - 1` workers, started lazily on the first region
+//! that actually wins budget tokens, and a [`scope`] primitive that submits
+//! borrowing jobs to them.
+//!
+//! ## Soundness
+//!
+//! Jobs borrow the caller's stack (`'env`), but a persistent worker is a
+//! `'static` thread, so [`Scope::submit`] erases the lifetime with a
+//! `transmute`. That is sound if and only if every submitted job has
+//! *finished running* before the borrows expire — which [`scope`] enforces
+//! unconditionally: it waits on the scope's completion latch after the
+//! caller's closure returns **and** when it unwinds (the closure runs under
+//! `catch_unwind`, and the latch wait happens before the panic is resumed).
+//! Nothing else in this module hands a job to a worker.
+//!
+//! ## No deadlocks under nesting
+//!
+//! A thread only blocks in [`scope`] if it submitted jobs, and it can only
+//! submit jobs while holding at least one token of the global thread budget
+//! (the callers in `lib.rs` gate submission on `acquire_tokens`). The budget
+//! equals the worker count, so "every worker is blocked in a nested scope"
+//! would require `workers + 1` tokens (the outermost waiter holds one too) —
+//! more than the budget. At least one worker is therefore always free to
+//! drain the queue, and every job terminates.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// A type-erased, lifetime-erased unit of work plus its completion latch.
+type QueuedJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// The payload of a panicking job, carried back to the scope that waits.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<VecDeque<QueuedJob>>,
+    available: Condvar,
+}
+
+/// Locks ignoring poisoning: workers never panic while holding the queue
+/// lock (job panics are caught around the job call, outside the lock).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The process-wide queue; spawns the workers on first use.
+fn queue() -> &'static Queue {
+    static QUEUE: OnceLock<Queue> = OnceLock::new();
+    QUEUE.get_or_init(|| Queue {
+        jobs: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+    })
+}
+
+/// Ensures the worker threads exist (idempotent, racing initializers spawn
+/// once). Separate from `queue()` so the queue can be constructed inside the
+/// `OnceLock` initializer without self-reference.
+fn ensure_workers() {
+    static STARTED: OnceLock<()> = OnceLock::new();
+    STARTED.get_or_init(|| {
+        let count = crate::pool_worker_count();
+        for i in 0..count {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-worker-{i}"))
+                .spawn(|| worker_loop(queue()))
+                .expect("rayon-shim: failed to spawn pool worker");
+        }
+    });
+}
+
+fn worker_loop(queue: &'static Queue) {
+    loop {
+        let job = {
+            let mut jobs = lock(&queue.jobs);
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = queue
+                    .available
+                    .wait(jobs)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+/// Completion latch of one scope: outstanding job count plus the first
+/// panic payload any of them produced.
+struct Latch {
+    state: Mutex<(usize, Option<PanicPayload>)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            state: Mutex::new((0, None)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn add(&self) {
+        lock(&self.state).0 += 1;
+    }
+
+    fn complete(&self, panic: Option<PanicPayload>) {
+        let mut state = lock(&self.state);
+        state.0 -= 1;
+        if state.1.is_none() {
+            state.1 = panic;
+        }
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<PanicPayload> {
+        let mut state = lock(&self.state);
+        while state.0 > 0 {
+            state = self.done.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        state.1.take()
+    }
+}
+
+/// Handle for submitting borrowing jobs to the pool from within [`scope`].
+pub(crate) struct Scope<'env> {
+    latch: Arc<Latch>,
+    /// Invariant over `'env` so the compiler never shortens the jobs'
+    /// lifetime behind the scope's back.
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Hands `job` to a pool worker. The job may borrow anything that lives
+    /// for `'env`; [`scope`] guarantees it completes before `'env` ends.
+    pub(crate) fn submit(&mut self, job: Box<dyn FnOnce() + Send + 'env>) {
+        self.latch.add();
+        // SAFETY: `scope` waits on the latch before returning or resuming a
+        // panic, so the job (and everything it borrows from `'env`) is done
+        // executing before the borrows can expire. See the module docs.
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        let latch = Arc::clone(&self.latch);
+        ensure_workers();
+        let queue = queue();
+        {
+            let mut jobs = lock(&queue.jobs);
+            jobs.push_back(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                latch.complete(result.err());
+            }));
+        }
+        queue.available.notify_one();
+    }
+}
+
+/// Runs `f` with a [`Scope`] it can submit pool jobs through, returning once
+/// `f` **and every submitted job** have finished. A panic from `f` or from a
+/// job is re-raised here (after all jobs completed, so no borrow escapes).
+pub(crate) fn scope<'env, R>(f: impl FnOnce(&mut Scope<'env>) -> R) -> R {
+    let mut s = Scope {
+        latch: Arc::new(Latch::new()),
+        _env: std::marker::PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&mut s)));
+    let job_panic = s.latch.wait();
+    match result {
+        Err(panic) => resume_unwind(panic),
+        Ok(value) => {
+            if let Some(panic) = job_panic {
+                resume_unwind(panic);
+            }
+            value
+        }
+    }
+}

@@ -23,6 +23,7 @@ use crate::pipeline::{CoreSet, SpatialIndex};
 use geom::{DelaunayTriangulation, Point, Point2};
 use rayon::prelude::*;
 use spatial::SubdivisionTree;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use unionfind::ConcurrentUnionFind;
 
 /// Options of the cell-graph construction.
@@ -67,30 +68,31 @@ pub fn cluster_core<const D: usize>(
         _ => cluster_core_queries(index, core, options, &uf),
     }
 
-    // Assign the cell's component root to each of its core points.
-    let assignments: Vec<Vec<(usize, usize)>> = (0..num_cells)
-        .into_par_iter()
-        .map(|c| {
-            if !core.is_core_cell(c) {
-                return Vec::new();
-            }
-            let root = uf.find(c);
-            index
-                .partition
-                .cell_point_ids(c)
-                .iter()
-                .filter(|&&pid| core.core_flags[pid])
-                .map(|&pid| (pid, root))
-                .collect()
-        })
+    // Assign the cell's component root to each of its core points, written
+    // in parallel through the partition's disjoint per-cell id slices
+    // (relaxed atomic stores; `usize::MAX` marks "no cluster", which no
+    // root can collide with — roots are cell ids).
+    let assignment: Vec<AtomicUsize> = (0..index.partition.num_points())
+        .map(|_| AtomicUsize::new(usize::MAX))
         .collect();
-    let mut clusters = vec![None; index.partition.num_points()];
-    for cell_assignments in assignments {
-        for (pid, root) in cell_assignments {
-            clusters[pid] = Some(root);
+    (0..num_cells).into_par_iter().for_each(|c| {
+        if !core.is_core_cell(c) {
+            return;
         }
-    }
-    clusters
+        let root = uf.find(c);
+        for &pid in index.partition.cell_point_ids(c) {
+            if core.core_flags[pid] {
+                assignment[pid].store(root, Ordering::Relaxed);
+            }
+        }
+    });
+    assignment
+        .into_iter()
+        .map(|slot| {
+            let root = slot.into_inner();
+            (root != usize::MAX).then_some(root)
+        })
+        .collect()
 }
 
 /// Query-based construction (BCP, quadtree-BCP, USEC), with the union-find
@@ -116,12 +118,12 @@ fn cluster_core_queries<const D: usize>(
             .map(|c| {
                 core.is_core_cell(c).then(|| match options.rho {
                     Some(rho) => SubdivisionTree::build_approximate(
-                        &core.core_points[c],
+                        core.core_points(c),
                         index.partition.cells[c].bbox,
                         rho,
                     ),
                     None => SubdivisionTree::build_exact(
-                        &core.core_points[c],
+                        core.core_points(c),
                         index.partition.cells[c].bbox,
                     ),
                 })
@@ -141,8 +143,8 @@ fn cluster_core_queries<const D: usize>(
     };
 
     let connected = |g: usize, h: usize| -> bool {
-        let g_pts = &core.core_points[g];
-        let h_pts = &core.core_points[h];
+        let g_pts = core.core_points(g);
+        let h_pts = core.core_points(h);
         let g_bbox = &index.partition.cells[g].bbox;
         let h_bbox = &index.partition.cells[h].bbox;
         match (options.method, options.rho) {
@@ -190,9 +192,9 @@ fn cluster_core_delaunay<const D: usize>(
     uf: &ConcurrentUnionFind,
 ) {
     // Gather all core points with their owning cell, in a deterministic order.
-    let mut all_core: Vec<(Point2, usize)> = Vec::new();
+    let mut all_core: Vec<(Point2, usize)> = Vec::with_capacity(core.num_core_points());
     for c in 0..index.num_cells() {
-        for p in &core.core_points[c] {
+        for p in core.core_points(c) {
             all_core.push((Point2::new([p.coords[0], p.coords[1]]), c));
         }
     }

@@ -15,14 +15,10 @@
 //!   separation: the wavefront of one cell's ε-circles across the separating
 //!   boundary is queried with the other cell's core points.
 
+use crate::kernels::{find_within_flat, BLOCK};
 use geom::{BoundingBox, Point, Point2, Side, Wavefront};
 use spatial::SubdivisionTree;
-
-/// Block size of the blocked early-termination BCP scan. Pairs are examined
-/// one block-pair at a time so that a connection discovered early avoids most
-/// of the quadratic work, while each block-pair is still a tight vectorizable
-/// loop.
-const BCP_BLOCK: usize = 64;
+use std::cell::RefCell;
 
 /// Returns `true` if some pair `(p, q)` with `p ∈ a`, `q ∈ b` has
 /// `d(p, q) ≤ eps`, using ε-box filtering and blocked early termination
@@ -37,12 +33,95 @@ pub(crate) fn bcp_connected<const D: usize>(
     bcp_witness(a, a_bbox, b, b_bbox, eps).is_some()
 }
 
+/// Hot-path allocation counters of the BCP kernel, for the calling thread:
+/// `(queries answered, scratch reallocations)`. A steady stream of queries
+/// over same-sized cells must advance only the first counter; the second
+/// moves only while this thread's reusable filter buffers are still warming
+/// up to the workload's cell sizes. Per-thread (like the scratch itself) so
+/// a test can assert zero-allocation steady state without interference from
+/// concurrent threads.
+pub fn bcp_scratch_stats() -> (u64, u64) {
+    BCP_COUNTERS.with(|c| c.get())
+}
+
+thread_local! {
+    /// `(queries, scratch growths)` of this thread's BCP kernel.
+    static BCP_COUNTERS: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+#[inline]
+fn count_query() {
+    BCP_COUNTERS.with(|c| {
+        let (q, g) = c.get();
+        c.set((q + 1, g));
+    });
+}
+
+#[inline]
+fn count_growth() {
+    BCP_COUNTERS.with(|c| {
+        let (q, g) = c.get();
+        c.set((q, g + 1));
+    });
+}
+
+/// Per-thread reusable buffers of the BCP ε-box filter: original positions
+/// and flat coordinates of the surviving points of each side. Stored as flat
+/// `f64` runs (not `Point<D>`) so one scratch serves every dimension and the
+/// pair scan reads one contiguous array.
+#[derive(Default)]
+struct BcpScratch {
+    a_ids: Vec<u32>,
+    a_pts: Vec<f64>,
+    b_ids: Vec<u32>,
+    b_pts: Vec<f64>,
+}
+
+thread_local! {
+    static BCP_SCRATCH: RefCell<BcpScratch> = RefCell::new(BcpScratch::default());
+}
+
+/// Clears `ids`/`pts` and refills them with the positions and flat
+/// coordinates of the points of `src` within ε of `bbox` (optimization 1 of
+/// §4.4, Gan & Tao). Capacity is reserved up front so the pushes below never
+/// reallocate; a growth beyond any previously seen cell size is counted.
+#[inline]
+fn fill_filtered<const D: usize>(
+    ids: &mut Vec<u32>,
+    pts: &mut Vec<f64>,
+    src: &[Point<D>],
+    bbox: &BoundingBox<D>,
+    eps_sq: f64,
+) {
+    ids.clear();
+    pts.clear();
+    if ids.capacity() < src.len() {
+        count_growth();
+        ids.reserve(src.len());
+    }
+    if pts.capacity() < src.len() * D {
+        count_growth();
+        pts.reserve(src.len() * D);
+    }
+    for (i, p) in src.iter().enumerate() {
+        if bbox.dist_sq_to_point(p) <= eps_sq {
+            ids.push(i as u32);
+            pts.extend_from_slice(&p.coords);
+        }
+    }
+}
+
 /// Like [`bcp_connected`], but returns the *positions* (into `a` and `b`)
 /// of the first within-ε pair found, or `None` if the cells are not
 /// connected. The incremental maintenance path (`dbscan-stream`) caches the
 /// returned pair as the edge's **witness**: as long as both witness points
 /// are alive and core, the edge provably persists and no new BCP query is
 /// needed when their cells lose other points.
+///
+/// The query is allocation-free on the hot path: the ε-box filter writes
+/// into per-thread scratch buffers (reused across queries, tracked by
+/// [`bcp_scratch_stats`]) and the blocked pair scan runs the branch-free
+/// squared-distance kernel over the filtered flat coordinate runs.
 pub(crate) fn bcp_witness<const D: usize>(
     a: &[Point<D>],
     a_bbox: &BoundingBox<D>,
@@ -53,38 +132,46 @@ pub(crate) fn bcp_witness<const D: usize>(
     if a.is_empty() || b.is_empty() {
         return None;
     }
+    count_query();
     let eps_sq = eps * eps;
-    // Optimization 1 (Gan & Tao): drop points farther than ε from the other
-    // cell's bounding box — they cannot participate in a ≤ ε pair.
-    let a_filtered: Vec<(usize, &Point<D>)> = a
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| b_bbox.dist_sq_to_point(p) <= eps_sq)
-        .collect();
-    if a_filtered.is_empty() {
-        return None;
-    }
-    let b_filtered: Vec<(usize, &Point<D>)> = b
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| a_bbox.dist_sq_to_point(p) <= eps_sq)
-        .collect();
-    if b_filtered.is_empty() {
-        return None;
-    }
-    // Optimization 2: blocked early termination.
-    for a_block in a_filtered.chunks(BCP_BLOCK) {
-        for b_block in b_filtered.chunks(BCP_BLOCK) {
-            for &(i, p) in a_block {
-                for &(j, q) in b_block {
-                    if p.dist_sq(q) <= eps_sq {
-                        return Some((i, j));
+    BCP_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        // Optimization 1 (Gan & Tao): drop points farther than ε from the
+        // other cell's bounding box — they cannot participate in a ≤ ε pair.
+        fill_filtered(&mut scratch.a_ids, &mut scratch.a_pts, a, b_bbox, eps_sq);
+        if scratch.a_ids.is_empty() {
+            return None;
+        }
+        fill_filtered(&mut scratch.b_ids, &mut scratch.b_pts, b, a_bbox, eps_sq);
+        if scratch.b_ids.is_empty() {
+            return None;
+        }
+        // Optimization 2: blocked early termination — block pairs are
+        // examined one at a time so a connection discovered early skips most
+        // of the quadratic work, and each block scan is branch-free.
+        let num_a = scratch.a_ids.len();
+        let num_b = scratch.b_ids.len();
+        for a_start in (0..num_a).step_by(BLOCK) {
+            let a_end = (a_start + BLOCK).min(num_a);
+            for b_start in (0..num_b).step_by(BLOCK) {
+                let b_end = (b_start + BLOCK).min(num_b);
+                let b_flat = &scratch.b_pts[b_start * D..b_end * D];
+                for ai in a_start..a_end {
+                    let pa: &[f64; D] = scratch.a_pts[ai * D..(ai + 1) * D]
+                        .try_into()
+                        .expect("flat run of width D");
+                    if let Some(bj) = find_within_flat::<D>(pa, b_flat, eps_sq) {
+                        return Some((
+                            scratch.a_ids[ai] as usize,
+                            scratch.b_ids[b_start + bj] as usize,
+                        ));
                     }
                 }
             }
         }
-    }
-    None
+        None
+    })
 }
 
 /// The exact bichromatic closest pair (point indices into `a` / `b` plus the
@@ -251,6 +338,30 @@ mod tests {
                 "quadtree trial {trial}"
             );
         }
+    }
+
+    #[test]
+    fn bcp_scratch_is_allocation_free_after_warmup() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let eps = 1.0;
+        let side = eps / (2.0f64).sqrt();
+        // Adjacent cells whose points all survive the ε-box filter, so the
+        // scratch buffers are exercised at full cell size every query.
+        let (a, a_bbox) = random_cell(&mut rng, [0.0, 0.0], side, 80);
+        let (b, b_bbox) = random_cell(&mut rng, [side, 0.0], side, 80);
+        // Warm-up: lets this thread's scratch grow to the cell size.
+        bcp_witness(&a, &a_bbox, &b, &b_bbox, eps);
+        let (q0, g0) = bcp_scratch_stats();
+        for _ in 0..500 {
+            bcp_witness(&a, &a_bbox, &b, &b_bbox, eps);
+            bcp_witness(&b, &b_bbox, &a, &a_bbox, eps);
+        }
+        let (q1, g1) = bcp_scratch_stats();
+        assert_eq!(q1 - q0, 1000, "every query is counted");
+        assert_eq!(
+            g1, g0,
+            "steady-state BCP queries must not grow the scratch buffers"
+        );
     }
 
     #[test]

@@ -124,7 +124,7 @@ impl<'a, const D: usize> Dbscan<'a, D> {
         // Phase 4: assign border points (line 5).
         let cluster_sets = cluster_border(&index, &core, &core_clusters);
 
-        Ok(Clustering::from_raw(core.core_flags, cluster_sets))
+        Ok(Clustering::from_sets(core.core_flags, cluster_sets))
     }
 }
 

@@ -58,6 +58,7 @@ mod cluster_border;
 mod cluster_core;
 mod connectivity;
 mod dbscan;
+mod kernels;
 mod mark_core;
 mod params;
 pub mod pipeline;
@@ -65,14 +66,14 @@ mod result;
 
 pub use cluster_border::cluster_border;
 pub use cluster_core::{cluster_core, ClusterCoreOptions};
-pub use connectivity::bichromatic_closest_pair;
+pub use connectivity::{bcp_scratch_stats, bichromatic_closest_pair};
 pub use dbscan::{dbscan, dbscan_approx, Dbscan};
 pub use mark_core::mark_core;
 pub use params::{
     CellGraphMethod, CellMethod, DbscanError, DbscanParams, MarkCoreMethod, VariantConfig,
 };
 pub use pipeline::{connect_region, mark_core_region, CoreSet, RegionEdge, SpatialIndex};
-pub use result::{Clustering, PointLabel};
+pub use result::{ClusterSets, Clustering, PointLabel};
 
 /// Re-export of the point types used by the public API, so downstream users
 /// don't need a separate dependency on the geometry crate for basic use.

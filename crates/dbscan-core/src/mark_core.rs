@@ -12,11 +12,13 @@
 //! ([`MarkCoreMethod::QuadTree`], §5.2). Counting stops early once minPts is
 //! reached.
 
+use crate::kernels::count_within_capped;
 use crate::params::MarkCoreMethod;
 use crate::pipeline::{CoreSet, SpatialIndex};
 use geom::Point;
 use rayon::prelude::*;
 use spatial::SubdivisionTree;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Runs MarkCore over a prebuilt [`SpatialIndex`], producing the per-point
 /// core flags (indexed by original point id) and the per-cell core point
@@ -28,11 +30,7 @@ pub fn mark_core<const D: usize>(
 ) -> CoreSet<D> {
     let n = index.partition.num_points();
     if n == 0 {
-        return CoreSet {
-            min_pts,
-            core_flags: Vec::new(),
-            core_points: Vec::new(),
-        };
+        return CoreSet::empty(min_pts);
     }
     let eps = index.eps;
     let partition = &index.partition;
@@ -66,59 +64,58 @@ pub fn mark_core<const D: usize>(
         }
     };
 
-    // One flag slot per point, written by the owning cell only (cells are
-    // disjoint), then scattered to original ids.
-    let flags_per_cell: Vec<Vec<(usize, bool)>> = (0..partition.num_cells())
-        .into_par_iter()
-        .map(|c| {
-            let info = &partition.cells[c];
-            let ids = partition.cell_point_ids(c);
-            if info.len >= min_pts {
-                return ids.iter().map(|&pid| (pid, true)).collect();
+    // One flag slot per point, written directly — in parallel — by the
+    // owning cell through its id slice. Cells partition the point ids, so
+    // the stores are disjoint; the slots are atomics (relaxed stores) only
+    // because safe Rust has no other way to express a disjoint parallel
+    // scatter. This replaces the old collect-one-Vec-per-cell +
+    // sequential-scatter pass: no per-cell allocation, no second pass.
+    let flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    (0..partition.num_cells()).into_par_iter().for_each(|c| {
+        let info = &partition.cells[c];
+        let ids = partition.cell_point_ids(c);
+        if info.len >= min_pts {
+            // Any two points of a cell are within ε, so size alone
+            // certifies every point core.
+            for &pid in ids {
+                flags[pid].store(true, Ordering::Relaxed);
             }
-            let pts = partition.cell_points(c);
-            pts.par_iter()
-                .zip(ids.par_iter())
-                .map(|(p, &pid)| {
-                    let mut count = info.len;
-                    if count < min_pts {
-                        for &h in &neighbors[c] {
-                            count += range_count(
-                                p,
-                                eps,
-                                partition.cell_points(h),
-                                trees[h].as_ref(),
-                                min_pts - count,
-                            );
-                            if count >= min_pts {
-                                break;
-                            }
-                        }
-                    }
-                    (pid, count >= min_pts)
-                })
-                .collect()
-        })
-        .collect();
-
-    let mut core_flags = vec![false; n];
-    for cell_flags in flags_per_cell {
-        for (pid, flag) in cell_flags {
-            core_flags[pid] = flag;
+            return;
         }
-    }
-    let mut core = CoreSet {
-        min_pts,
-        core_flags,
-        core_points: Vec::new(),
-    };
-    core.collect_core_points(partition);
-    core
+        // Cells below minPts hold fewer than minPts points, so the per-point
+        // loop is short — it runs sequentially; parallelism lives at the
+        // cell level.
+        let pts = partition.cell_points(c);
+        for (p, &pid) in pts.iter().zip(ids) {
+            let mut count = info.len;
+            if count < min_pts {
+                for &h in &neighbors[c] {
+                    count += range_count(
+                        p,
+                        eps,
+                        partition.cell_points(h),
+                        trees[h].as_ref(),
+                        min_pts - count,
+                    );
+                    if count >= min_pts {
+                        break;
+                    }
+                }
+            }
+            if count >= min_pts {
+                flags[pid].store(true, Ordering::Relaxed);
+            }
+        }
+    });
+
+    let core_flags: Vec<bool> = flags.into_iter().map(AtomicBool::into_inner).collect();
+    CoreSet::from_flags(min_pts, core_flags, partition)
 }
 
 /// Number of points of `cell_points` within ε of `p`, capped at `needed`
-/// (counting beyond the cap cannot change the core decision, so the scan
-/// stops early).
+/// (counting beyond the cap cannot change the core decision). The scan path
+/// runs the blocked branch-free kernel: hits accumulate without branches
+/// inside each 64-wide block and the cap is checked between blocks.
 fn range_count<const D: usize>(
     p: &Point<D>,
     eps: f64,
@@ -128,19 +125,7 @@ fn range_count<const D: usize>(
 ) -> usize {
     match tree {
         Some(t) => t.count_within(p, eps).min(needed),
-        None => {
-            let eps_sq = eps * eps;
-            let mut count = 0usize;
-            for q in cell_points {
-                if p.dist_sq(q) <= eps_sq {
-                    count += 1;
-                    if count >= needed {
-                        break;
-                    }
-                }
-            }
-            count
-        }
+        None => count_within_capped(p, cell_points, eps * eps, needed),
     }
 }
 
@@ -221,7 +206,7 @@ mod tests {
         let index = SpatialIndex::build(&pts, 1.0, CellMethod::Grid).unwrap();
         let core = mark_core(&index, 2, MarkCoreMethod::Scan);
         assert!(core.core_flags.iter().all(|&c| !c));
-        assert!(core.core_points.iter().all(|c| c.is_empty()));
+        assert_eq!(core.num_core_points(), 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use crate::params::{CellMethod, DbscanError};
 use geom::Point;
 use rayon::prelude::*;
-use spatial::{box_partition, grid_partition, CellKdTree, CellPartition};
+use spatial::{box_partition, grid_partition, CellKdTree, CellPartition, NeighborGraph};
 
 /// Immutable phase-1 state: the ε-cell partition of a point set plus the
 /// per-cell neighbour lists. Reusable by every query with the same
@@ -40,8 +40,10 @@ pub struct SpatialIndex<const D: usize> {
     /// The cell partition of the input points.
     pub partition: CellPartition<D>,
     /// For every cell, the ids of the non-empty cells that may contain
-    /// points within ε of it (excluding the cell itself), sorted.
-    pub neighbors: std::sync::Arc<Vec<Vec<usize>>>,
+    /// points within ε of it (excluding the cell itself), sorted; stored as
+    /// a flat CSR graph (`neighbors[c]` / `neighbors.of(c)` is a contiguous
+    /// slice) shared through a single `Arc`.
+    pub neighbors: std::sync::Arc<NeighborGraph>,
 }
 
 impl<const D: usize> SpatialIndex<D> {
@@ -137,48 +139,114 @@ impl<const D: usize> SpatialIndex<D> {
 /// pair. The core flags depend only on the point set, ε and minPts — not on
 /// the RangeCount implementation that computed them — so a `CoreSet` is
 /// reusable across cell-graph methods and ρ values.
+///
+/// The per-cell core points are stored contiguously in one flat array with
+/// CSR offsets (cell order matches the partition), so
+/// [`CoreSet::core_points`] is a slice borrow, not a per-cell heap object —
+/// the BCP and RangeCount loops scan it without pointer chasing.
 #[derive(Clone)]
 pub struct CoreSet<const D: usize> {
     /// The minPts the set was computed for.
     pub min_pts: usize,
     /// Core flag per *original* point id.
     pub core_flags: Vec<bool>,
-    /// For every cell, its core points.
-    pub core_points: Vec<Vec<Point<D>>>,
+    /// Per-cell start offsets into `core_points` (`num_cells + 1` entries).
+    core_offsets: Vec<usize>,
+    /// All cells' core points, concatenated in cell order.
+    core_points: Vec<Point<D>>,
 }
 
 impl<const D: usize> CoreSet<D> {
-    /// Number of core points in cell `c`.
-    pub fn core_count(&self, c: usize) -> usize {
-        self.core_points[c].len()
-    }
-
-    /// Returns `true` if cell `c` contains at least one core point.
-    pub fn is_core_cell(&self, c: usize) -> bool {
-        !self.core_points[c].is_empty()
-    }
-
-    /// Total number of core points. Summed over the per-cell lists —
-    /// O(cells), not O(points) — so stats stay cheap on cached fast paths.
-    pub fn num_core_points(&self) -> usize {
-        self.core_points.iter().map(Vec::len).sum()
-    }
-
-    /// Populates `core_points` from `core_flags` against a partition.
-    pub(crate) fn collect_core_points(&mut self, partition: &CellPartition<D>) {
-        let core_flags = &self.core_flags;
-        self.core_points = (0..partition.num_cells())
+    /// Builds the per-cell core storage from per-point flags against the
+    /// partition the flags were computed on: a parallel counting pass over
+    /// the cells fixes the CSR offsets, then cell blocks gather their core
+    /// points in parallel and the block runs are concatenated (allocation
+    /// count proportional to the block count, not the cell count).
+    pub fn from_flags(min_pts: usize, core_flags: Vec<bool>, partition: &CellPartition<D>) -> Self {
+        /// Cells per parallel gather block.
+        const CELL_BLOCK: usize = 2048;
+        let num_cells = partition.num_cells();
+        let counts: Vec<usize> = (0..num_cells)
             .into_par_iter()
             .map(|c| {
                 partition
-                    .cell_points(c)
+                    .cell_point_ids(c)
                     .iter()
-                    .zip(partition.cell_point_ids(c))
-                    .filter(|(_, &pid)| core_flags[pid])
-                    .map(|(p, _)| *p)
-                    .collect()
+                    .filter(|&&pid| core_flags[pid])
+                    .count()
             })
             .collect();
+        let mut core_offsets = Vec::with_capacity(num_cells + 1);
+        core_offsets.push(0usize);
+        let mut total = 0usize;
+        for &count in &counts {
+            total += count;
+            core_offsets.push(total);
+        }
+        let blocks: Vec<(usize, usize)> = (0..num_cells)
+            .step_by(CELL_BLOCK)
+            .map(|start| (start, (start + CELL_BLOCK).min(num_cells)))
+            .collect();
+        let gathered: Vec<Vec<Point<D>>> = blocks
+            .par_iter()
+            .map(|&(start, end)| {
+                let mut run = Vec::with_capacity(core_offsets[end] - core_offsets[start]);
+                for c in start..end {
+                    run.extend(
+                        partition
+                            .cell_points(c)
+                            .iter()
+                            .zip(partition.cell_point_ids(c))
+                            .filter(|(_, &pid)| core_flags[pid])
+                            .map(|(p, _)| *p),
+                    );
+                }
+                run
+            })
+            .collect();
+        let mut core_points = Vec::with_capacity(total);
+        for run in gathered {
+            core_points.extend(run);
+        }
+        CoreSet {
+            min_pts,
+            core_flags,
+            core_offsets,
+            core_points,
+        }
+    }
+
+    /// An empty core set (no points, no cells).
+    pub fn empty(min_pts: usize) -> Self {
+        CoreSet {
+            min_pts,
+            core_flags: Vec::new(),
+            core_offsets: vec![0],
+            core_points: Vec::new(),
+        }
+    }
+
+    /// The core points of cell `c`, as a contiguous slice.
+    #[inline]
+    pub fn core_points(&self, c: usize) -> &[Point<D>] {
+        &self.core_points[self.core_offsets[c]..self.core_offsets[c + 1]]
+    }
+
+    /// Number of core points in cell `c`.
+    #[inline]
+    pub fn core_count(&self, c: usize) -> usize {
+        self.core_offsets[c + 1] - self.core_offsets[c]
+    }
+
+    /// Returns `true` if cell `c` contains at least one core point.
+    #[inline]
+    pub fn is_core_cell(&self, c: usize) -> bool {
+        self.core_count(c) > 0
+    }
+
+    /// Total number of core points (O(1) on the flat storage).
+    pub fn num_core_points(&self) -> usize {
+        self.core_points.len()
     }
 }
 
@@ -360,7 +428,7 @@ where
 }
 
 /// Computes, for every cell, the sorted ids of the other cells whose boxes
-/// are within ε.
+/// are within ε, flattened into the CSR [`NeighborGraph`].
 ///
 /// In 2D the grid-key enumeration of §4.1 is used (a constant number of
 /// candidate keys looked up in the concurrent hash table). For d ≥ 3 the
@@ -369,11 +437,11 @@ where
 /// each cell range-queries it for the non-empty neighbours. The box method
 /// has irregular cells with no key arithmetic, so it always uses the k-d
 /// tree.
-fn compute_neighbors<const D: usize>(partition: &CellPartition<D>, eps: f64) -> Vec<Vec<usize>> {
+fn compute_neighbors<const D: usize>(partition: &CellPartition<D>, eps: f64) -> NeighborGraph {
     if partition.num_cells() == 0 {
-        return Vec::new();
+        return NeighborGraph::empty();
     }
-    match &partition.grid_index {
+    let lists: Vec<Vec<usize>> = match &partition.grid_index {
         Some(index) if D <= 2 => (0..partition.num_cells())
             .into_par_iter()
             .map(|c| {
@@ -391,7 +459,8 @@ fn compute_neighbors<const D: usize>(partition: &CellPartition<D>, eps: f64) -> 
                 .map(|c| tree.cells_within(&boxes[c], eps, c))
                 .collect()
         }
-    }
+    };
+    NeighborGraph::from_lists(&lists)
 }
 
 #[cfg(test)]
@@ -432,7 +501,7 @@ mod tests {
         let pts = random_points(1000, 30.0, 3);
         let index = SpatialIndex::build(&pts, 2.0, CellMethod::Grid).unwrap();
         let reference = reference_neighbors(&index.partition, 2.0);
-        assert_eq!(*index.neighbors, reference);
+        assert_eq!(index.neighbors.to_lists(), reference);
     }
 
     #[test]
@@ -444,7 +513,7 @@ mod tests {
         // equality (a cell at distance exactly eps may legitimately differ by
         // a rounding ulp).
         let reference = reference_neighbors(&index.partition, 1.5);
-        for (mine, wanted) in index.neighbors.iter().zip(&reference) {
+        for (mine, wanted) in index.neighbors.to_lists().iter().zip(&reference) {
             for m in mine {
                 assert!(wanted.contains(m));
             }
@@ -468,14 +537,11 @@ mod tests {
         let pts = random_points(200, 10.0, 7);
         let index = SpatialIndex::build(&pts, 1.0, CellMethod::Grid).unwrap();
         // Mark every other original point as core.
-        let mut core = CoreSet {
-            min_pts: 5,
-            core_flags: (0..pts.len()).map(|i| i % 2 == 0).collect(),
-            core_points: Vec::new(),
-        };
-        core.collect_core_points(&index.partition);
+        let flags: Vec<bool> = (0..pts.len()).map(|i| i % 2 == 0).collect();
+        let core = CoreSet::from_flags(5, flags, &index.partition);
         let total: usize = (0..index.num_cells()).map(|c| core.core_count(c)).sum();
         assert_eq!(total, pts.len().div_ceil(2));
+        assert_eq!(core.num_core_points(), pts.len().div_ceil(2));
     }
 
     #[test]
@@ -498,7 +564,7 @@ mod tests {
                         .zip(index.partition.cell_points(c).iter().copied())
                         .collect()
                 },
-                |c| index.neighbors[c].clone(),
+                |c| index.neighbors[c].to_vec(),
             );
             let mut got = vec![false; pts.len()];
             for (_, flags) in region {
@@ -543,9 +609,10 @@ mod tests {
         let eps_sq = eps * eps;
         let connected: Vec<(usize, usize)> = edges.iter().map(|e| e.cells).collect();
         for &(g, h) in &pairs {
-            let want = core.core_points[g]
+            let want = core
+                .core_points(g)
                 .iter()
-                .any(|p| core.core_points[h].iter().any(|q| p.dist_sq(q) <= eps_sq));
+                .any(|p| core.core_points(h).iter().any(|q| p.dist_sq(q) <= eps_sq));
             assert_eq!(connected.contains(&(g, h)), want, "pair ({g}, {h})");
         }
         let p2c = index.partition.point_to_cell();

@@ -21,12 +21,102 @@ pub enum PointLabel {
     Noise,
 }
 
+/// Per-point cluster-membership sets in flat CSR form: point `i`'s set is
+/// `ids[offsets[i]..offsets[i + 1]]`. This is the shape ClusterBorder
+/// produces and [`Clustering`] stores — two arrays for the whole point set
+/// instead of one heap-allocated `Vec` per point, which on large inputs was
+/// a dominant share of the end-to-end allocation count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSets {
+    offsets: Vec<usize>,
+    ids: Vec<usize>,
+}
+
+impl ClusterSets {
+    /// Assembles sets from raw CSR parts. Panics on malformed offsets.
+    pub fn from_parts(offsets: Vec<usize>, ids: Vec<usize>) -> Self {
+        assert!(!offsets.is_empty(), "offsets needs a leading 0");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            *offsets.last().unwrap(),
+            ids.len(),
+            "offsets must cover ids exactly"
+        );
+        ClusterSets { offsets, ids }
+    }
+
+    /// Flattens per-point lists (the pre-refactor representation, still the
+    /// natural shape for hand-built test inputs and the streaming resolver).
+    pub fn from_lists(lists: &[Vec<usize>]) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0);
+        let mut total = 0usize;
+        for l in lists {
+            total += l.len();
+            offsets.push(total);
+        }
+        let mut ids = Vec::with_capacity(total);
+        for l in lists {
+            ids.extend_from_slice(l);
+        }
+        ClusterSets { offsets, ids }
+    }
+
+    /// Number of points covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if the sets cover no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cluster-id set of point `i`.
+    #[inline]
+    pub fn of(&self, i: usize) -> &[usize] {
+        &self.ids[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Sorts and deduplicates the tail segment `ids[start..]` in place
+    /// (shrinking `ids` if duplicates were removed). Builders that assemble
+    /// per-point sets incrementally into one flat array — this crate's
+    /// canonicalization and the streaming clusterer's membership resolver —
+    /// call this after appending each point's raw ids, instead of paying a
+    /// per-point `Vec` for `sort`/`dedup`.
+    pub fn sort_dedup_tail(ids: &mut Vec<usize>, start: usize) {
+        ids[start..].sort_unstable();
+        let mut write = start;
+        for read in start..ids.len() {
+            if write == start || ids[write - 1] != ids[read] {
+                let v = ids[read];
+                ids[write] = v;
+                write += 1;
+            }
+        }
+        ids.truncate(write);
+    }
+
+    fn into_parts(self) -> (Vec<usize>, Vec<usize>) {
+        (self.offsets, self.ids)
+    }
+}
+
 /// The result of a DBSCAN run.
+///
+/// The per-point cluster sets live in one flat CSR block (see
+/// [`ClusterSets`]); [`Clustering::clusters_of`] borrows a slice of it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Clustering {
     core: Vec<bool>,
-    /// Sorted cluster ids per point (empty ⇒ noise).
-    clusters: Vec<Vec<usize>>,
+    /// CSR offsets of the per-point sorted cluster-id sets (empty ⇒ noise).
+    offsets: Vec<usize>,
+    /// The per-point sets, concatenated.
+    ids: Vec<usize>,
     num_clusters: usize,
 }
 
@@ -43,35 +133,44 @@ impl Clustering {
     /// internal (parallel) execution order.
     pub fn from_raw(core: Vec<bool>, raw_clusters: Vec<Vec<usize>>) -> Self {
         assert_eq!(core.len(), raw_clusters.len());
+        Clustering::from_sets(core, ClusterSets::from_lists(&raw_clusters))
+    }
+
+    /// [`Clustering::from_raw`] over the flat [`ClusterSets`] shape — the
+    /// allocation-free pipeline path (one pass over the CSR block, no
+    /// per-point `Vec`s).
+    pub fn from_sets(core: Vec<bool>, sets: ClusterSets) -> Self {
+        assert_eq!(core.len(), sets.len());
+        let (raw_offsets, raw_ids) = sets.into_parts();
         let mut remap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
-        for (i, ids) in raw_clusters.iter().enumerate() {
+        for i in 0..core.len() {
             if core[i] {
-                for &c in ids {
+                for &c in &raw_ids[raw_offsets[i]..raw_offsets[i + 1]] {
                     let next = remap.len();
                     remap.entry(c).or_insert(next);
                 }
             }
         }
-        let mut clusters = Vec::with_capacity(raw_clusters.len());
-        for ids in &raw_clusters {
-            let mut mapped: Vec<usize> = ids
-                .iter()
-                .map(|&c| {
-                    // Raw ids not owned by any core point cannot occur for a
-                    // valid DBSCAN output; the fallback keeps the constructor
-                    // total for hand-built inputs in tests.
-                    let next = remap.len();
-                    *remap.entry(c).or_insert(next)
-                })
-                .collect();
-            mapped.sort_unstable();
-            mapped.dedup();
-            clusters.push(mapped);
+        let mut offsets = Vec::with_capacity(raw_offsets.len());
+        offsets.push(0);
+        let mut ids = Vec::with_capacity(raw_ids.len());
+        for i in 0..core.len() {
+            let start = ids.len();
+            for &c in &raw_ids[raw_offsets[i]..raw_offsets[i + 1]] {
+                // Raw ids not owned by any core point cannot occur for a
+                // valid DBSCAN output; the fallback keeps the constructor
+                // total for hand-built inputs in tests.
+                let next = remap.len();
+                ids.push(*remap.entry(c).or_insert(next));
+            }
+            ClusterSets::sort_dedup_tail(&mut ids, start);
+            offsets.push(ids.len());
         }
         let num_clusters = remap.len();
         Clustering {
             core,
-            clusters,
+            offsets,
+            ids,
             num_clusters,
         }
     }
@@ -108,41 +207,42 @@ impl Clustering {
 
     /// The set of clusters point `i` belongs to (empty for noise; a single
     /// id for core points; one or more ids for border points).
+    #[inline]
     pub fn clusters_of(&self, i: usize) -> &[usize] {
-        &self.clusters[i]
+        &self.ids[self.offsets[i]..self.offsets[i + 1]]
     }
 
     /// The label of point `i`.
     pub fn label(&self, i: usize) -> PointLabel {
+        let sets = self.clusters_of(i);
         if self.core[i] {
-            PointLabel::Core(self.clusters[i][0])
-        } else if self.clusters[i].is_empty() {
+            PointLabel::Core(sets[0])
+        } else if sets.is_empty() {
             PointLabel::Noise
         } else {
-            PointLabel::Border(self.clusters[i].clone())
+            PointLabel::Border(sets.to_vec())
         }
     }
 
     /// Whether point `i` is noise.
     pub fn is_noise(&self, i: usize) -> bool {
-        self.clusters[i].is_empty()
+        self.clusters_of(i).is_empty()
     }
 
     /// Flattened per-point labels: the smallest cluster id for clustered
     /// points, −1 for noise. Border points that belong to several clusters
     /// are collapsed to their smallest cluster id.
     pub fn primary_labels(&self) -> Vec<i64> {
-        self.clusters
-            .iter()
-            .map(|c| c.first().map(|&x| x as i64).unwrap_or(-1))
+        (0..self.len())
+            .map(|i| self.clusters_of(i).first().map(|&x| x as i64).unwrap_or(-1))
             .collect()
     }
 
     /// The members (point ids) of each cluster, indexed by cluster id.
     pub fn cluster_members(&self) -> Vec<Vec<usize>> {
         let mut members = vec![Vec::new(); self.num_clusters];
-        for (i, cs) in self.clusters.iter().enumerate() {
-            for &c in cs {
+        for i in 0..self.len() {
+            for &c in self.clusters_of(i) {
                 members[c].push(i);
             }
         }
@@ -151,7 +251,7 @@ impl Clustering {
 
     /// Number of noise points.
     pub fn num_noise(&self) -> usize {
-        count_if(&self.clusters, |c| c.is_empty())
+        self.offsets.windows(2).filter(|w| w[0] == w[1]).count()
     }
 
     /// Checks whether two clusterings describe the same partition: the same

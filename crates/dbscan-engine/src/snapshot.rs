@@ -451,7 +451,7 @@ fn run_cluster_phases<const D: usize>(
     let cluster_core_time = start.elapsed();
     let start = Instant::now();
     let cluster_sets = cluster_border(index, core, &core_clusters);
-    let clustering = Clustering::from_raw(core.core_flags.clone(), cluster_sets);
+    let clustering = Clustering::from_sets(core.core_flags.clone(), cluster_sets);
     let cluster_border_time = start.elapsed();
     (clustering, cluster_core_time, cluster_border_time)
 }

@@ -486,26 +486,42 @@ impl<const D: usize> StreamingClusterer<D> {
     pub fn clustering(&self) -> Clustering {
         let live = self.overlay.live_ids();
         let mut core_flags = Vec::with_capacity(live.len());
-        let mut raw = Vec::with_capacity(live.len());
+        // Per-point membership sets resolved straight into the flat
+        // `ClusterSets` shape (one ids array + offsets, no per-point `Vec`).
+        let mut offsets = Vec::with_capacity(live.len() + 1);
+        offsets.push(0usize);
+        let mut ids: Vec<usize> = Vec::with_capacity(live.len());
         for &id in &live {
             if self.core[id] {
                 core_flags.push(true);
                 let key = self.overlay.key_of(&self.overlay.point(id));
                 let slot = self.cell_slot[&key];
-                raw.push(vec![self.uf.find(slot)]);
+                ids.push(self.uf.find(slot));
             } else {
                 core_flags.push(false);
-                let mut memberships: Vec<usize> = self.adjacency[id]
-                    .iter()
-                    .filter_map(|key| self.cell_slot.get(key))
-                    .map(|&slot| self.uf.find(slot))
-                    .collect();
-                memberships.sort_unstable();
-                memberships.dedup();
-                raw.push(memberships);
+                let start = ids.len();
+                ids.extend(
+                    self.adjacency[id]
+                        .iter()
+                        .filter_map(|key| self.cell_slot.get(key))
+                        .map(|&slot| self.uf.find(slot)),
+                );
+                pardbscan::ClusterSets::sort_dedup_tail(&mut ids, start);
             }
+            offsets.push(ids.len());
         }
-        Clustering::from_raw(core_flags, raw)
+        Clustering::from_sets(core_flags, pardbscan::ClusterSets::from_parts(offsets, ids))
+    }
+
+    /// Forces an overlay compaction (re-semisort of the live set with the
+    /// original grid anchor), regardless of the drift heuristic that governs
+    /// the automatic compaction inside [`StreamingClusterer::apply`]. The
+    /// clustering is unchanged: everything the clusterer maintains is keyed
+    /// by stable point id or by cell *key*, and compaction renumbers only
+    /// cell ids. Exposed so operators (and tests) can schedule the
+    /// re-semisort at a quiet moment instead of inside an update batch.
+    pub fn compact_now(&mut self) {
+        self.overlay.compact();
     }
 
     /// Consumes the clusterer and freezes the live point set into an
@@ -794,6 +810,42 @@ mod tests {
             pardbscan::dbscan(&live, params.eps, params.min_pts).unwrap(),
             "frozen snapshot serves the live set"
         );
+    }
+
+    #[test]
+    fn forced_compaction_leaves_labels_unchanged() {
+        // Churn enough to leave real tombstones and insert lists behind,
+        // then force the compaction directly and require the labels to be
+        // byte-identical across it — the compaction path must be a pure
+        // storage reorganization.
+        let pts = random_points(250, 9.0, 21);
+        let mut clusterer = StreamingClusterer::new(pts, DbscanParams::new(0.9, 4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut live_ids: Vec<usize> = clusterer
+            .live_points()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        live_ids.shuffle(&mut rng);
+        let deletes: Vec<usize> = live_ids[..40].to_vec();
+        let inserts = (0..40)
+            .map(|_| Point2::new([rng.gen_range(0.0..9.0), rng.gen_range(0.0..9.0)]))
+            .collect();
+        clusterer.apply(UpdateBatch { inserts, deletes }).unwrap();
+
+        let before = clusterer.clustering();
+        clusterer.compact_now();
+        assert_eq!(
+            clusterer.clustering(),
+            before,
+            "labels must be identical across a forced compaction"
+        );
+        assert_matches_batch(&clusterer, "after forced compaction");
+        // The clusterer keeps working after the cell-id renumbering.
+        let (id, _) = clusterer.insert(Point2::new([4.5, 4.5])).unwrap();
+        assert_matches_batch(&clusterer, "after post-compaction insert");
+        clusterer.delete(id).unwrap();
+        assert_matches_batch(&clusterer, "after post-compaction delete");
     }
 
     #[test]

@@ -13,7 +13,6 @@
 
 use crate::util::{block_ranges, num_threads};
 use rayon::prelude::*;
-use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 
 /// Result of a semisort: the reordered pairs plus the boundaries of each
@@ -83,6 +82,16 @@ fn hash_key<K: Hash>(key: &K) -> u64 {
 /// Groups `pairs` by key. Pairs with equal keys become contiguous in the
 /// output; the relative order of groups (and of pairs within a group) is
 /// unspecified, exactly as in the paper's semisort primitive.
+///
+/// Implementation notes (the flat, allocation-lean layout the grid build
+/// sits on): keys are hashed **once** into a flat array; the bucket scatter
+/// is expressed as a `u32` inverse permutation (no `Option` slots, no
+/// per-write buffering of cloned pairs); and the within-bucket grouping
+/// sorts small index runs by the precomputed hash instead of building a
+/// `HashMap` of per-key `Vec`s. Equal keys always share a hash and a
+/// bucket, so groups never straddle buckets; the (astronomically rare)
+/// distinct-keys-equal-hash collision is handled by sub-grouping a run with
+/// direct key comparisons.
 pub fn semisort_by_key<K, V>(pairs: Vec<(K, V)>) -> GroupedByKey<K, V>
 where
     K: Hash + Eq + Clone + Send + Sync,
@@ -95,6 +104,10 @@ where
             group_starts: Vec::new(),
         };
     }
+    assert!(
+        u32::try_from(n).is_ok(),
+        "semisort supports up to 2^32 pairs"
+    );
 
     let nbuckets = (num_threads() * num_threads() * 4)
         .clamp(16, 4096)
@@ -102,106 +115,130 @@ where
     let mask = (nbuckets - 1) as u64;
     let ranges = block_ranges(n, 2048);
 
-    // Phase 1: count pairs per (block, bucket).
-    let counts: Vec<Vec<usize>> = ranges
+    // Phase 1: hash every key once.
+    let hashes: Vec<u64> = pairs.par_iter().map(|(k, _)| hash_key(k)).collect();
+
+    // Phase 2: count pairs per (block, bucket), then turn the counts into
+    // per-(block, bucket) write cursors.
+    let counts: Vec<Vec<u32>> = ranges
         .par_iter()
         .map(|&(s, e)| {
-            let mut c = vec![0usize; nbuckets];
-            for (k, _) in &pairs[s..e] {
-                c[(hash_key(k) & mask) as usize] += 1;
+            let mut c = vec![0u32; nbuckets];
+            for &h in &hashes[s..e] {
+                c[(h & mask) as usize] += 1;
             }
             c
         })
         .collect();
-    // Bucket sizes and bucket start offsets.
-    let mut bucket_sizes = vec![0usize; nbuckets];
+    let mut bucket_starts = vec![0usize; nbuckets + 1];
     for c in &counts {
         for (b, &v) in c.iter().enumerate() {
-            bucket_sizes[b] += v;
+            bucket_starts[b + 1] += v as usize;
         }
     }
-    let mut bucket_starts = vec![0usize; nbuckets + 1];
     for b in 0..nbuckets {
-        bucket_starts[b + 1] = bucket_starts[b] + bucket_sizes[b];
+        bucket_starts[b + 1] += bucket_starts[b];
     }
-
-    // Phase 2: scatter pairs into their buckets. Each (block, bucket) slot has
-    // a unique offset, so we gather writes per block and apply them.
-    let mut slot_offset = vec![vec![0usize; nbuckets]; counts.len()];
-    {
+    let slot_offset: Vec<Vec<usize>> = {
         let mut cursor = bucket_starts[..nbuckets].to_vec();
-        for (blk, c) in counts.iter().enumerate() {
-            for ((slot, cur), &count) in slot_offset[blk].iter_mut().zip(cursor.iter_mut()).zip(c) {
-                *slot = *cur;
-                *cur += count;
-            }
-        }
-    }
-    let mut scattered: Vec<Option<(K, V)>> = vec![None; n];
-    let writes: Vec<Vec<(usize, (K, V))>> = ranges
+        counts
+            .iter()
+            .map(|c| {
+                let mut offsets = Vec::with_capacity(nbuckets);
+                for (cur, &count) in cursor.iter_mut().zip(c) {
+                    offsets.push(*cur);
+                    *cur += count as usize;
+                }
+                offsets
+            })
+            .collect()
+    };
+
+    // Phase 3: destination slot of every pair (blocks in parallel, flattened
+    // back in input order), inverted into "which input fills slot d" — a
+    // plain u32 scatter, so the pairs themselves move exactly once, in the
+    // in-order gather below.
+    let dest: Vec<u32> = ranges
         .par_iter()
         .enumerate()
         .map(|(blk, &(s, e))| {
             let mut cursor = slot_offset[blk].clone();
             let mut local = Vec::with_capacity(e - s);
-            for (k, v) in &pairs[s..e] {
-                let b = (hash_key(k) & mask) as usize;
-                local.push((cursor[b], (k.clone(), v.clone())));
+            for &h in &hashes[s..e] {
+                let b = (h & mask) as usize;
+                local.push(cursor[b] as u32);
                 cursor[b] += 1;
             }
             local
         })
-        .collect();
-    for block_writes in writes {
-        for (pos, kv) in block_writes {
-            scattered[pos] = Some(kv);
-        }
+        .collect::<Vec<Vec<u32>>>()
+        .concat();
+    let mut src_of = vec![0u32; n];
+    for (i, &d) in dest.iter().enumerate() {
+        src_of[d as usize] = i as u32;
     }
-    let scattered: Vec<(K, V)> = scattered
-        .into_iter()
-        .map(|o| o.expect("semisort scatter slot filled"))
-        .collect();
+    let bucketed_hashes: Vec<u64> = src_of.par_iter().map(|&s| hashes[s as usize]).collect();
 
-    // Phase 3: group within each bucket in parallel (buckets are disjoint).
-    let per_bucket: Vec<Vec<(K, V)>> = (0..nbuckets)
+    // Phase 4: group within each bucket in parallel (buckets are disjoint):
+    // sort the bucket's slots by hash, then emit hash runs as groups. The
+    // sorted slot order of the whole output is collected first so the pairs
+    // can be gathered in one parallel pass.
+    let per_bucket: Vec<(Vec<u32>, Vec<usize>)> = (0..nbuckets)
         .into_par_iter()
         .map(|b| {
-            let slice = &scattered[bucket_starts[b]..bucket_starts[b + 1]];
-            if slice.is_empty() {
-                return Vec::new();
+            let (lo, hi) = (bucket_starts[b], bucket_starts[b + 1]);
+            if lo == hi {
+                return (Vec::new(), Vec::new());
             }
-            let mut groups: HashMap<K, Vec<(K, V)>> = HashMap::with_capacity(slice.len());
-            for (k, v) in slice {
-                groups
-                    .entry(k.clone())
-                    .or_default()
-                    .push((k.clone(), v.clone()));
+            let mut order: Vec<u32> = (lo as u32..hi as u32).collect();
+            order.sort_unstable_by_key(|&slot| bucketed_hashes[slot as usize]);
+            let mut starts = Vec::new();
+            let mut i = 0usize;
+            while i < order.len() {
+                let h = bucketed_hashes[order[i] as usize];
+                let mut j = i + 1;
+                while j < order.len() && bucketed_hashes[order[j] as usize] == h {
+                    j += 1;
+                }
+                if j - i == 1 {
+                    starts.push(i);
+                } else {
+                    // Hash collision between distinct keys: sub-group the run
+                    // by key equality (runs are tiny, quadratic is fine).
+                    let run = &mut order[i..j];
+                    let mut grouped = 0usize;
+                    while grouped < run.len() {
+                        starts.push(i + grouped);
+                        let key = &pairs[src_of[run[grouped] as usize] as usize].0;
+                        let mut next = grouped + 1;
+                        for scan in grouped + 1..run.len() {
+                            if &pairs[src_of[run[scan] as usize] as usize].0 == key {
+                                run.swap(next, scan);
+                                next += 1;
+                            }
+                        }
+                        grouped = next;
+                    }
+                }
+                i = j;
             }
-            let mut flat = Vec::with_capacity(slice.len());
-            for (_, g) in groups {
-                flat.extend(g);
-            }
-            flat
+            (order, starts)
         })
         .collect();
 
-    // Phase 4: concatenate buckets and record group boundaries.
-    let mut out = Vec::with_capacity(n);
+    // Phase 5: concatenate bucket orders, gather the pairs once, and shift
+    // the group boundaries to global positions.
     let mut group_starts = Vec::new();
-    for bucket in per_bucket {
-        let mut i = 0usize;
-        let base = out.len();
-        while i < bucket.len() {
-            group_starts.push(base + i);
-            let key = &bucket[i].0;
-            let mut j = i + 1;
-            while j < bucket.len() && &bucket[j].0 == key {
-                j += 1;
-            }
-            i = j;
-        }
-        out.extend(bucket);
+    let mut final_order = Vec::with_capacity(n);
+    for (order, starts) in &per_bucket {
+        let base = final_order.len();
+        group_starts.extend(starts.iter().map(|s| base + s));
+        final_order.extend_from_slice(order);
     }
+    let out: Vec<(K, V)> = final_order
+        .par_iter()
+        .map(|&slot| pairs[src_of[slot as usize] as usize].clone())
+        .collect();
     GroupedByKey {
         pairs: out,
         group_starts,

@@ -62,10 +62,17 @@ impl<const D: usize> CellKdTree<D> {
     /// Returns the ids of all cells whose box is within distance `eps`
     /// (inclusive) of `query`, excluding `exclude` (pass the querying cell's
     /// own id, or `usize::MAX` to exclude nothing). The result is sorted.
+    ///
+    /// The cutoff carries the same tiny inflation as
+    /// [`crate::GridIndex::neighbor_cells`]: grid cells regularly sit at box
+    /// distance *exactly* ε (e.g. two cells apart along every axis), where
+    /// the rounding of `ε/√D` could otherwise make this path and the
+    /// grid-key path disagree about an at-ε neighbour.
     pub fn cells_within(&self, query: &BoundingBox<D>, eps: f64, exclude: usize) -> Vec<usize> {
         let mut out = Vec::new();
         if let Some(root) = &self.root {
-            collect_within(root, &self.boxes, query, eps * eps, exclude, &mut out);
+            let cutoff = eps * eps * (1.0 + 1e-9);
+            collect_within(root, &self.boxes, query, cutoff, exclude, &mut out);
         }
         out.sort_unstable();
         out

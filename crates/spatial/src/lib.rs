@@ -7,6 +7,8 @@
 //!   construction (strips via binary-search parents + pointer jumping, §4.2).
 //! * [`kdtree`] — a k-d tree over the non-empty cells, used to find the
 //!   non-empty neighbouring cells of a cell in higher dimensions (§5.1).
+//! * [`neighbors`] — the flat CSR cell adjacency ([`NeighborGraph`]) the
+//!   pipeline's phase-1 state stores the per-cell ε-neighbour lists in.
 //! * [`subdivision`] — per-cell quadtrees (2^d-way subdivision trees) used to
 //!   answer exact and ρ-approximate RangeCount queries (§5.2).
 //! * [`overlay`] — a mutable base-plus-delta layer over a grid partition
@@ -19,12 +21,14 @@
 
 pub mod gridkey;
 pub mod kdtree;
+pub mod neighbors;
 pub mod overlay;
 pub mod partition;
 pub mod subdivision;
 
 pub use gridkey::GridIndex;
 pub use kdtree::CellKdTree;
+pub use neighbors::NeighborGraph;
 pub use overlay::{OverlayCell, OverlayPartition};
 pub use partition::{
     box_partition, grid_partition, grid_partition_anchored, CellInfo, CellPartition,

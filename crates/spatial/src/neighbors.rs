@@ -1,0 +1,145 @@
+//! CSR adjacency over the cells of a partition.
+//!
+//! Phase 1 of the pipeline computes, for every cell, the ids of the other
+//! cells whose boxes are within ε. Storing that as `Vec<Vec<usize>>` costs
+//! one heap allocation per cell and scatters the lists across the heap —
+//! exactly the indirection the hot RangeCount and BCP loops then pay on
+//! every neighbour walk. [`NeighborGraph`] is the flat alternative: one
+//! `offsets` array (cell → start of its list) and one `targets` array (all
+//! lists back to back), so a cell's neighbours are a contiguous slice, the
+//! whole structure is two allocations, and sharing it costs one `Arc`.
+
+/// Flat compressed-sparse-row adjacency: `targets[offsets[c]..offsets[c+1]]`
+/// are the neighbour cell ids of cell `c`, in the order the builder emitted
+/// them (sorted ascending for the grid construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborGraph {
+    /// Per-cell start offsets into `targets`; `offsets.len()` is the number
+    /// of cells plus one, and `offsets[cells]` is `targets.len()`.
+    offsets: Vec<usize>,
+    /// All neighbour lists, concatenated in cell order.
+    targets: Vec<usize>,
+}
+
+impl NeighborGraph {
+    /// An adjacency with no cells.
+    pub fn empty() -> Self {
+        NeighborGraph {
+            offsets: vec![0],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Flattens per-cell neighbour lists into CSR form.
+    pub fn from_lists(lists: &[Vec<usize>]) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for list in lists {
+            total += list.len();
+            offsets.push(total);
+        }
+        let mut targets = Vec::with_capacity(total);
+        for list in lists {
+            targets.extend_from_slice(list);
+        }
+        NeighborGraph { offsets, targets }
+    }
+
+    /// Assembles a graph from raw CSR parts. Panics if the offsets are not
+    /// monotone or do not cover `targets` exactly (a malformed graph would
+    /// otherwise surface as out-of-bounds slicing deep in a query).
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<usize>) -> Self {
+        assert!(!offsets.is_empty(), "offsets needs a leading 0");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "offsets must cover targets exactly"
+        );
+        NeighborGraph { offsets, targets }
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of directed neighbour entries.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The neighbour cell ids of cell `c`, as a contiguous slice.
+    #[inline]
+    pub fn of(&self, c: usize) -> &[usize] {
+        &self.targets[self.offsets[c]..self.offsets[c + 1]]
+    }
+
+    /// Number of neighbours of cell `c`.
+    #[inline]
+    pub fn degree(&self, c: usize) -> usize {
+        self.offsets[c + 1] - self.offsets[c]
+    }
+
+    /// The adjacency re-materialized as per-cell lists (test/debug helper —
+    /// the hot paths use [`NeighborGraph::of`]).
+    pub fn to_lists(&self) -> Vec<Vec<usize>> {
+        (0..self.num_cells()).map(|c| self.of(c).to_vec()).collect()
+    }
+}
+
+/// `graph[c]` is the neighbour slice of cell `c` — keeps the call sites of
+/// the former `Vec<Vec<usize>>` representation readable.
+impl std::ops::Index<usize> for NeighborGraph {
+    type Output = [usize];
+
+    #[inline]
+    fn index(&self, c: usize) -> &[usize] {
+        self.of(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lists_round_trips() {
+        let lists = vec![vec![1, 2], vec![0], vec![], vec![0, 1, 2]];
+        let graph = NeighborGraph::from_lists(&lists);
+        assert_eq!(graph.num_cells(), 4);
+        assert_eq!(graph.num_edges(), 6);
+        assert_eq!(graph.of(0), &[1, 2]);
+        assert_eq!(graph.of(2), &[] as &[usize]);
+        assert_eq!(graph.degree(3), 3);
+        assert_eq!(graph.to_lists(), lists);
+        assert_eq!(&graph[3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let graph = NeighborGraph::empty();
+        assert_eq!(graph.num_cells(), 0);
+        assert_eq!(graph.num_edges(), 0);
+        assert_eq!(graph, NeighborGraph::from_lists(&[]));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let graph = NeighborGraph::from_parts(vec![0, 2, 2, 3], vec![1, 2, 0]);
+        assert_eq!(graph.of(0), &[1, 2]);
+        assert_eq!(graph.of(1), &[] as &[usize]);
+        assert_eq!(graph.of(2), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover targets")]
+    fn from_parts_rejects_short_offsets() {
+        NeighborGraph::from_parts(vec![0, 1], vec![1, 2, 0]);
+    }
+}

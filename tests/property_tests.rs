@@ -69,6 +69,35 @@ fn arb_points_3d(max_n: usize, extent: f64) -> impl Strategy<Value = Vec<Point<3
     })
 }
 
+/// The CSR `NeighborGraph` of a grid `SpatialIndex` must be *set-equal*,
+/// cell by cell, to the brute-force ε-box adjacency (cells whose boxes are
+/// within ε of each other). In 2D the graph comes from the grid-key
+/// enumeration, in 3D from the k-d tree over cells — both must agree with
+/// the quadratic reference.
+fn check_csr_neighbors_match_bruteforce<const D: usize>(pts: &[Point<D>], eps: f64) {
+    let index = pardbscan::SpatialIndex::build(pts, eps, pardbscan::CellMethod::Grid).unwrap();
+    let cells = &index.partition.cells;
+    let cutoff = eps * eps * (1.0 + 1e-9);
+    for c in 0..index.num_cells() {
+        let mut want: Vec<usize> = (0..index.num_cells())
+            .filter(|&o| o != c && cells[c].bbox.dist_sq_to_box(&cells[o].bbox) <= cutoff)
+            .collect();
+        want.sort_unstable();
+        let mut got: Vec<usize> = index.neighbors.of(c).to_vec();
+        got.sort_unstable();
+        assert_eq!(got, want, "neighbour set of cell {c} (D = {D})");
+    }
+    // The CSR structure itself is consistent: degrees sum to the edge count
+    // and every `graph[c]` slice indexing path agrees with `of(c)`.
+    let total: usize = (0..index.num_cells())
+        .map(|c| index.neighbors.degree(c))
+        .sum();
+    assert_eq!(total, index.neighbors.num_edges());
+    for c in 0..index.num_cells() {
+        assert_eq!(&index.neighbors[c], index.neighbors.of(c));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -151,6 +180,22 @@ proptest! {
             let entry = map.entry(e).or_insert(a);
             prop_assert_eq!(*entry, a);
         }
+    }
+
+    #[test]
+    fn csr_neighbor_graph_is_set_equal_to_bruteforce_2d(
+        pts in arb_points_2d(150, 12.0),
+        eps in 0.3f64..3.0,
+    ) {
+        check_csr_neighbors_match_bruteforce(&pts, eps);
+    }
+
+    #[test]
+    fn csr_neighbor_graph_is_set_equal_to_bruteforce_3d(
+        pts in arb_points_3d(120, 8.0),
+        eps in 0.4f64..2.5,
+    ) {
+        check_csr_neighbors_match_bruteforce(&pts, eps);
     }
 
     #[test]
