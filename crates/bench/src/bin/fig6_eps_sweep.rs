@@ -8,12 +8,14 @@
 //! coarser, while point-wise range-query baselines get *slower* because every
 //! ε-range query returns more points.
 //!
-//! This binary runs the sweep twice per dataset: once through the
-//! `dbscan-engine` snapshot (each ε's partition is built once and shared by
-//! all eight variants; each `(ε, minPts)` MarkCore result is shared by the
-//! variants that only differ in the cell graph) and once as one-shot
-//! `Dbscan::run` calls that rebuild everything per run — so the engine's
-//! amortization win is *measured*, not asserted.
+//! This binary runs the sweep twice per dataset: once through the `dbscan`
+//! facade's dimension-erased `ClusterSession` (an engine snapshot
+//! underneath: each ε's partition is built once and shared by all eight
+//! variants; each `(ε, minPts)` MarkCore result is shared by the variants
+//! that only differ in the cell graph) and once as one-shot `Dbscan::run`
+//! calls that rebuild everything per run — so the engine's amortization win
+//! is *measured*, not asserted, and the facade's dispatch overhead is part
+//! of the measured serving time.
 //!
 //! Note the per-variant engine rows measure *amortized serving time* — after
 //! the first variant of an (ε, minPts) pair, MarkCore comes from cache, so
@@ -33,7 +35,6 @@
 
 use baselines::naive_parallel_dbscan;
 use bench::*;
-use dbscan_engine::Engine;
 use std::time::Instant;
 
 /// Per-ε timing: total wall time of all variants through the engine vs. as
@@ -67,21 +68,21 @@ fn sweep<const D: usize>(
     );
     println!("eps,variant,engine_time_s,oneshot_time_s,clusters,noise,partition_hit,core_hit");
 
-    let snapshot = Engine::new().index(workload.points.clone());
+    let session = session_for_workload(workload);
     let mut series = Vec::new();
     for &eps in eps_values {
         let mut engine_total = 0.0f64;
         let mut oneshot_total = 0.0f64;
         let mut default_shape = (0usize, 0usize);
         for variant in standard_variants() {
-            let engine_run = run_variant_on_snapshot(&snapshot, eps, workload.min_pts, variant);
+            let engine_run = run_variant_on_session(&session, eps, workload.min_pts, variant);
             let oneshot = run_variant(&workload.points, eps, workload.min_pts, variant);
             engine_total += engine_run.elapsed.as_secs_f64();
             oneshot_total += oneshot.elapsed.as_secs_f64();
             if variant == pardbscan::VariantConfig::exact() {
                 default_shape = (
-                    engine_run.clustering.num_clusters(),
-                    engine_run.clustering.num_noise(),
+                    engine_run.labels.num_clusters(),
+                    engine_run.labels.num_noise(),
                 );
             }
             println!(
@@ -89,8 +90,8 @@ fn sweep<const D: usize>(
                 variant.paper_name(),
                 secs(engine_run.elapsed),
                 secs(oneshot.elapsed),
-                engine_run.clustering.num_clusters(),
-                engine_run.clustering.num_noise(),
+                engine_run.labels.num_clusters(),
+                engine_run.labels.num_noise(),
                 engine_run.stats.partition_cache_hit,
                 engine_run.stats.core_cache_hit,
             );
@@ -113,7 +114,7 @@ fn sweep<const D: usize>(
             noise: default_shape.1,
         });
     }
-    let cache = snapshot.cache_stats();
+    let cache = session.cache_stats();
     println!("# engine cache: {}", cache_summary(&cache));
     DatasetReport {
         name: workload.name.clone(),

@@ -5,10 +5,12 @@
 //! touched cells (plus any component a deletion may have split). This
 //! binary measures that claim: for update batches of 0.1%, 1%, 10% and 25%
 //! of n (half deletions, half insertions drawn from the same distribution),
-//! it times the incremental [`StreamingClusterer::apply`] against a full
-//! from-scratch `pardbscan::dbscan` run on the post-update point set. The
-//! 25% leg churns hard enough to force overlay compactions, so that path is
-//! exercised (and its cost visible) in every committed run.
+//! it times the incremental apply — driven through the `dbscan` facade's
+//! [`dbscan::UpdateHandle`], so the dimension-erased dispatch and insert
+//! repacking are part of the measured cost — against a full from-scratch
+//! `pardbscan::dbscan` run on the post-update point set. The 25% leg churns
+//! hard enough to force overlay compactions, so that path is exercised (and
+//! its cost visible) in every committed run.
 //!
 //! Expected shape: for small batches the incremental path wins by orders of
 //! magnitude because its work is proportional to the touched region; as the
@@ -27,8 +29,8 @@
 //! ```
 
 use bench::*;
-use dbscan_stream::{StreamingClusterer, UpdateBatch};
-use geom::Point;
+use dbscan::{ClusterSession, PointCloud};
+use geom::{flat_from_points, points_from_flat, Point};
 use pardbscan::DbscanParams;
 use std::time::Instant;
 
@@ -70,7 +72,8 @@ struct DatasetReport {
 }
 
 /// Runs `batches` update batches of `fraction * n` points (half deletes,
-/// half inserts) through a fresh clusterer, timing incremental apply and a
+/// half inserts) through a fresh facade streaming session, timing
+/// incremental apply and a
 /// full re-cluster of the final live set after every batch.
 fn run_fraction<const D: usize>(
     initial: &[Point<D>],
@@ -83,8 +86,9 @@ fn run_fraction<const D: usize>(
     let n = initial.len();
     let batch_size = ((n as f64 * fraction).round() as usize).max(2);
     let mut rng = Lcg(seed | 1);
-    let mut clusterer =
-        StreamingClusterer::new(initial.to_vec(), params).expect("benchmark dataset is valid");
+    let cloud = PointCloud::new(D, flat_from_points(initial)).expect("benchmark data is finite");
+    let mut session = ClusterSession::ingest(cloud).expect("benchmark dimensions are supported");
+    let mut updates = session.updates(params).expect("benchmark dataset is valid");
 
     let mut pool = insert_pool.iter().copied().cycle();
     let mut apply_total = 0.0f64;
@@ -100,11 +104,7 @@ fn run_fraction<const D: usize>(
         compactions: 0,
     };
     for _ in 0..batches {
-        let mut live_ids: Vec<usize> = clusterer
-            .live_points()
-            .into_iter()
-            .map(|(id, _)| id)
-            .collect();
+        let mut live_ids: Vec<usize> = updates.live_ids();
         // Partial Fisher–Yates: pick batch_size/2 distinct ids to delete.
         let num_deletes = (batch_size / 2).min(live_ids.len());
         for i in 0..num_deletes {
@@ -115,11 +115,16 @@ fn run_fraction<const D: usize>(
         let inserts: Vec<Point<D>> = (0..batch_size - num_deletes)
             .map(|_| pool.next().expect("cyclic pool"))
             .collect();
+        let insert_cloud =
+            PointCloud::new(D, flat_from_points(&inserts)).expect("pool points are finite");
 
-        let stats = clusterer
-            .apply(UpdateBatch { inserts, deletes })
+        // Wall-clock around the facade call, so the dimension-erased
+        // dispatch and insert repacking count toward the incremental side.
+        let start = Instant::now();
+        let stats = updates
+            .apply(&insert_cloud, &deletes)
             .expect("benchmark batches are valid");
-        apply_total += stats.elapsed.as_secs_f64();
+        apply_total += start.elapsed().as_secs_f64();
         report.cells_touched += stats.cells_touched;
         report.points_rescanned += stats.points_rescanned;
         report.components_reclustered += stats.components_reclustered;
@@ -127,15 +132,11 @@ fn run_fraction<const D: usize>(
 
         // The comparison point: cluster the same final point set from
         // scratch (what a non-incremental service would have to do).
-        let live: Vec<Point<D>> = clusterer
-            .live_points()
-            .into_iter()
-            .map(|(_, p)| p)
-            .collect();
+        let live: Vec<Point<D>> = points_from_flat::<D>(updates.live_cloud().coords());
         let start = Instant::now();
         let full = pardbscan::dbscan(&live, params.eps, params.min_pts).unwrap();
         full_total += start.elapsed().as_secs_f64();
-        assert_eq!(full.len(), clusterer.num_live());
+        assert_eq!(full.len(), updates.num_live());
     }
     report.apply_s = apply_total / batches as f64;
     report.full_s = full_total / batches as f64;

@@ -185,6 +185,45 @@ pub fn run_variant_on_snapshot<const D: usize>(
     }
 }
 
+/// Result of one timed query through the `dbscan` facade session.
+pub struct SessionRunResult {
+    /// Wall-clock time of the query (as observed by the caller, so the
+    /// facade's dispatch overhead is part of the measurement).
+    pub elapsed: Duration,
+    /// The labels.
+    pub labels: dbscan::Labels,
+    /// The underlying engine's per-query phase timings and cache flags.
+    pub stats: QueryStats,
+}
+
+/// Opens a dimension-erased facade [`dbscan::ClusterSession`] over a
+/// workload's points — the front door the ported sweep binaries measure
+/// through, so the facade's dispatch cost is included in what they report.
+pub fn session_for_workload<const D: usize>(workload: &Workload<D>) -> dbscan::ClusterSession {
+    let cloud = dbscan::PointCloud::new(D, geom::flat_from_points(&workload.points))
+        .expect("benchmark data is finite");
+    dbscan::ClusterSession::ingest(cloud).expect("benchmark dimensions are supported")
+}
+
+/// Runs one named variant through a facade session (reusing whatever cached
+/// phase state the session already holds).
+pub fn run_variant_on_session(
+    session: &dbscan::ClusterSession,
+    eps: f64,
+    min_pts: usize,
+    variant: VariantConfig,
+) -> SessionRunResult {
+    let start = Instant::now();
+    let outcome = session
+        .query(DbscanParams::new(eps, min_pts), variant)
+        .expect("benchmark configurations are valid");
+    SessionRunResult {
+        elapsed: start.elapsed(),
+        labels: outcome.labels,
+        stats: outcome.stats,
+    }
+}
+
 /// Result of one run through the phase-granular pipeline API against a
 /// shared, prebuilt [`SpatialIndex`]: MarkCore and the cluster phases are
 /// timed separately, per variant. The per-(ε, minPts) sweep binaries use

@@ -1,0 +1,141 @@
+//! Dimension-erased access to the monomorphized pipeline.
+//!
+//! The four-phase pipeline is generic over the compile-time dimension `D`,
+//! which keeps the hot distance loops free of dynamic indexing — but it
+//! means a caller whose dimensionality only arrives at runtime (a CSV
+//! upload, a JSON request body) cannot name the entry point to call.
+//! [`ErasedPipeline`] is the bridge: one trait object per supported
+//! dimension, each a zero-sized shim that packs a flat coordinate buffer
+//! into `Point<D>`s and runs [`crate::Dbscan`]. The `dbscan` facade crate
+//! builds its `PointCloud`/`ClusterSession` front door on top of this.
+//!
+//! The trait is **sealed**: the set of implementations is exactly the
+//! dimensions the jump table in [`erased_pipeline`] covers
+//! ([`ERASED_DIM_MIN`]..=[`ERASED_DIM_MAX`]), so downstream code can rely
+//! on every `&dyn ErasedPipeline` delegating to this crate's pipeline and
+//! nothing else.
+
+use crate::params::{DbscanError, DbscanParams, VariantConfig};
+use crate::result::Clustering;
+use crate::Dbscan;
+
+mod sealed {
+    /// Seals [`super::ErasedPipeline`]: only this crate's monomorphized
+    /// shims may implement it.
+    pub trait Sealed {}
+}
+
+/// A dimension-erased handle to the pipeline for one fixed dimension.
+///
+/// Obtain one with [`erased_pipeline`]; the handle is `'static` and
+/// zero-sized, so it can be stored, copied and shared freely.
+pub trait ErasedPipeline: sealed::Sealed + Send + Sync {
+    /// The dimension the handle packs coordinates into.
+    fn dim(&self) -> usize;
+
+    /// Runs the configured variant over a flat row-major coordinate buffer
+    /// (`dim()` consecutive values per point).
+    ///
+    /// # Panics
+    ///
+    /// If `coords.len()` is not a multiple of [`ErasedPipeline::dim`] —
+    /// arity (and finiteness) validation is the caller's contract; the
+    /// `dbscan` facade performs it in its `PointCloud` constructor.
+    fn cluster(
+        &self,
+        coords: &[f64],
+        params: DbscanParams,
+        variant: VariantConfig,
+    ) -> Result<Clustering, DbscanError>;
+}
+
+/// The monomorphized shim behind every [`ErasedPipeline`] handle.
+struct Mono<const D: usize>;
+
+impl<const D: usize> sealed::Sealed for Mono<D> {}
+
+impl<const D: usize> ErasedPipeline for Mono<D> {
+    fn dim(&self) -> usize {
+        D
+    }
+
+    fn cluster(
+        &self,
+        coords: &[f64],
+        params: DbscanParams,
+        variant: VariantConfig,
+    ) -> Result<Clustering, DbscanError> {
+        let points = geom::points_from_flat::<D>(coords);
+        Dbscan::new(&points, params).variant(variant).run()
+    }
+}
+
+/// Smallest dimension [`erased_pipeline`] serves.
+pub const ERASED_DIM_MIN: usize = 2;
+/// Largest dimension [`erased_pipeline`] serves. Higher dimensions remain
+/// reachable through the statically-typed [`crate::Dbscan`] API (the paper
+/// evaluates up to d = 13); the erased jump table stops where the grid
+/// neighbour enumeration and k-d tree constants stay practical for a
+/// service accepting arbitrary runtime input.
+pub const ERASED_DIM_MAX: usize = 8;
+
+/// The dimension-erased pipeline handle for `dim`, or `None` when `dim` is
+/// outside [`ERASED_DIM_MIN`]`..=`[`ERASED_DIM_MAX`] — the jump table the
+/// `dbscan` facade dispatches through.
+pub fn erased_pipeline(dim: usize) -> Option<&'static dyn ErasedPipeline> {
+    macro_rules! jump_table {
+        ($($d:literal),* $(,)?) => {
+            match dim {
+                $($d => Some(&Mono::<$d> as &'static dyn ErasedPipeline),)*
+                _ => None,
+            }
+        };
+    }
+    jump_table!(2, 3, 4, 5, 6, 7, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_table_covers_exactly_the_advertised_range() {
+        for dim in 0..16 {
+            let handle = erased_pipeline(dim);
+            if (ERASED_DIM_MIN..=ERASED_DIM_MAX).contains(&dim) {
+                assert_eq!(handle.expect("supported dimension").dim(), dim);
+            } else {
+                assert!(handle.is_none(), "dimension {dim} must be unsupported");
+            }
+        }
+    }
+
+    #[test]
+    fn erased_run_matches_static_run() {
+        let coords: Vec<f64> = (0..60).map(|i| 0.1 * (i % 30) as f64).collect();
+        let pipeline = erased_pipeline(3).unwrap();
+        let erased = pipeline
+            .cluster(&coords, DbscanParams::new(0.5, 3), VariantConfig::exact())
+            .unwrap();
+        let points = geom::points_from_flat::<3>(&coords);
+        let var = crate::dbscan(&points, 0.5, 3).unwrap();
+        assert_eq!(erased, var);
+    }
+
+    #[test]
+    fn erased_run_propagates_pipeline_errors() {
+        let pipeline = erased_pipeline(3).unwrap();
+        assert!(matches!(
+            pipeline.cluster(&[0.0; 6], DbscanParams::new(0.0, 3), VariantConfig::exact()),
+            Err(DbscanError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            pipeline.cluster(
+                &[0.0; 6],
+                DbscanParams::new(1.0, 3),
+                VariantConfig::two_d(crate::CellMethod::Box, crate::CellGraphMethod::Bcp)
+            ),
+            Err(DbscanError::RequiresTwoDimensions(_))
+        ));
+    }
+}

@@ -23,6 +23,14 @@
 //! DBSCAN, in which core points at distance in (ε, ε(1+ρ)] may or may not be
 //! connected.
 //!
+//! This crate is the *statically-typed, advanced* interface: everything is
+//! monomorphized on the compile-time dimension `D`, and the phase-granular
+//! [`pipeline`] module exposes the algorithm's internal state. Callers whose
+//! dimensionality arrives at runtime — or who want one handle covering
+//! one-shot runs, cached parameter sweeps and streaming updates — should
+//! start at the `dbscan` facade crate, which dispatches here through the
+//! sealed [`ErasedPipeline`] jump table.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -58,6 +66,7 @@ mod cluster_border;
 mod cluster_core;
 mod connectivity;
 mod dbscan;
+mod erased;
 mod kernels;
 mod mark_core;
 mod params;
@@ -68,6 +77,7 @@ pub use cluster_border::cluster_border;
 pub use cluster_core::{cluster_core, ClusterCoreOptions};
 pub use connectivity::{bcp_scratch_stats, bichromatic_closest_pair};
 pub use dbscan::{dbscan, dbscan_approx, Dbscan};
+pub use erased::{erased_pipeline, ErasedPipeline, ERASED_DIM_MAX, ERASED_DIM_MIN};
 pub use mark_core::mark_core;
 pub use params::{
     CellGraphMethod, CellMethod, DbscanError, DbscanParams, MarkCoreMethod, VariantConfig,

@@ -8,7 +8,7 @@
 //! (primary labels) for callers that want the usual "one label per point"
 //! shape.
 
-use parprims::count_if;
+use parprims::{count_if, Csr};
 
 /// The label of a single point.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,53 +22,36 @@ pub enum PointLabel {
 }
 
 /// Per-point cluster-membership sets in flat CSR form: point `i`'s set is
-/// `ids[offsets[i]..offsets[i + 1]]`. This is the shape ClusterBorder
-/// produces and [`Clustering`] stores — two arrays for the whole point set
-/// instead of one heap-allocated `Vec` per point, which on large inputs was
-/// a dominant share of the end-to-end allocation count.
+/// one contiguous row of a generic [`parprims::Csr`] container (the same
+/// flat shape `spatial::NeighborGraph` uses for cell adjacency, so the
+/// validation and accessors are written once). This is the shape
+/// ClusterBorder produces and [`Clustering`] stores — two arrays for the
+/// whole point set instead of one heap-allocated `Vec` per point, which on
+/// large inputs was a dominant share of the end-to-end allocation count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterSets {
-    offsets: Vec<usize>,
-    ids: Vec<usize>,
+    sets: Csr<usize>,
 }
 
 impl ClusterSets {
     /// Assembles sets from raw CSR parts. Panics on malformed offsets.
     pub fn from_parts(offsets: Vec<usize>, ids: Vec<usize>) -> Self {
-        assert!(!offsets.is_empty(), "offsets needs a leading 0");
-        assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be monotone"
-        );
-        assert_eq!(
-            *offsets.last().unwrap(),
-            ids.len(),
-            "offsets must cover ids exactly"
-        );
-        ClusterSets { offsets, ids }
+        ClusterSets {
+            sets: Csr::from_parts(offsets, ids),
+        }
     }
 
     /// Flattens per-point lists (the pre-refactor representation, still the
     /// natural shape for hand-built test inputs and the streaming resolver).
     pub fn from_lists(lists: &[Vec<usize>]) -> Self {
-        let mut offsets = Vec::with_capacity(lists.len() + 1);
-        offsets.push(0);
-        let mut total = 0usize;
-        for l in lists {
-            total += l.len();
-            offsets.push(total);
+        ClusterSets {
+            sets: Csr::from_lists(lists),
         }
-        let mut ids = Vec::with_capacity(total);
-        for l in lists {
-            ids.extend_from_slice(l);
-        }
-        ClusterSets { offsets, ids }
     }
 
     /// Number of points covered.
     pub fn len(&self) -> usize {
-        self.offsets.len() - 1
+        self.sets.num_rows()
     }
 
     /// Returns `true` if the sets cover no points.
@@ -79,7 +62,13 @@ impl ClusterSets {
     /// The cluster-id set of point `i`.
     #[inline]
     pub fn of(&self, i: usize) -> &[usize] {
-        &self.ids[self.offsets[i]..self.offsets[i + 1]]
+        self.sets.row(i)
+    }
+
+    /// Number of points whose set is empty (noise under the DBSCAN
+    /// definition).
+    pub fn num_empty(&self) -> usize {
+        self.sets.num_empty_rows()
     }
 
     /// Sorts and deduplicates the tail segment `ids[start..]` in place
@@ -102,21 +91,21 @@ impl ClusterSets {
     }
 
     fn into_parts(self) -> (Vec<usize>, Vec<usize>) {
-        (self.offsets, self.ids)
+        self.sets.into_parts()
     }
 }
 
 /// The result of a DBSCAN run.
 ///
-/// The per-point cluster sets live in one flat CSR block (see
-/// [`ClusterSets`]); [`Clustering::clusters_of`] borrows a slice of it.
+/// The per-point cluster sets live in one canonicalized [`ClusterSets`]
+/// (flat CSR; empty set ⇒ noise); [`Clustering::clusters_of`] and
+/// [`Clustering::num_noise`] delegate to it instead of carrying a second
+/// copy of the offsets/ids arrays.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Clustering {
     core: Vec<bool>,
-    /// CSR offsets of the per-point sorted cluster-id sets (empty ⇒ noise).
-    offsets: Vec<usize>,
-    /// The per-point sets, concatenated.
-    ids: Vec<usize>,
+    /// The per-point sorted cluster-id sets, canonically renumbered.
+    sets: ClusterSets,
     num_clusters: usize,
 }
 
@@ -169,8 +158,7 @@ impl Clustering {
         let num_clusters = remap.len();
         Clustering {
             core,
-            offsets,
-            ids,
+            sets: ClusterSets::from_parts(offsets, ids),
             num_clusters,
         }
     }
@@ -209,7 +197,12 @@ impl Clustering {
     /// id for core points; one or more ids for border points).
     #[inline]
     pub fn clusters_of(&self, i: usize) -> &[usize] {
-        &self.ids[self.offsets[i]..self.offsets[i + 1]]
+        self.sets.of(i)
+    }
+
+    /// The per-point membership sets as a whole, in canonical numbering.
+    pub fn cluster_sets(&self) -> &ClusterSets {
+        &self.sets
     }
 
     /// The label of point `i`.
@@ -251,7 +244,7 @@ impl Clustering {
 
     /// Number of noise points.
     pub fn num_noise(&self) -> usize {
-        self.offsets.windows(2).filter(|w| w[0] == w[1]).count()
+        self.sets.num_empty()
     }
 
     /// Checks whether two clusterings describe the same partition: the same

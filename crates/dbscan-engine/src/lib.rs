@@ -54,6 +54,17 @@
 //! back as a fresh [`Snapshot`]. A service can therefore alternate between
 //! ingest mode and sweep mode without ever re-indexing from cold state.
 //!
+//! ## Where this sits
+//!
+//! This crate is the *statically-typed, advanced* interface to snapshot
+//! serving: `Engine`/`Snapshot` are monomorphized on the compile-time
+//! dimension and expose explicit cache control. The `dbscan` facade crate
+//! wraps a snapshot behind its runtime-dimension `ClusterSession` (query
+//! and sweep paths) — start there unless you need a compile-time `D` or
+//! the raw [`QueryResult`]/[`Snapshot::cached_index`] machinery. The
+//! facade ships the worked parameter-exploration example
+//! (`crates/dbscan/examples/parameter_explorer.rs`).
+//!
 //! ## Quick start
 //!
 //! ```

@@ -65,6 +65,10 @@ pub struct StreamingClusterer<const D: usize> {
     /// For each live non-core point, the keys of the cells with a core
     /// point within ε (empty ⇒ noise; unused for core/dead points).
     adjacency: Vec<Vec<[i64; D]>>,
+    /// Persistent scratch for [`spatial::OverlayPartition::live_points_of_cell_into`]
+    /// on the sequential update path: once warmed to the largest cell seen,
+    /// the per-cell core-count walks of `apply` stop allocating.
+    cell_scratch: Vec<(usize, Point<D>)>,
 }
 
 impl<const D: usize> StreamingClusterer<D> {
@@ -97,6 +101,7 @@ impl<const D: usize> StreamingClusterer<D> {
             graph: Vec::new(),
             witness: HashMap::new(),
             adjacency: vec![Vec::new(); core_set.core_flags.len()],
+            cell_scratch: Vec::new(),
         };
 
         // Slots for the core cells, in cell order.
@@ -326,11 +331,15 @@ impl<const D: usize> StreamingClusterer<D> {
         // cell that lost a core point, and pairs with no stored edge yet,
         // pay a BCP query. ──────────────────────────────────────────────
         let mut core_count_cache: HashMap<usize, usize> = HashMap::new();
+        // The persistent cell-walk scratch, taken out for the duration of
+        // the call (restored before returning) so the per-cell core counts
+        // below reuse one warmed buffer instead of allocating per cell.
+        let mut scratch = std::mem::take(&mut self.cell_scratch);
         let changed_vec: Vec<usize> = changed.iter().copied().collect();
         let mut cand_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut nbrs_of: HashMap<usize, Vec<usize>> = HashMap::new();
         for &c in &changed_vec {
-            if self.core_count_cached(c, &mut core_count_cache) == 0 {
+            if self.core_count_cached(c, &mut core_count_cache, &mut scratch) == 0 {
                 continue;
             }
             let s = self.ensure_slot(self.overlay.cell_key(c));
@@ -338,7 +347,7 @@ impl<const D: usize> StreamingClusterer<D> {
             let nbrs: Vec<usize> = nbr_memo[&c]
                 .iter()
                 .copied()
-                .filter(|&h| self.core_count_cached(h, &mut core_count_cache) > 0)
+                .filter(|&h| self.core_count_cached(h, &mut core_count_cache, &mut scratch) > 0)
                 .collect();
             let c_lost = lost.contains(&c);
             for &h in &nbrs {
@@ -382,7 +391,7 @@ impl<const D: usize> StreamingClusterer<D> {
         let mut added_edges: Vec<(usize, usize)> = Vec::new();
         for &c in &changed_vec {
             let key_c = self.overlay.cell_key(c);
-            if self.core_count_cached(c, &mut core_count_cache) == 0 {
+            if self.core_count_cached(c, &mut core_count_cache, &mut scratch) == 0 {
                 // The cell lost all its core points: every stored edge of
                 // its slot disappears.
                 if let Some(&s) = self.cell_slot.get(&key_c) {
@@ -474,6 +483,7 @@ impl<const D: usize> StreamingClusterer<D> {
             stats.compacted = true;
         }
 
+        self.cell_scratch = scratch;
         stats.elapsed = start.elapsed();
         Ok(stats)
     }
@@ -565,17 +575,21 @@ impl<const D: usize> StreamingClusterer<D> {
             })
     }
 
-    /// Number of live core points of cell `c`, memoized per apply call.
-    fn core_count_cached(&self, c: usize, cache: &mut HashMap<usize, usize>) -> usize {
+    /// Number of live core points of cell `c`, memoized per apply call. The
+    /// cell walk goes through `scratch` (the clusterer's persistent buffer,
+    /// taken out for the duration of `apply`), so repeated counts allocate
+    /// nothing once the buffer has warmed to the largest cell.
+    fn core_count_cached(
+        &self,
+        c: usize,
+        cache: &mut HashMap<usize, usize>,
+        scratch: &mut Vec<(usize, Point<D>)>,
+    ) -> usize {
         if let Some(&count) = cache.get(&c) {
             return count;
         }
-        let count = self
-            .overlay
-            .live_points_of_cell(c)
-            .into_iter()
-            .filter(|&(pid, _)| self.core[pid])
-            .count();
+        self.overlay.live_points_of_cell_into(c, scratch);
+        let count = scratch.iter().filter(|&&(pid, _)| self.core[pid]).count();
         cache.insert(c, count);
         count
     }
@@ -755,6 +769,30 @@ mod tests {
             "no edge vanished, so no component may be re-derived"
         );
         assert_matches_batch(&clusterer, "after in-cluster deletion");
+    }
+
+    #[test]
+    fn small_batch_cell_walks_reuse_one_warmed_scratch() {
+        // The per-cell core-count walks of `apply` go through the
+        // clusterer's persistent scratch; after a warm-up batch, repeated
+        // small batches over the same region must not regrow it.
+        let pts = random_points(300, 8.0, 31);
+        let mut clusterer = StreamingClusterer::new(pts, DbscanParams::new(1.0, 4)).unwrap();
+        let probe = Point2::new([4.0, 4.0]);
+        let (id, _) = clusterer.insert(probe).unwrap();
+        clusterer.delete(id).unwrap();
+        let warmed = clusterer.cell_scratch.capacity();
+        assert!(warmed > 0, "the update path walked at least one cell");
+        for _ in 0..5 {
+            let (id, _) = clusterer.insert(probe).unwrap();
+            clusterer.delete(id).unwrap();
+            assert_matches_batch(&clusterer, "during scratch churn");
+        }
+        assert_eq!(
+            clusterer.cell_scratch.capacity(),
+            warmed,
+            "repeated small batches must reuse the warmed scratch"
+        );
     }
 
     #[test]

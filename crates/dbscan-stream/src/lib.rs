@@ -53,6 +53,15 @@
 //! [`StreamingClusterer::freeze`] hands the live set back as an immutable
 //! snapshot.
 //!
+//! ## Where this sits
+//!
+//! This crate is the *statically-typed, advanced* interface to incremental
+//! maintenance. The `dbscan` facade crate drives it behind the
+//! runtime-dimension `ClusterSession::updates` handle (which also owns the
+//! freeze-back-to-snapshot hand-off) — start there unless you need a
+//! compile-time `D` or direct access to [`UpdateBatch`]/[`UpdateStats`]
+//! batching.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -1,0 +1,117 @@
+//! The facade's single result type.
+//!
+//! One-shot runs, engine queries, sweep grid cells and streaming reads all
+//! produce the same thing: a [`Labels`] wrapping the pipeline's canonical
+//! [`Clustering`]. Because the wrapped clustering is canonically renumbered
+//! (cluster `k` is the one whose first core point appears earliest), two
+//! `Labels` over the same points compare equal with `==` exactly when they
+//! describe the same partition — whichever of the three paths produced
+//! each.
+
+use pardbscan::{Clustering, PointLabel};
+
+/// Per-point cluster labels, identical in shape across the one-shot, sweep
+/// and streaming paths.
+///
+/// Point `i` refers to the `i`-th point of the labelled set: the ingest
+/// order of the session's [`crate::PointCloud`] for one-shot and sweep
+/// results, and ascending stable-id order for streaming reads (the order
+/// [`crate::UpdateHandle::live_ids`] reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Labels {
+    clustering: Clustering,
+}
+
+impl Labels {
+    /// Number of labelled points.
+    pub fn len(&self) -> usize {
+        self.clustering.len()
+    }
+
+    /// Returns `true` if no points were labelled.
+    pub fn is_empty(&self) -> bool {
+        self.clustering.is_empty()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clustering.num_clusters()
+    }
+
+    /// Number of noise points.
+    pub fn num_noise(&self) -> usize {
+        self.clustering.num_noise()
+    }
+
+    /// Number of core points.
+    pub fn num_core_points(&self) -> usize {
+        self.clustering.num_core_points()
+    }
+
+    /// Whether point `i` is a core point.
+    pub fn is_core(&self, i: usize) -> bool {
+        self.clustering.is_core(i)
+    }
+
+    /// Whether point `i` is noise.
+    pub fn is_noise(&self, i: usize) -> bool {
+        self.clustering.is_noise(i)
+    }
+
+    /// The set of clusters point `i` belongs to (empty for noise; one id
+    /// for core points; one or more for border points).
+    pub fn clusters_of(&self, i: usize) -> &[usize] {
+        self.clustering.clusters_of(i)
+    }
+
+    /// The full label of point `i` (core / border / noise).
+    pub fn label(&self, i: usize) -> PointLabel {
+        self.clustering.label(i)
+    }
+
+    /// Flattened per-point labels: the smallest cluster id for clustered
+    /// points, −1 for noise.
+    pub fn primary(&self) -> Vec<i64> {
+        self.clustering.primary_labels()
+    }
+
+    /// The wrapped canonical clustering, for callers dropping down to the
+    /// per-crate APIs.
+    pub fn as_clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Unwraps into the canonical clustering.
+    pub fn into_clustering(self) -> Clustering {
+        self.clustering
+    }
+}
+
+impl From<Clustering> for Labels {
+    fn from(clustering: Clustering) -> Self {
+        Labels { clustering }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegation_matches_the_wrapped_clustering() {
+        let clustering =
+            Clustering::from_raw(vec![true, false, false], vec![vec![5], vec![5], vec![]]);
+        let labels = Labels::from(clustering.clone());
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels.num_clusters(), 1);
+        assert_eq!(labels.num_noise(), 1);
+        assert_eq!(labels.num_core_points(), 1);
+        assert!(labels.is_core(0) && !labels.is_core(1));
+        assert!(labels.is_noise(2));
+        assert_eq!(labels.clusters_of(1), &[0]);
+        assert_eq!(labels.label(0), PointLabel::Core(0));
+        assert_eq!(labels.primary(), vec![0, 0, -1]);
+        assert_eq!(labels.as_clustering(), &clustering);
+        assert_eq!(labels.into_clustering(), clustering);
+    }
+}

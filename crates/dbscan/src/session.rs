@@ -1,0 +1,725 @@
+//! The cluster session: one handle owning ingest → index → query → sweep →
+//! streaming-update as a single lifecycle.
+//!
+//! A [`ClusterSession`] erases the compile-time dimension the pipelines
+//! underneath are monomorphized on: construction packs the validated
+//! [`PointCloud`] into `Point<D>`s through a macro-generated jump table
+//! (one arm per supported dimension, 2..=8) and stores the resulting state
+//! behind an object-safe trait. Everything after that — exact queries,
+//! batched sweeps, streaming updates — is one virtual call deep, and the
+//! heavy loops below it stay fully monomorphized.
+//!
+//! The session's two modes mirror the engine/stream split it unifies:
+//!
+//! * **Indexed** (the default): an engine `Snapshot` serves
+//!   [`ClusterSession::cluster`] and [`ClusterSession::sweep`] with
+//!   LRU-cached phase state.
+//! * **Streaming**: [`ClusterSession::updates`] converts the snapshot into
+//!   a `StreamingClusterer` (reusing the snapshot's cached spatial index
+//!   when one matches) and hands back an [`UpdateHandle`]. While the handle
+//!   lives, the borrow checker statically prevents queries; dropping (or
+//!   [`UpdateHandle::finish`]ing) it freezes the live set back into a
+//!   fresh snapshot, and sweep service resumes on the updated points.
+
+use crate::cloud::PointCloud;
+use crate::error::Error;
+use crate::labels::Labels;
+use dbscan_engine::{CacheStats, Engine, QueryStats, Snapshot};
+use dbscan_stream::{IntoStreaming, StreamingClusterer, UpdateBatch, UpdateStats};
+use geom::{points_from_flat, Point};
+use pardbscan::{DbscanParams, VariantConfig};
+
+/// Configures and opens [`ClusterSession`]s.
+///
+/// The knobs mirror the engine's: how many spatial indexes (distinct ε
+/// values, roughly) and core sets (distinct `(ε, minPts)` pairs) the
+/// session caches between queries. The same configuration is reapplied
+/// when a streaming handle freezes back into sweep mode.
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    engine: Engine,
+}
+
+impl SessionBuilder {
+    /// A builder with the engine's default cache capacities.
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// Sets how many spatial indexes the session keeps cached.
+    pub fn partition_cache_capacity(mut self, capacity: usize) -> Self {
+        self.engine = self.engine.partition_cache_capacity(capacity);
+        self
+    }
+
+    /// Sets how many core sets the session keeps cached.
+    pub fn core_cache_capacity(mut self, capacity: usize) -> Self {
+        self.engine = self.engine.core_cache_capacity(capacity);
+        self
+    }
+
+    /// Ingests a validated point cloud and opens the session. Fails with
+    /// [`Error::UnsupportedDimension`] when the cloud's dimensionality is
+    /// outside 2..=8.
+    pub fn ingest(self, cloud: PointCloud) -> Result<ClusterSession, Error> {
+        let dim = cloud.dim();
+        let inner = open_session(self.engine, &cloud)?;
+        Ok(ClusterSession { dim, inner })
+    }
+}
+
+/// One clustering result grid cell of a [`ClusterSession::sweep`].
+pub struct SweepCell {
+    /// The ε of this grid cell.
+    pub eps: f64,
+    /// The minPts of this grid cell.
+    pub min_pts: usize,
+    /// The labels for `(eps, min_pts)` — the same [`Labels`] type every
+    /// other session path produces.
+    pub labels: Labels,
+    /// Phase timings and cache-reuse flags of this grid cell's query.
+    pub stats: QueryStats,
+}
+
+/// A clustering plus the per-query statistics describing how it was served
+/// (returned by [`ClusterSession::query`], the stats-bearing sibling of
+/// [`ClusterSession::cluster`]).
+pub struct QueryOutcome {
+    /// The labels.
+    pub labels: Labels,
+    /// Phase timings and cache-reuse flags of this query.
+    pub stats: QueryStats,
+}
+
+/// A clustering session over one point set whose dimensionality is a
+/// runtime value.
+///
+/// The session is the workspace's front door: it serves one-shot queries,
+/// batched parameter sweeps, and streaming updates from a single handle,
+/// with one [`Labels`] result type across all three. See the crate docs
+/// for the architecture; the examples below each run as doctests.
+///
+/// # One-shot
+///
+/// ```
+/// use dbscan::{ClusterSession, Params, PointCloud};
+///
+/// // Two clusters of five points each, one far-away noise point.
+/// let mut rows: Vec<[f64; 2]> = Vec::new();
+/// for i in 0..5 {
+///     rows.push([0.1 * i as f64, 0.0]);
+///     rows.push([0.1 * i as f64, 30.0]);
+/// }
+/// rows.push([15.0, 15.0]);
+///
+/// let session = ClusterSession::ingest(PointCloud::from_rows(&rows)?)?;
+/// let labels = session.cluster(Params::new(0.5, 3))?;
+/// assert_eq!(labels.num_clusters(), 2);
+/// assert!(labels.is_noise(rows.len() - 1));
+/// # Ok::<(), dbscan::Error>(())
+/// ```
+///
+/// # Parameter sweep
+///
+/// ```
+/// use dbscan::{ClusterSession, PointCloud};
+///
+/// let coords: Vec<f64> = (0..40).map(|i| 0.1 * (i % 20) as f64).collect();
+/// let session = ClusterSession::ingest(PointCloud::new(2, coords)?)?;
+///
+/// // 2 × 2 parameter grid, one partition build per ε underneath.
+/// let grid = session.sweep(&[0.5, 0.7], &[3, 4])?;
+/// assert_eq!(grid.len(), 4);
+/// assert_eq!(session.cache_stats().partition_misses, 2);
+/// # Ok::<(), dbscan::Error>(())
+/// ```
+///
+/// # Streaming updates
+///
+/// ```
+/// use dbscan::{ClusterSession, Params, PointCloud};
+///
+/// let rows: Vec<[f64; 2]> = (0..10).map(|i| [0.1 * i as f64, 0.0]).collect();
+/// let mut session = ClusterSession::ingest(PointCloud::from_rows(&rows)?)?;
+/// let params = Params::new(0.5, 3);
+///
+/// let mut updates = session.updates(params)?;
+/// let far = updates.insert(&[50.0, 50.0])?;        // a lone noise point
+/// assert!(updates.labels().is_noise(rows.len()));
+/// updates.delete(far)?;
+/// updates.finish();                                 // freeze back to sweep mode
+///
+/// assert_eq!(session.cluster(params)?.num_clusters(), 1);
+/// # Ok::<(), dbscan::Error>(())
+/// ```
+pub struct ClusterSession {
+    dim: usize,
+    inner: Box<dyn ErasedSession>,
+}
+
+impl std::fmt::Debug for ClusterSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSession")
+            .field("dim", &self.dim)
+            .field("num_points", &self.num_points())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterSession {
+    /// Starts configuring a session (cache capacities, then
+    /// [`SessionBuilder::ingest`]).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// Opens a session over `cloud` with default cache capacities.
+    pub fn ingest(cloud: PointCloud) -> Result<Self, Error> {
+        SessionBuilder::new().ingest(cloud)
+    }
+
+    /// The dimensionality of the session's points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points currently served (the ingested count, adjusted by
+    /// any applied streaming updates).
+    pub fn num_points(&self) -> usize {
+        self.inner.num_points()
+    }
+
+    /// Clusters the session's points with the paper's default exact
+    /// variant, reusing cached phase state where possible.
+    pub fn cluster(&self, params: DbscanParams) -> Result<Labels, Error> {
+        Ok(self.query(params, VariantConfig::exact())?.labels)
+    }
+
+    /// Runs an explicit algorithm variant and returns the labels together
+    /// with the per-query statistics (phase timings, cache-reuse flags).
+    pub fn query(
+        &self,
+        params: DbscanParams,
+        variant: VariantConfig,
+    ) -> Result<QueryOutcome, Error> {
+        self.inner.query(params, variant)
+    }
+
+    /// Runs the default exact variant over the full `ε-grid × minPts-grid`
+    /// cross-product in parallel. Each ε's spatial index is built once and
+    /// shared across that ε's minPts values, and repeated grid entries are
+    /// deduplicated before dispatch.
+    pub fn sweep(&self, eps_grid: &[f64], min_pts_grid: &[usize]) -> Result<Vec<SweepCell>, Error> {
+        self.sweep_variant(eps_grid, min_pts_grid, VariantConfig::exact())
+    }
+
+    /// [`ClusterSession::sweep`] with an explicit algorithm variant.
+    pub fn sweep_variant(
+        &self,
+        eps_grid: &[f64],
+        min_pts_grid: &[usize],
+        variant: VariantConfig,
+    ) -> Result<Vec<SweepCell>, Error> {
+        self.inner.sweep(eps_grid, min_pts_grid, variant)
+    }
+
+    /// Cumulative cache counters since the session was opened (or since the
+    /// last streaming handle froze back, which re-indexes).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache_stats()
+    }
+
+    /// Switches the session into streaming mode under `params` and returns
+    /// the update handle. The cached spatial index for `params.eps` is
+    /// reused when one exists, so entering streaming mode after queries at
+    /// the same ε skips the re-partition entirely.
+    ///
+    /// While the handle lives the session is exclusively borrowed — queries
+    /// and sweeps are statically impossible until the handle is dropped or
+    /// [`UpdateHandle::finish`]ed, which freezes the live point set back
+    /// into an indexed snapshot.
+    ///
+    /// **Point ids are per-episode.** Each call to `updates` hands out
+    /// fresh stable ids: the current points get `0..num_points()` in their
+    /// served order (ingest order initially; ascending previous-episode id
+    /// after a freeze), and inserts extend from there. Ids cached from an
+    /// earlier handle do not address the same points in a later one —
+    /// re-read [`UpdateHandle::live_ids`] at the start of every episode.
+    ///
+    /// The incremental maintenance underneath enumerates grid-key
+    /// neighbourhoods whose size grows steeply with the dimension; it is
+    /// engineered for the low-dimensional regime (d ≤ 3 is where the
+    /// paper's grid constants are small). Higher-dimensional sessions can
+    /// still stream, but per-update costs rise accordingly.
+    pub fn updates(&mut self, params: DbscanParams) -> Result<UpdateHandle<'_>, Error> {
+        self.inner.begin_updates(params)?;
+        Ok(UpdateHandle { session: self })
+    }
+}
+
+/// Exclusive streaming access to a [`ClusterSession`].
+///
+/// Obtained from [`ClusterSession::updates`]; insertions and deletions are
+/// maintained incrementally (work proportional to the update's
+/// ε-neighbourhood, not the dataset). Dropping the handle — or calling
+/// [`UpdateHandle::finish`] — freezes the live point set back into the
+/// session's indexed mode.
+pub struct UpdateHandle<'s> {
+    session: &'s mut ClusterSession,
+}
+
+impl UpdateHandle<'_> {
+    /// Applies a batch of updates: `inserts` (validated against the
+    /// session's dimensionality) and `deletes` (stable point ids). The
+    /// batch is atomic — on error nothing is applied.
+    pub fn apply(&mut self, inserts: &PointCloud, deletes: &[usize]) -> Result<UpdateStats, Error> {
+        if inserts.dim() != self.session.dim && !inserts.is_empty() {
+            return Err(Error::DimensionMismatch {
+                expected: self.session.dim,
+                got: inserts.dim(),
+            });
+        }
+        self.session.inner.apply(inserts.coords(), deletes)
+    }
+
+    /// Inserts one point, returning its stable id. Fails on arity mismatch
+    /// with the session's dimensionality or a non-finite coordinate.
+    pub fn insert(&mut self, point: &[f64]) -> Result<usize, Error> {
+        if point.len() != self.session.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.session.dim,
+                got: point.len(),
+            });
+        }
+        crate::cloud::validate_finite(point, self.session.dim, 0)?;
+        let stats = self.session.inner.apply(point, &[])?;
+        Ok(stats.inserted_ids[0])
+    }
+
+    /// Deletes one live point by stable id.
+    pub fn delete(&mut self, id: usize) -> Result<UpdateStats, Error> {
+        self.session.inner.apply(&[], &[id])
+    }
+
+    /// The current labels of the live points, in ascending stable-id order
+    /// (the order [`UpdateHandle::live_ids`] reports) — the same [`Labels`]
+    /// type the query and sweep paths produce, maintained incrementally.
+    pub fn labels(&self) -> Labels {
+        self.session.inner.stream_labels()
+    }
+
+    /// The stable ids of the live points, ascending. Ids are stable for the
+    /// lifetime of *this* handle only — the next [`ClusterSession::updates`]
+    /// episode renumbers (see there).
+    pub fn live_ids(&self) -> Vec<usize> {
+        self.session.inner.live_ids()
+    }
+
+    /// The live points as a [`PointCloud`], in the same ascending stable-id
+    /// order as [`UpdateHandle::labels`] and [`UpdateHandle::live_ids`].
+    pub fn live_cloud(&self) -> PointCloud {
+        // Every live coordinate passed validation when it entered the
+        // session, so the re-wrap skips the O(n·dim) finiteness re-scan.
+        PointCloud::trusted(self.session.dim, self.session.inner.live_coords())
+    }
+
+    /// Number of live points.
+    pub fn num_live(&self) -> usize {
+        self.session.inner.num_points()
+    }
+
+    /// Ends streaming mode now, freezing the live point set back into the
+    /// session's indexed snapshot. (Dropping the handle does the same; this
+    /// method just names the hand-off.)
+    pub fn finish(self) {}
+}
+
+impl Drop for UpdateHandle<'_> {
+    fn drop(&mut self) {
+        self.session.inner.freeze();
+    }
+}
+
+/// The object-safe surface each monomorphized session state implements.
+/// Private and implemented only by [`SessionState`]: the jump table in
+/// [`open_session`] is the sole constructor, so every trait object in a
+/// [`ClusterSession`] is backed by this crate's dispatch.
+trait ErasedSession: Send + Sync {
+    fn num_points(&self) -> usize;
+    fn query(&self, params: DbscanParams, variant: VariantConfig) -> Result<QueryOutcome, Error>;
+    fn sweep(
+        &self,
+        eps_grid: &[f64],
+        min_pts_grid: &[usize],
+        variant: VariantConfig,
+    ) -> Result<Vec<SweepCell>, Error>;
+    fn cache_stats(&self) -> CacheStats;
+    fn begin_updates(&mut self, params: DbscanParams) -> Result<(), Error>;
+    fn apply(&mut self, insert_coords: &[f64], deletes: &[usize]) -> Result<UpdateStats, Error>;
+    fn stream_labels(&self) -> Labels;
+    fn live_ids(&self) -> Vec<usize>;
+    fn live_coords(&self) -> Vec<f64>;
+    fn freeze(&mut self);
+}
+
+/// The session's mode: an engine snapshot (query/sweep service) or a
+/// streaming clusterer (update service). `Transitioning` exists only
+/// inside mode changes (the enum must be takeable by value). The variants
+/// are boxed: exactly one `Mode` exists per session, so the indirection is
+/// irrelevant, and it keeps the enum pointer-sized.
+enum Mode<const D: usize> {
+    Indexed(Box<Snapshot<D>>),
+    Streaming(Box<StreamingClusterer<D>>),
+    Transitioning,
+}
+
+/// The monomorphized state behind a [`ClusterSession`] for one dimension.
+struct SessionState<const D: usize> {
+    engine: Engine,
+    mode: Mode<D>,
+}
+
+impl<const D: usize> SessionState<D> {
+    fn new(engine: Engine, points: Vec<Point<D>>) -> Self {
+        let snapshot = engine.index(points);
+        SessionState {
+            engine,
+            mode: Mode::Indexed(Box::new(snapshot)),
+        }
+    }
+
+    fn snapshot(&self) -> &Snapshot<D> {
+        match &self.mode {
+            Mode::Indexed(snapshot) => snapshot,
+            // `UpdateHandle` holds the session's unique borrow while
+            // streaming, so the query paths cannot observe these modes.
+            _ => unreachable!("query paths are unreachable while streaming"),
+        }
+    }
+
+    fn clusterer_mut(&mut self) -> &mut StreamingClusterer<D> {
+        match &mut self.mode {
+            Mode::Streaming(clusterer) => clusterer,
+            _ => unreachable!("update paths require an UpdateHandle"),
+        }
+    }
+
+    fn clusterer(&self) -> &StreamingClusterer<D> {
+        match &self.mode {
+            Mode::Streaming(clusterer) => clusterer,
+            _ => unreachable!("update paths require an UpdateHandle"),
+        }
+    }
+}
+
+impl<const D: usize> ErasedSession for SessionState<D> {
+    fn num_points(&self) -> usize {
+        match &self.mode {
+            Mode::Indexed(snapshot) => snapshot.num_points(),
+            Mode::Streaming(clusterer) => clusterer.num_live(),
+            Mode::Transitioning => unreachable!("mode transitions are not observable"),
+        }
+    }
+
+    fn query(&self, params: DbscanParams, variant: VariantConfig) -> Result<QueryOutcome, Error> {
+        let result = self.snapshot().query_variant(params, variant)?;
+        Ok(QueryOutcome {
+            labels: Labels::from(result.clustering),
+            stats: result.stats,
+        })
+    }
+
+    fn sweep(
+        &self,
+        eps_grid: &[f64],
+        min_pts_grid: &[usize],
+        variant: VariantConfig,
+    ) -> Result<Vec<SweepCell>, Error> {
+        let grid = self
+            .snapshot()
+            .sweep_variant(eps_grid, min_pts_grid, variant)?;
+        Ok(grid
+            .into_iter()
+            .map(|cell| SweepCell {
+                eps: cell.eps,
+                min_pts: cell.min_pts,
+                labels: Labels::from(cell.clustering),
+                stats: cell.stats,
+            })
+            .collect())
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.snapshot().cache_stats()
+    }
+
+    fn begin_updates(&mut self, params: DbscanParams) -> Result<(), Error> {
+        // Validate before consuming the snapshot: with valid parameters the
+        // grid-backed conversion below cannot fail, so the session is never
+        // left without a mode.
+        params.validate().map_err(Error::from)?;
+        match std::mem::replace(&mut self.mode, Mode::Transitioning) {
+            Mode::Indexed(snapshot) => {
+                let clusterer = (*snapshot).into_streaming(params)?;
+                self.mode = Mode::Streaming(Box::new(clusterer));
+                Ok(())
+            }
+            other => {
+                self.mode = other;
+                unreachable!("begin_updates requires the indexed mode")
+            }
+        }
+    }
+
+    fn apply(&mut self, insert_coords: &[f64], deletes: &[usize]) -> Result<UpdateStats, Error> {
+        let batch = UpdateBatch {
+            inserts: points_from_flat::<D>(insert_coords),
+            deletes: deletes.to_vec(),
+        };
+        Ok(self.clusterer_mut().apply(batch)?)
+    }
+
+    fn stream_labels(&self) -> Labels {
+        Labels::from(self.clusterer().clustering())
+    }
+
+    fn live_ids(&self) -> Vec<usize> {
+        self.clusterer()
+            .live_points()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn live_coords(&self) -> Vec<f64> {
+        let clusterer = self.clusterer();
+        let mut out = Vec::with_capacity(clusterer.num_live() * D);
+        for (_, p) in clusterer.live_points() {
+            out.extend_from_slice(&p.coords);
+        }
+        out
+    }
+
+    fn freeze(&mut self) {
+        if let Mode::Streaming(clusterer) = std::mem::replace(&mut self.mode, Mode::Transitioning) {
+            let points: Vec<Point<D>> = clusterer
+                .live_points()
+                .into_iter()
+                .map(|(_, p)| p)
+                .collect();
+            self.mode = Mode::Indexed(Box::new(self.engine.index(points)));
+        } else {
+            unreachable!("freeze requires the streaming mode")
+        }
+    }
+}
+
+/// The dimension dispatch: packs the cloud into `Point<D>`s and
+/// monomorphizes the session state for every supported dimension, one jump
+/// table arm each. Dimensions outside the table report
+/// [`Error::UnsupportedDimension`].
+///
+/// The arms must cover exactly
+/// `pardbscan::ERASED_DIM_MIN..=ERASED_DIM_MAX` — the same range as the
+/// core crate's `erased_pipeline` jump table, which the one-shot
+/// [`crate::cluster`] path dispatches through (and which the error message
+/// quotes). The `session_range_equals_erased_pipeline_range` test pins the
+/// two tables together.
+fn open_session(engine: Engine, cloud: &PointCloud) -> Result<Box<dyn ErasedSession>, Error> {
+    macro_rules! open_dim {
+        ($d:literal) => {
+            Box::new(SessionState::<$d>::new(
+                engine,
+                points_from_flat::<$d>(cloud.coords()),
+            )) as Box<dyn ErasedSession>
+        };
+    }
+    Ok(match cloud.dim() {
+        2 => open_dim!(2),
+        3 => open_dim!(3),
+        4 => open_dim!(4),
+        5 => open_dim!(5),
+        6 => open_dim!(6),
+        7 => open_dim!(7),
+        8 => open_dim!(8),
+        dim => return Err(Error::UnsupportedDimension(dim)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_cloud(n_side: usize, spacing: f64) -> PointCloud {
+        let mut coords = Vec::with_capacity(n_side * n_side * 2);
+        for i in 0..n_side {
+            for j in 0..n_side {
+                coords.push(spacing * i as f64);
+                coords.push(spacing * j as f64);
+            }
+        }
+        PointCloud::new(2, coords).unwrap()
+    }
+
+    #[test]
+    fn session_serves_all_supported_dimensions() {
+        for dim in 2..=8usize {
+            let coords: Vec<f64> = (0..dim * 20).map(|i| 0.05 * (i / dim) as f64).collect();
+            let cloud = PointCloud::new(dim, coords).unwrap();
+            let session = ClusterSession::ingest(cloud).unwrap();
+            assert_eq!(session.dim(), dim);
+            assert_eq!(session.num_points(), 20);
+            let labels = session.cluster(DbscanParams::new(0.5, 3)).unwrap();
+            assert_eq!(labels.len(), 20);
+            assert_eq!(labels.num_clusters(), 1, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn unsupported_dimensions_are_rejected_with_a_typed_error() {
+        for dim in [1usize, 9, 13] {
+            let cloud = PointCloud::new(dim, vec![0.0; dim * 3]).unwrap();
+            assert_eq!(
+                ClusterSession::ingest(cloud).unwrap_err(),
+                Error::UnsupportedDimension(dim)
+            );
+        }
+    }
+
+    #[test]
+    fn session_range_equals_erased_pipeline_range() {
+        // The session's jump table and the core crate's erased_pipeline
+        // table are written separately; this pins them to the same set so
+        // extending one without the other fails loudly.
+        for dim in 1..=pardbscan::ERASED_DIM_MAX + 4 {
+            let cloud = PointCloud::new(dim, Vec::new()).unwrap();
+            let session_accepts = ClusterSession::ingest(cloud).is_ok();
+            assert_eq!(
+                session_accepts,
+                pardbscan::erased_pipeline(dim).is_some(),
+                "dimension {dim}: session and erased_pipeline must agree"
+            );
+            assert_eq!(
+                session_accepts,
+                (pardbscan::ERASED_DIM_MIN..=pardbscan::ERASED_DIM_MAX).contains(&dim),
+                "dimension {dim}: advertised constants must match the table"
+            );
+        }
+    }
+
+    #[test]
+    fn update_episodes_renumber_point_ids() {
+        // Documented contract: ids are per-episode. Episode 1 deletes id 0;
+        // after the freeze, episode 2's live ids are renumbered from 0
+        // again (so a cached episode-1 id must not be reused).
+        let mut session = ClusterSession::ingest(grid_cloud(4, 0.1)).unwrap();
+        let params = DbscanParams::new(0.2, 3);
+        let mut updates = session.updates(params).unwrap();
+        assert_eq!(updates.live_ids(), (0..16).collect::<Vec<_>>());
+        updates.delete(0).unwrap();
+        updates.finish();
+        let updates = session.updates(params).unwrap();
+        assert_eq!(updates.live_ids(), (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_session_serves_queries_sweeps_and_updates() {
+        let mut session = ClusterSession::builder()
+            .partition_cache_capacity(4)
+            .core_cache_capacity(8)
+            .ingest(grid_cloud(10, 0.1))
+            .unwrap();
+        let params = DbscanParams::new(0.2, 4);
+
+        let one_shot = session.cluster(params).unwrap();
+        assert_eq!(one_shot.num_clusters(), 1);
+
+        let grid = session.sweep(&[0.2, 0.35], &[4, 8]).unwrap();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].labels, one_shot, "sweep cell ≡ one-shot labels");
+        assert!(session.cache_stats().partition_hits > 0);
+
+        let mut updates = session.updates(params).unwrap();
+        let id = updates.insert(&[20.0, 20.0]).unwrap();
+        assert_eq!(id, 100);
+        assert!(updates.labels().is_noise(updates.num_live() - 1));
+        let stats = updates.delete(id).unwrap();
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(updates.live_ids().len(), 100);
+        updates.finish();
+
+        // Back in indexed mode: the same query is served again and still
+        // matches (the live set round-tripped unchanged).
+        assert_eq!(session.cluster(params).unwrap(), one_shot);
+    }
+
+    #[test]
+    fn dropping_the_handle_freezes_back() {
+        let mut session = ClusterSession::ingest(grid_cloud(6, 0.1)).unwrap();
+        let params = DbscanParams::new(0.2, 3);
+        {
+            let mut updates = session.updates(params).unwrap();
+            updates.insert(&[0.25, 0.25]).unwrap();
+        } // dropped without finish()
+        assert_eq!(session.num_points(), 37);
+        assert_eq!(session.cluster(params).unwrap().num_clusters(), 1);
+    }
+
+    #[test]
+    fn update_handle_validates_dimension_and_finiteness() {
+        let mut session = ClusterSession::ingest(grid_cloud(4, 0.1)).unwrap();
+        let mut updates = session.updates(DbscanParams::new(0.2, 3)).unwrap();
+        assert_eq!(
+            updates.insert(&[1.0, 2.0, 3.0]).unwrap_err(),
+            Error::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        assert_eq!(
+            updates.insert(&[f64::NAN, 0.0]).unwrap_err(),
+            Error::NonFiniteCoordinate {
+                point: 0,
+                axis: Some(0)
+            }
+        );
+        let wrong_dim = PointCloud::new(3, vec![0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(
+            updates.apply(&wrong_dim, &[]).unwrap_err(),
+            Error::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        assert_eq!(updates.delete(999).unwrap_err(), Error::UnknownPoint(999));
+        assert_eq!(updates.num_live(), 16, "failed updates applied nothing");
+    }
+
+    #[test]
+    fn invalid_parameters_are_typed_errors_on_every_path() {
+        let mut session = ClusterSession::ingest(grid_cloud(4, 0.1)).unwrap();
+        assert!(matches!(
+            session.cluster(DbscanParams::new(0.0, 3)),
+            Err(Error::InvalidParams(_))
+        ));
+        assert!(matches!(
+            session.sweep(&[0.2, f64::NAN], &[3]),
+            Err(Error::InvalidParams(_))
+        ));
+        assert!(matches!(
+            session.updates(DbscanParams::new(-1.0, 3)),
+            Err(Error::InvalidParams(_))
+        ));
+        // A failed `updates` must leave the session serviceable.
+        assert!(session.cluster(DbscanParams::new(0.2, 3)).is_ok());
+    }
+
+    #[test]
+    fn empty_cloud_sessions_work() {
+        let session = ClusterSession::ingest(PointCloud::empty(4).unwrap()).unwrap();
+        assert_eq!(session.num_points(), 0);
+        let labels = session.cluster(DbscanParams::new(1.0, 3)).unwrap();
+        assert!(labels.is_empty());
+        assert_eq!(labels.num_clusters(), 0);
+    }
+}

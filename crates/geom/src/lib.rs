@@ -25,5 +25,5 @@ pub mod wavefront;
 
 pub use delaunay::DelaunayTriangulation;
 pub use morton::{morton_code_2d, morton_order};
-pub use point::{BoundingBox, Point, Point2};
+pub use point::{flat_from_points, points_from_flat, BoundingBox, Point, Point2};
 pub use wavefront::{Side, Wavefront};

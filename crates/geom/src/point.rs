@@ -192,6 +192,39 @@ impl<const D: usize> BoundingBox<D> {
     }
 }
 
+/// Packs a flat row-major coordinate buffer (`D` consecutive values per
+/// point) into typed points — the entry plumbing for callers whose
+/// dimensionality arrives at runtime (the `dbscan` facade's dimension-erased
+/// `PointCloud`) and crosses into the monomorphized pipelines here. Panics
+/// if `coords.len()` is not a multiple of `D`; arity/finiteness policy
+/// belongs to the caller's validator.
+pub fn points_from_flat<const D: usize>(coords: &[f64]) -> Vec<Point<D>> {
+    assert!(
+        D > 0 && coords.len().is_multiple_of(D),
+        "flat coordinate buffer of length {} does not pack into dimension {}",
+        coords.len(),
+        D
+    );
+    coords
+        .chunks_exact(D)
+        .map(|chunk| {
+            let mut c = [0.0; D];
+            c.copy_from_slice(chunk);
+            Point::new(c)
+        })
+        .collect()
+}
+
+/// Flattens typed points back into the row-major coordinate buffer shape
+/// consumed by [`points_from_flat`].
+pub fn flat_from_points<const D: usize>(points: &[Point<D>]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(points.len() * D);
+    for p in points {
+        out.extend_from_slice(&p.coords);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +291,23 @@ mod tests {
         assert_eq!(u.lo, [0.0, 0.0]);
         assert_eq!(u.hi, [4.0, 1.0]);
         assert_eq!(u.center().coords, [2.0, 0.5]);
+    }
+
+    #[test]
+    fn flat_coordinates_round_trip() {
+        let coords = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let pts = points_from_flat::<3>(&coords);
+        assert_eq!(
+            pts,
+            vec![Point::new([1.0, 2.0, 3.0]), Point::new([4.0, 5.0, 6.0])]
+        );
+        assert_eq!(flat_from_points(&pts), coords.to_vec());
+        assert!(points_from_flat::<2>(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not pack")]
+    fn flat_coordinates_reject_ragged_buffers() {
+        points_from_flat::<2>(&[1.0, 2.0, 3.0]);
     }
 }

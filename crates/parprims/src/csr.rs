@@ -1,0 +1,182 @@
+//! A generic compressed-sparse-row container.
+//!
+//! Three structures in this workspace store "one variable-length list per
+//! row, flattened into two arrays": the per-cell ε-neighbour lists of a
+//! spatial index (`spatial::NeighborGraph`), the per-point cluster-id sets
+//! of a clustering (`pardbscan::ClusterSets`), and — during construction —
+//! several transient builders. They all need the same invariants (a leading
+//! zero, monotone offsets covering the value array exactly) and the same
+//! accessors (row slice, row length, counts). [`Csr`] is that shape written
+//! once; the domain types wrap it and keep their own vocabulary.
+
+/// Flat row-major storage of variable-length rows: row `i` is
+/// `values[offsets[i]..offsets[i + 1]]`. Two allocations regardless of the
+/// row count, contiguous row slices, no per-row heap objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr<T> {
+    /// Per-row start offsets into `values`; `offsets.len()` is the number of
+    /// rows plus one, and `offsets[rows]` is `values.len()`.
+    offsets: Vec<usize>,
+    /// All rows, concatenated in row order.
+    values: Vec<T>,
+}
+
+impl<T> Csr<T> {
+    /// A container with no rows.
+    pub fn empty() -> Self {
+        Csr {
+            offsets: vec![0],
+            values: Vec::new(),
+        }
+    }
+
+    /// Flattens per-row lists into CSR form.
+    pub fn from_lists(lists: &[Vec<T>]) -> Self
+    where
+        T: Clone,
+    {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for list in lists {
+            total += list.len();
+            offsets.push(total);
+        }
+        let mut values = Vec::with_capacity(total);
+        for list in lists {
+            values.extend_from_slice(list);
+        }
+        Csr { offsets, values }
+    }
+
+    /// Assembles a container from raw CSR parts. Panics if the offsets are
+    /// not monotone or do not cover `values` exactly (a malformed container
+    /// would otherwise surface as out-of-bounds slicing deep in a query).
+    pub fn from_parts(offsets: Vec<usize>, values: Vec<T>) -> Self {
+        assert!(!offsets.is_empty(), "offsets needs a leading 0");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            *offsets.last().unwrap(),
+            values.len(),
+            "offsets must cover values exactly"
+        );
+        Csr { offsets, values }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if the container has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// Total number of stored values across all rows.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row `i`, as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.values[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Length of row `i`.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Number of rows of length zero.
+    pub fn num_empty_rows(&self) -> usize {
+        self.offsets.windows(2).filter(|w| w[0] == w[1]).count()
+    }
+
+    /// The rows re-materialized as per-row lists (test/debug helper — hot
+    /// paths use [`Csr::row`]).
+    pub fn to_lists(&self) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        (0..self.num_rows()).map(|i| self.row(i).to_vec()).collect()
+    }
+
+    /// Decomposes the container into its raw `(offsets, values)` arrays.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<T>) {
+        (self.offsets, self.values)
+    }
+}
+
+/// `csr[i]` is row `i` — keeps call sites of former `Vec<Vec<T>>`
+/// representations readable.
+impl<T> std::ops::Index<usize> for Csr<T> {
+    type Output = [T];
+
+    #[inline]
+    fn index(&self, i: usize) -> &[T] {
+        self.row(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lists_round_trips() {
+        let lists = vec![vec![1usize, 2], vec![0], vec![], vec![0, 1, 2]];
+        let csr = Csr::from_lists(&lists);
+        assert_eq!(csr.num_rows(), 4);
+        assert_eq!(csr.num_values(), 6);
+        assert_eq!(csr.row(0), &[1, 2]);
+        assert_eq!(csr.row(2), &[] as &[usize]);
+        assert_eq!(csr.row_len(3), 3);
+        assert_eq!(csr.num_empty_rows(), 1);
+        assert_eq!(csr.to_lists(), lists);
+        assert_eq!(&csr[3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_container() {
+        let csr = Csr::<u32>::empty();
+        assert_eq!(csr.num_rows(), 0);
+        assert_eq!(csr.num_values(), 0);
+        assert_eq!(csr, Csr::from_lists(&[]));
+    }
+
+    #[test]
+    fn from_parts_validates_and_decomposes() {
+        let csr = Csr::from_parts(vec![0, 2, 2, 3], vec![1, 2, 0]);
+        assert_eq!(csr.row(0), &[1, 2]);
+        assert_eq!(csr.row(1), &[] as &[i32]);
+        assert_eq!(csr.row(2), &[0]);
+        let (offsets, values) = csr.into_parts();
+        assert_eq!(offsets, vec![0, 2, 2, 3]);
+        assert_eq!(values, vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover values")]
+    fn from_parts_rejects_short_offsets() {
+        Csr::from_parts(vec![0, 1], vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_parts_rejects_decreasing_offsets() {
+        Csr::from_parts(vec![0, 2, 1, 3], vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn generic_over_non_copy_values() {
+        let csr = Csr::from_lists(&[vec!["a".to_string()], vec![], vec!["b".into(), "c".into()]]);
+        assert_eq!(csr.row(2), &["b".to_string(), "c".to_string()]);
+    }
+}

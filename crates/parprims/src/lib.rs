@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod filter;
 pub mod hashtable;
 pub mod merge;
@@ -32,6 +33,7 @@ pub mod semisort;
 pub mod sort;
 mod util;
 
+pub use csr::Csr;
 pub use filter::{count_if, filter, filter_indexed, partition_indices};
 pub use hashtable::ConcurrentMap;
 pub use merge::{merge_by, merge_sorted};

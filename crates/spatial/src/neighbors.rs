@@ -4,92 +4,74 @@
 //! cells whose boxes are within ε. Storing that as `Vec<Vec<usize>>` costs
 //! one heap allocation per cell and scatters the lists across the heap —
 //! exactly the indirection the hot RangeCount and BCP loops then pay on
-//! every neighbour walk. [`NeighborGraph`] is the flat alternative: one
-//! `offsets` array (cell → start of its list) and one `targets` array (all
-//! lists back to back), so a cell's neighbours are a contiguous slice, the
-//! whole structure is two allocations, and sharing it costs one `Arc`.
+//! every neighbour walk. [`NeighborGraph`] is the flat alternative: a
+//! domain-named wrapper over the generic [`parprims::Csr`] container (the
+//! same flat shape `pardbscan`'s `ClusterSets` uses), so a cell's
+//! neighbours are a contiguous slice, the whole structure is two
+//! allocations, and sharing it costs one `Arc`.
 
-/// Flat compressed-sparse-row adjacency: `targets[offsets[c]..offsets[c+1]]`
-/// are the neighbour cell ids of cell `c`, in the order the builder emitted
-/// them (sorted ascending for the grid construction).
+use parprims::Csr;
+
+/// Flat compressed-sparse-row adjacency: `graph.of(c)` (or `graph[c]`) is
+/// the slice of neighbour cell ids of cell `c`, in the order the builder
+/// emitted them (sorted ascending for the grid construction). The CSR
+/// invariants (leading zero, monotone offsets covering the targets exactly)
+/// are enforced by the underlying [`Csr`] container.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NeighborGraph {
-    /// Per-cell start offsets into `targets`; `offsets.len()` is the number
-    /// of cells plus one, and `offsets[cells]` is `targets.len()`.
-    offsets: Vec<usize>,
-    /// All neighbour lists, concatenated in cell order.
-    targets: Vec<usize>,
+    cells: Csr<usize>,
 }
 
 impl NeighborGraph {
     /// An adjacency with no cells.
     pub fn empty() -> Self {
         NeighborGraph {
-            offsets: vec![0],
-            targets: Vec::new(),
+            cells: Csr::empty(),
         }
     }
 
     /// Flattens per-cell neighbour lists into CSR form.
     pub fn from_lists(lists: &[Vec<usize>]) -> Self {
-        let mut offsets = Vec::with_capacity(lists.len() + 1);
-        let mut total = 0usize;
-        offsets.push(0);
-        for list in lists {
-            total += list.len();
-            offsets.push(total);
+        NeighborGraph {
+            cells: Csr::from_lists(lists),
         }
-        let mut targets = Vec::with_capacity(total);
-        for list in lists {
-            targets.extend_from_slice(list);
-        }
-        NeighborGraph { offsets, targets }
     }
 
     /// Assembles a graph from raw CSR parts. Panics if the offsets are not
     /// monotone or do not cover `targets` exactly (a malformed graph would
     /// otherwise surface as out-of-bounds slicing deep in a query).
     pub fn from_parts(offsets: Vec<usize>, targets: Vec<usize>) -> Self {
-        assert!(!offsets.is_empty(), "offsets needs a leading 0");
-        assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be monotone"
-        );
-        assert_eq!(
-            *offsets.last().unwrap(),
-            targets.len(),
-            "offsets must cover targets exactly"
-        );
-        NeighborGraph { offsets, targets }
+        NeighborGraph {
+            cells: Csr::from_parts(offsets, targets),
+        }
     }
 
     /// Number of cells.
     pub fn num_cells(&self) -> usize {
-        self.offsets.len() - 1
+        self.cells.num_rows()
     }
 
     /// Total number of directed neighbour entries.
     pub fn num_edges(&self) -> usize {
-        self.targets.len()
+        self.cells.num_values()
     }
 
     /// The neighbour cell ids of cell `c`, as a contiguous slice.
     #[inline]
     pub fn of(&self, c: usize) -> &[usize] {
-        &self.targets[self.offsets[c]..self.offsets[c + 1]]
+        self.cells.row(c)
     }
 
     /// Number of neighbours of cell `c`.
     #[inline]
     pub fn degree(&self, c: usize) -> usize {
-        self.offsets[c + 1] - self.offsets[c]
+        self.cells.row_len(c)
     }
 
     /// The adjacency re-materialized as per-cell lists (test/debug helper —
     /// the hot paths use [`NeighborGraph::of`]).
     pub fn to_lists(&self) -> Vec<Vec<usize>> {
-        (0..self.num_cells()).map(|c| self.of(c).to_vec()).collect()
+        self.cells.to_lists()
     }
 }
 
@@ -138,7 +120,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cover targets")]
+    #[should_panic(expected = "cover values")]
     fn from_parts_rejects_short_offsets() {
         NeighborGraph::from_parts(vec![0, 1], vec![1, 2, 0]);
     }

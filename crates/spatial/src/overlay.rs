@@ -204,8 +204,22 @@ impl<const D: usize> OverlayPartition<D> {
     /// The live points of cell `c` as `(id, point)` pairs: base survivors
     /// first, then inserts.
     pub fn live_points_of_cell(&self, c: usize) -> Vec<(usize, Point<D>)> {
+        let mut out = Vec::with_capacity(self.cells[c].live);
+        self.live_points_of_cell_into(c, &mut out);
+        out
+    }
+
+    /// [`OverlayPartition::live_points_of_cell`] into a caller-supplied
+    /// scratch buffer: `out` is cleared and refilled, so a buffer reused
+    /// across calls stops allocating once it has grown to the largest cell
+    /// it has seen. This mirrors the BCP scratch API in `pardbscan` — the
+    /// streaming clusterer's update path walks cells one at a time, and a
+    /// persistent scratch makes those walks allocation-free for small
+    /// batches.
+    pub fn live_points_of_cell_into(&self, c: usize, out: &mut Vec<(usize, Point<D>)>) {
+        out.clear();
         let cell = &self.cells[c];
-        let mut out = Vec::with_capacity(cell.live);
+        out.reserve(cell.live);
         if let Some(b) = cell.base_cell {
             let info = &self.base.cells[b];
             for pos in info.start..info.start + info.len {
@@ -218,7 +232,6 @@ impl<const D: usize> OverlayPartition<D> {
         for &pid in &cell.inserts {
             out.push((pid, self.points[pid]));
         }
-        out
     }
 
     /// Ids of the existing cells with at least one live point whose box is
@@ -527,6 +540,37 @@ mod tests {
             let cell = ov.cell_of_point(id);
             assert!(ov.live_points_of_cell(cell).iter().any(|&(x, _)| x == id));
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_and_stops_allocating() {
+        let pts = random_points(400, 12.0, 8);
+        let mut ov = overlay_from(&pts, 1.0);
+        // Churn a little so cells mix base survivors, tombstones and inserts.
+        for id in (0..60).step_by(3) {
+            ov.delete(id).unwrap();
+        }
+        for k in 0..40 {
+            ov.insert(Point::new([0.3 * (k % 10) as f64, 0.3 * (k / 10) as f64]));
+        }
+        let mut scratch = Vec::new();
+        for c in 0..ov.num_cells() {
+            ov.live_points_of_cell_into(c, &mut scratch);
+            assert_eq!(scratch, ov.live_points_of_cell(c), "cell {c}");
+        }
+        // Once warmed to the largest cell, further sweeps must not grow the
+        // buffer — the whole point of the caller-supplied scratch.
+        let warmed = scratch.capacity();
+        for _ in 0..3 {
+            for c in 0..ov.num_cells() {
+                ov.live_points_of_cell_into(c, &mut scratch);
+            }
+        }
+        assert_eq!(
+            scratch.capacity(),
+            warmed,
+            "warmed scratch must not reallocate"
+        );
     }
 
     #[test]
