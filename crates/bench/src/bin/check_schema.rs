@@ -1,0 +1,68 @@
+//! CI schema gate for the `BENCH_*.json` documents.
+//!
+//! The bench smoke steps prove the binaries *run*; this gate additionally
+//! proves the JSON they emitted still matches the documented schema —
+//! a renamed, dropped, or type-changed field fails CI instead of silently
+//! breaking the README tables, the trend CSV, or external plots.
+//!
+//! ```text
+//! cargo run --release -p bench --bin check_schema -- \
+//!     FILE.json [FILE.json ...] [--figure NAME]
+//! ```
+//!
+//! Each file's `figure` tag selects its schema; `--figure` additionally
+//! pins what the tag must be (use it when the file name alone should
+//! determine the document kind). Exits non-zero on the first file that
+//! fails to parse or conform.
+
+use bench::{jsonv, schema};
+
+fn main() {
+    let expected_figure = bench::arg_value("--figure");
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--figure" {
+            args.next();
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: check_schema FILE.json [FILE.json ...] [--figure NAME]");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("{path}: cannot read: {err}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match jsonv::parse(&text) {
+            Ok(doc) => doc,
+            Err(err) => {
+                eprintln!("{path}: invalid JSON: {err}");
+                failed = true;
+                continue;
+            }
+        };
+        let errors = schema::validate(&doc, expected_figure.as_deref());
+        if errors.is_empty() {
+            let figure = doc.get("figure").and_then(jsonv::Value::as_str).unwrap();
+            println!("{path}: ok ({figure} schema)");
+        } else {
+            for e in &errors {
+                eprintln!("{path}: {e}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Distance-kernel microbenchmark: the runtime-dispatched SIMD kernels
+//! against the scalar blocked reference, per primitive and per dimension.
+//!
+//! Three primitives are timed over contiguous coordinate runs, mirroring
+//! exactly how the clustering hot loops call them:
+//!
+//! * `count` — `count_within_capped` with an uncapped budget, the RangeCount
+//!   scan of MarkCore (hit density does not affect the branch-free scan);
+//! * `any` — `any_within` in a miss-heavy configuration (queries beyond ε of
+//!   every run point), the worst-case full scan of ClusterBorder;
+//! * `find` — `find_within_flat` over a flat run, miss-heavy, the BCP
+//!   witness scan of the cell-graph connectivity query.
+//!
+//! Output: CSV rows to stdout plus `BENCH_kernels.json` with scalar-vs-simd
+//! nanoseconds-per-distance columns and the dispatched backend tag. On a
+//! machine without a SIMD backend (or under `DBSCAN_FORCE_SCALAR=1`, or a
+//! `--no-default-features` build) the two columns measure the same code and
+//! the speedup sits at ~1; the `backend` field says which case it was.
+//!
+//! ```text
+//! cargo run --release -p bench --bin kernels -- \
+//!     [--n-run N] [--queries Q] [--reps R] [--smoke] [--json PATH]
+//! ```
+
+use bench::{arg_value, json_f64};
+use datagen::uniform_fill;
+use geom::Point;
+use pardbscan::kernels;
+use std::time::Instant;
+
+/// One measured cell: a (dimension, primitive) pair.
+struct Row {
+    d: usize,
+    primitive: &'static str,
+    n_run: usize,
+    queries: usize,
+    reps: usize,
+    scalar_ns: f64,
+    simd_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.simd_ns.max(1e-12)
+    }
+}
+
+/// Minimum wall-clock seconds of `reps` runs of `f` (folding the result
+/// into a black box so the kernel calls cannot be optimized away).
+fn time_min(reps: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(out);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Benchmarks the three primitives at one dimension, pushing three rows.
+fn bench_dim<const D: usize>(n_run: usize, queries: usize, reps: usize, rows: &mut Vec<Row>) {
+    let side = 100.0f64;
+    // The run plays the part of one cell's contiguous point slice.
+    let pts: Vec<Point<D>> = uniform_fill(n_run, side, 0xBE0 + D as u64);
+    let flat = geom::flat_from_points(&pts);
+    // In-box queries for `count` (hits exist; the scan is full-length either
+    // way), far-shifted queries for the miss-heavy `any`/`find` worst case.
+    let near: Vec<Point<D>> = uniform_fill(queries, side, 0xC0DE + D as u64);
+    let far: Vec<Point<D>> = near
+        .iter()
+        .map(|p| {
+            let mut c = p.coords;
+            c[0] += 10.0 * side;
+            Point::new(c)
+        })
+        .collect();
+    let eps_sq = (side / 4.0) * (side / 4.0);
+    let dists = (queries * n_run) as f64;
+
+    let scalar_ns = 1e9 / dists
+        * time_min(reps, || {
+            near.iter()
+                .map(|p| kernels::scalar::count_within_capped(p, &pts, eps_sq, usize::MAX) as u64)
+                .sum()
+        });
+    let simd_ns = 1e9 / dists
+        * time_min(reps, || {
+            near.iter()
+                .map(|p| kernels::count_within_capped(p, &pts, eps_sq, usize::MAX) as u64)
+                .sum()
+        });
+    rows.push(Row {
+        d: D,
+        primitive: "count",
+        n_run,
+        queries,
+        reps,
+        scalar_ns,
+        simd_ns,
+    });
+
+    let scalar_ns = 1e9 / dists
+        * time_min(reps, || {
+            far.iter()
+                .map(|p| kernels::scalar::any_within(p, &pts, eps_sq) as u64)
+                .sum()
+        });
+    let simd_ns = 1e9 / dists
+        * time_min(reps, || {
+            far.iter()
+                .map(|p| kernels::any_within(p, &pts, eps_sq) as u64)
+                .sum()
+        });
+    rows.push(Row {
+        d: D,
+        primitive: "any",
+        n_run,
+        queries,
+        reps,
+        scalar_ns,
+        simd_ns,
+    });
+
+    let scalar_ns = 1e9 / dists
+        * time_min(reps, || {
+            far.iter()
+                .map(|p| {
+                    kernels::scalar::find_within_flat::<D>(&p.coords, &flat, eps_sq)
+                        .map_or(0, |i| i as u64 + 1)
+                })
+                .sum()
+        });
+    let simd_ns = 1e9 / dists
+        * time_min(reps, || {
+            far.iter()
+                .map(|p| {
+                    kernels::find_within_flat::<D>(&p.coords, &flat, eps_sq)
+                        .map_or(0, |i| i as u64 + 1)
+                })
+                .sum()
+        });
+    rows.push(Row {
+        d: D,
+        primitive: "find",
+        n_run,
+        queries,
+        reps,
+        scalar_ns,
+        simd_ns,
+    });
+}
+
+fn report_json(rows: &[Row], smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"kernels\",\n  \"smoke\": {},\n  \"backend\": \"{}\",\n  \
+         \"machine_cores\": {},\n  \"block\": {},\n  \"series\": [\n",
+        smoke,
+        pardbscan::active_backend().label(),
+        num_cpus::get(),
+        kernels::BLOCK,
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"d\": {}, \"primitive\": \"{}\", \"n_run\": {}, \"queries\": {}, \
+             \"reps\": {}, \"scalar_ns_per_dist\": {}, \"simd_ns_per_dist\": {}, \
+             \"speedup\": {}}}{}\n",
+            r.d,
+            r.primitive,
+            r.n_run,
+            r.queries,
+            r.reps,
+            json_f64(r.scalar_ns),
+            json_f64(r.simd_ns),
+            json_f64(r.speedup()),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (default_n, default_q, default_r) = if smoke { (96, 16, 2) } else { (512, 256, 7) };
+    let n_run = arg_value("--n-run")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_n)
+        .max(8);
+    let queries = arg_value("--queries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_q)
+        .max(1);
+    let reps = arg_value("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_r)
+        .max(1);
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    println!("# kernels: scalar vs dispatched SIMD distance kernels");
+    println!(
+        "# backend: {}, run {n_run} pts, {queries} queries, min of {reps} reps",
+        pardbscan::active_backend().label()
+    );
+    println!("d,primitive,n_run,queries,scalar_ns_per_dist,simd_ns_per_dist,speedup");
+
+    let mut rows = Vec::new();
+    bench_dim::<2>(n_run, queries, reps, &mut rows);
+    bench_dim::<3>(n_run, queries, reps, &mut rows);
+    bench_dim::<4>(n_run, queries, reps, &mut rows);
+    bench_dim::<5>(n_run, queries, reps, &mut rows);
+    bench_dim::<6>(n_run, queries, reps, &mut rows);
+    bench_dim::<7>(n_run, queries, reps, &mut rows);
+    bench_dim::<8>(n_run, queries, reps, &mut rows);
+    for r in &rows {
+        println!(
+            "{},{},{},{},{:.3},{:.3},{:.2}",
+            r.d,
+            r.primitive,
+            r.n_run,
+            r.queries,
+            r.scalar_ns,
+            r.simd_ns,
+            r.speedup()
+        );
+    }
+
+    let json = report_json(&rows, smoke);
+    println!("\n# JSON\n{json}");
+    if json_path != "-" {
+        match std::fs::write(&json_path, &json) {
+            Ok(()) => println!("# wrote {json_path}"),
+            Err(err) => {
+                // The JSON is the artifact CI gates on — a failed write is a
+                // failed run, not a footnote.
+                eprintln!("# failed to write {json_path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

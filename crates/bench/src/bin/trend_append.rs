@@ -1,0 +1,60 @@
+//! Appends one dated summary row to the committed `BENCH_trend.csv`.
+//!
+//! Used by the scheduled paper-scale CI job after running `hotpath` and
+//! `fig6_eps_sweep`: the row condenses each run to the metrics worth
+//! tracking over time (largest-n hotpath geomeans, fig6 sweep totals),
+//! stamped with the date, commit and the dispatched kernel backend of the
+//! machine that ran the benches.
+//!
+//! ```text
+//! cargo run --release -p bench --bin trend_append -- \
+//!     --date YYYY-MM-DD [--commit SHA] [--scale S] \
+//!     [--hotpath BENCH_hotpath.json] [--fig6 BENCH_fig6_eps_sweep.json] \
+//!     [--csv BENCH_trend.csv]
+//! ```
+//!
+//! Both inputs are schema-validated first, and the CSV's header line is
+//! verified before appending, so a drifted producer fails loudly here.
+
+use bench::{arg_value, jsonv, schema, trend};
+
+fn load_validated(path: &str, figure: &str) -> Result<jsonv::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let doc = jsonv::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let errors = schema::validate(&doc, Some(figure));
+    if !errors.is_empty() {
+        return Err(format!("{path}: schema violations: {}", errors.join("; ")));
+    }
+    Ok(doc)
+}
+
+fn run() -> Result<(), String> {
+    let date = arg_value("--date").ok_or("--date YYYY-MM-DD is required")?;
+    let commit = arg_value("--commit")
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "local".to_string());
+    let commit = commit.get(..12.min(commit.len())).unwrap_or("local");
+    let scale = arg_value("--scale")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let hotpath_path = arg_value("--hotpath").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let fig6_path = arg_value("--fig6").unwrap_or_else(|| "BENCH_fig6_eps_sweep.json".to_string());
+    let csv_path = arg_value("--csv").unwrap_or_else(|| "BENCH_trend.csv".to_string());
+
+    let hotpath = load_validated(&hotpath_path, "hotpath")?;
+    let fig6 = load_validated(&fig6_path, "fig6_eps_sweep")?;
+    let backend = pardbscan::active_backend().label();
+    let row = trend::build_row(&date, commit, scale, backend, &hotpath, &fig6)?;
+    trend::append_row(&csv_path, &row)?;
+    println!("{}", trend::TREND_HEADER);
+    println!("{row}");
+    println!("# appended to {csv_path}");
+    Ok(())
+}
+
+fn main() {
+    if let Err(err) = run() {
+        eprintln!("trend_append: {err}");
+        std::process::exit(1);
+    }
+}

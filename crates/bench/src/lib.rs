@@ -15,6 +15,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod jsonv;
+pub mod schema;
+pub mod trend;
+
 use datagen::{
     seed_spreader, single_cell_like, skewed_geolife_like, uniform_fill, SeedSpreaderConfig,
 };

@@ -1,0 +1,187 @@
+//! Builder for the committed `BENCH_trend.csv` timing-trend table.
+//!
+//! The scheduled paper-scale CI job (`.github/workflows/perf.yml`) runs the
+//! `hotpath` and `fig6_eps_sweep` benches, then appends one dated summary
+//! row here via the `trend_append` binary, so timing trends accumulate
+//! in-repo instead of evaporating with each workflow run.
+
+use crate::jsonv::Value;
+
+/// The fixed header of `BENCH_trend.csv`. [`append_row`] refuses to append
+/// to a file whose first line differs — the CSV has a schema gate too.
+pub const TREND_HEADER: &str = "date,commit,scale,machine_cores,backend,hotpath_max_n,\
+                                hotpath_dbscan_geomean_s,hotpath_mark_core_geomean_s,\
+                                hotpath_cell_graph_geomean_s,fig6_engine_total_s,\
+                                fig6_oneshot_total_s";
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    (values.iter().map(|v| v.max(1e-12).ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+fn require_f64(v: &Value, key: &str, context: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{context}: missing numeric `{key}`"))
+}
+
+/// Builds one CSV row from a `hotpath` and a `fig6_eps_sweep` document.
+///
+/// The hotpath summary covers only the rows at the *largest* point count of
+/// the run (the paper-scale series the scheduled job exists to track);
+/// the fig6 columns are total sweep seconds summed over datasets and ε.
+pub fn build_row(
+    date: &str,
+    commit: &str,
+    scale: f64,
+    backend: &str,
+    hotpath: &Value,
+    fig6: &Value,
+) -> Result<String, String> {
+    if date.len() != 10 || date.as_bytes()[4] != b'-' || date.as_bytes()[7] != b'-' {
+        return Err(format!("date `{date}` is not YYYY-MM-DD"));
+    }
+    if commit.contains(',') || backend.contains(',') {
+        return Err("commit/backend must not contain commas".to_string());
+    }
+    let machine_cores = require_f64(hotpath, "machine_cores", "hotpath")?;
+    let series = hotpath
+        .get("series")
+        .and_then(Value::as_array)
+        .filter(|s| !s.is_empty())
+        .ok_or("hotpath: missing non-empty `series`")?;
+    let max_n = series
+        .iter()
+        .map(|row| require_f64(row, "n", "hotpath series"))
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    let mut dbscan_s = Vec::new();
+    let mut mark_core_s = Vec::new();
+    let mut cell_graph_s = Vec::new();
+    for row in series {
+        if require_f64(row, "n", "hotpath series")? == max_n {
+            dbscan_s.push(require_f64(row, "dbscan_s", "hotpath series")?);
+            mark_core_s.push(require_f64(row, "mark_core_s", "hotpath series")?);
+            cell_graph_s.push(require_f64(row, "cell_graph_s", "hotpath series")?);
+        }
+    }
+    let datasets = fig6
+        .get("datasets")
+        .and_then(Value::as_array)
+        .filter(|d| !d.is_empty())
+        .ok_or("fig6: missing non-empty `datasets`")?;
+    let mut engine_total = 0.0;
+    let mut oneshot_total = 0.0;
+    for dataset in datasets {
+        let sweep = dataset
+            .get("series")
+            .and_then(Value::as_array)
+            .ok_or("fig6: dataset without `series`")?;
+        for point in sweep {
+            engine_total += require_f64(point, "engine_s", "fig6 series")?;
+            oneshot_total += require_f64(point, "oneshot_s", "fig6 series")?;
+        }
+    }
+    Ok(format!(
+        "{date},{commit},{scale},{machine_cores},{backend},{max_n},{:.6},{:.6},{:.6},{:.6},{:.6}",
+        geomean(&dbscan_s),
+        geomean(&mark_core_s),
+        geomean(&cell_graph_s),
+        engine_total,
+        oneshot_total,
+    ))
+}
+
+/// Appends `row` to the CSV at `path`, creating it (with [`TREND_HEADER`])
+/// if absent; refuses to touch a file whose header differs.
+pub fn append_row(path: &str, row: &str) -> Result<(), String> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let header = text.lines().next().unwrap_or("");
+            if header != TREND_HEADER {
+                return Err(format!(
+                    "{path} header does not match the trend schema; refusing to append\n  \
+                     have: {header}\n  want: {TREND_HEADER}"
+                ));
+            }
+            let mut text = text;
+            if !text.ends_with('\n') {
+                text.push('\n');
+            }
+            text
+        }
+        Err(_) => format!("{TREND_HEADER}\n"),
+    };
+    std::fs::write(path, format!("{body}{row}\n")).map_err(|e| format!("write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonv::parse;
+
+    fn sample_docs() -> (Value, Value) {
+        let hotpath = parse(
+            "{\"figure\": \"hotpath\", \"smoke\": false, \"machine_cores\": 4, \"series\": [\
+             {\"dataset\": \"a\", \"n\": 100, \"eps\": 1, \"min_pts\": 5, \"partition_s\": 0.1, \
+              \"mark_core_s\": 0.2, \"cell_graph_s\": 0.3, \"dbscan_s\": 1.0},\
+             {\"dataset\": \"a\", \"n\": 1000, \"eps\": 1, \"min_pts\": 5, \"partition_s\": 0.1, \
+              \"mark_core_s\": 0.4, \"cell_graph_s\": 0.5, \"dbscan_s\": 2.0},\
+             {\"dataset\": \"b\", \"n\": 1000, \"eps\": 1, \"min_pts\": 5, \"partition_s\": 0.1, \
+              \"mark_core_s\": 0.9, \"cell_graph_s\": 0.7, \"dbscan_s\": 8.0}]}",
+        )
+        .unwrap();
+        let fig6 = parse(
+            "{\"figure\": \"fig6_eps_sweep\", \"scale\": 10, \"datasets\": [\
+             {\"name\": \"a\", \"n\": 10, \"min_pts\": 5, \"cache\": {}, \"series\": [\
+              {\"eps\": 1, \"engine_s\": 0.5, \"oneshot_s\": 1.5, \"clusters\": 2, \"noise\": 0},\
+              {\"eps\": 2, \"engine_s\": 0.25, \"oneshot_s\": 1.0, \"clusters\": 2, \"noise\": 0}]}]}",
+        )
+        .unwrap();
+        (hotpath, fig6)
+    }
+
+    #[test]
+    fn row_summarizes_largest_n_and_sweep_totals() {
+        let (hotpath, fig6) = sample_docs();
+        let row = build_row("2026-07-31", "abc123", 10.0, "avx2+fma", &hotpath, &fig6).unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), TREND_HEADER.split(',').count());
+        assert_eq!(fields[0], "2026-07-31");
+        assert_eq!(fields[5], "1000", "largest-n rows only");
+        // geomean(2.0, 8.0) = 4.0 — the n = 100 row must not contribute.
+        assert_eq!(fields[6], "4.000000");
+        assert_eq!(fields[9], "0.750000");
+        assert_eq!(fields[10], "2.500000");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let (hotpath, fig6) = sample_docs();
+        assert!(build_row("31/07/2026", "c", 1.0, "scalar", &hotpath, &fig6).is_err());
+        assert!(build_row("2026-07-31", "a,b", 1.0, "scalar", &hotpath, &fig6).is_err());
+        let empty = parse("{\"figure\": \"hotpath\", \"series\": []}").unwrap();
+        assert!(build_row("2026-07-31", "c", 1.0, "scalar", &empty, &fig6).is_err());
+    }
+
+    #[test]
+    fn append_creates_then_extends_and_guards_the_header() {
+        let dir = std::env::temp_dir().join("bench_trend_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trend.csv");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        append_row(path, "r1").unwrap();
+        append_row(path, "r2").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, format!("{TREND_HEADER}\nr1\nr2\n"));
+
+        std::fs::write(path, "wrong,header\n").unwrap();
+        assert!(append_row(path, "r3").is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -16,7 +16,7 @@
 //!   boundary is queried with the other cell's core points.
 
 use crate::kernels::{find_within_flat, BLOCK};
-use geom::{BoundingBox, Point, Point2, Side, Wavefront};
+use geom::{AlignedCoords, BoundingBox, Point, Point2, Side, Wavefront};
 use spatial::SubdivisionTree;
 use std::cell::RefCell;
 
@@ -68,13 +68,16 @@ fn count_growth() {
 /// Per-thread reusable buffers of the BCP ε-box filter: original positions
 /// and flat coordinates of the surviving points of each side. Stored as flat
 /// `f64` runs (not `Point<D>`) so one scratch serves every dimension and the
-/// pair scan reads one contiguous array.
+/// pair scan reads one contiguous array; the coordinate buffers are
+/// [`AlignedCoords`] (64-byte-aligned storage under the `simd` feature), so
+/// the vector loads of the SIMD pair scan start cache-line aligned — each
+/// [`BLOCK`]-sized sub-run begins at a multiple of `BLOCK * D` coordinates.
 #[derive(Default)]
 struct BcpScratch {
     a_ids: Vec<u32>,
-    a_pts: Vec<f64>,
+    a_pts: AlignedCoords,
     b_ids: Vec<u32>,
-    b_pts: Vec<f64>,
+    b_pts: AlignedCoords,
 }
 
 thread_local! {
@@ -88,7 +91,7 @@ thread_local! {
 #[inline]
 fn fill_filtered<const D: usize>(
     ids: &mut Vec<u32>,
-    pts: &mut Vec<f64>,
+    pts: &mut AlignedCoords,
     src: &[Point<D>],
     bbox: &BoundingBox<D>,
     eps_sq: f64,
@@ -101,7 +104,7 @@ fn fill_filtered<const D: usize>(
     }
     if pts.capacity() < src.len() * D {
         count_growth();
-        pts.reserve(src.len() * D);
+        pts.reserve_total(src.len() * D);
     }
     for (i, p) in src.iter().enumerate() {
         if bbox.dist_sq_to_point(p) <= eps_sq {
@@ -152,13 +155,15 @@ pub(crate) fn bcp_witness<const D: usize>(
         // of the quadratic work, and each block scan is branch-free.
         let num_a = scratch.a_ids.len();
         let num_b = scratch.b_ids.len();
+        let a_flat_all = scratch.a_pts.as_slice();
+        let b_flat_all = scratch.b_pts.as_slice();
         for a_start in (0..num_a).step_by(BLOCK) {
             let a_end = (a_start + BLOCK).min(num_a);
             for b_start in (0..num_b).step_by(BLOCK) {
                 let b_end = (b_start + BLOCK).min(num_b);
-                let b_flat = &scratch.b_pts[b_start * D..b_end * D];
+                let b_flat = &b_flat_all[b_start * D..b_end * D];
                 for ai in a_start..a_end {
-                    let pa: &[f64; D] = scratch.a_pts[ai * D..(ai + 1) * D]
+                    let pa: &[f64; D] = a_flat_all[ai * D..(ai + 1) * D]
                         .try_into()
                         .expect("flat run of width D");
                     if let Some(bj) = find_within_flat::<D>(pa, b_flat, eps_sq) {

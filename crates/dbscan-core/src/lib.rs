@@ -59,7 +59,8 @@
 //! assert_eq!(alt, clustering);
 //! ```
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster_border;
@@ -67,7 +68,7 @@ mod cluster_core;
 mod connectivity;
 mod dbscan;
 mod erased;
-mod kernels;
+pub mod kernels;
 mod mark_core;
 mod params;
 pub mod pipeline;
@@ -78,6 +79,7 @@ pub use cluster_core::{cluster_core, ClusterCoreOptions};
 pub use connectivity::{bcp_scratch_stats, bichromatic_closest_pair};
 pub use dbscan::{dbscan, dbscan_approx, Dbscan};
 pub use erased::{erased_pipeline, ErasedPipeline, ERASED_DIM_MAX, ERASED_DIM_MIN};
+pub use kernels::{active_backend, Backend};
 pub use mark_core::mark_core;
 pub use params::{
     CellGraphMethod, CellMethod, DbscanError, DbscanParams, MarkCoreMethod, VariantConfig,

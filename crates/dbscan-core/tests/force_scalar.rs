@@ -1,0 +1,34 @@
+//! Regression test for the `DBSCAN_FORCE_SCALAR=1` escape hatch: the env
+//! var must actually route every kernel call to the scalar backend.
+//!
+//! This lives in its own integration-test binary on purpose: the dispatch
+//! decision is made once per process at the first kernel call, so the test
+//! must own the whole process to set the variable *before* that first call.
+//! (Keep this file single-test for the same reason.)
+
+use geom::Point2;
+
+#[test]
+fn force_scalar_env_routes_to_the_scalar_backend() {
+    std::env::set_var("DBSCAN_FORCE_SCALAR", "1");
+
+    // The dispatch probe must report scalar even on SIMD-capable machines
+    // (on a machine without SIMD this still holds — scalar is the default).
+    assert_eq!(pardbscan::active_backend(), pardbscan::Backend::Scalar);
+
+    // …and the clustering pipeline keeps working on the forced path.
+    let mut points: Vec<Point2> = Vec::new();
+    for i in 0..20 {
+        points.push(Point2::new([0.1 * i as f64, 0.0]));
+        points.push(Point2::new([0.1 * i as f64, 50.0]));
+    }
+    points.push(Point2::new([25.0, 25.0]));
+    let clustering = pardbscan::dbscan(&points, 0.5, 3).unwrap();
+    assert_eq!(clustering.num_clusters(), 2);
+    assert!(clustering.is_noise(points.len() - 1));
+
+    // The decision is sticky: clearing the variable afterwards must not
+    // re-dispatch mid-process.
+    std::env::remove_var("DBSCAN_FORCE_SCALAR");
+    assert_eq!(pardbscan::active_backend(), pardbscan::Backend::Scalar);
+}

@@ -13,17 +13,26 @@
 //!   separation structure of §4.4: the upper envelope ("wavefront") of the
 //!   ε-circles of a cell's core points above one of its boundaries, plus the
 //!   containment query used to decide cell connectivity.
+//! * [`runs`] — flat coordinate-run accessors for the SIMD distance kernels:
+//!   a zero-copy `&[f64]` view of point runs and a 64-byte-aligned scratch
+//!   buffer. The only `unsafe` in the crate lives there, behind the `simd`
+//!   feature; without it the crate still forbids `unsafe` outright.
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod delaunay;
 pub mod morton;
 pub mod point;
 pub mod predicates;
+pub mod runs;
 pub mod wavefront;
 
 pub use delaunay::DelaunayTriangulation;
 pub use morton::{morton_code_2d, morton_order};
 pub use point::{flat_from_points, points_from_flat, BoundingBox, Point, Point2};
+#[cfg(feature = "simd")]
+pub use runs::coord_run;
+pub use runs::AlignedCoords;
 pub use wavefront::{Side, Wavefront};

@@ -6,7 +6,13 @@
 //! of dynamic indexing.
 
 /// A point in `D`-dimensional Euclidean space with `f64` coordinates.
+///
+/// The layout is `#[repr(transparent)]` over `[f64; D]`, so a contiguous run
+/// `&[Point<D>]` *is* a flat row-major `f64` buffer — the guarantee the
+/// [`crate::runs`] accessors rely on to hand SIMD kernels one contiguous
+/// coordinate slice without copying.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(transparent)]
 pub struct Point<const D: usize> {
     /// The coordinates of the point.
     pub coords: [f64; D],

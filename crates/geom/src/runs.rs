@@ -1,0 +1,240 @@
+//! Flat coordinate-run accessors for the SIMD distance kernels.
+//!
+//! The hot query loops (RangeCount, BCP) consume contiguous runs of points.
+//! With the `simd` feature enabled this module provides:
+//!
+//! * [`coord_run`] — a zero-copy flat `&[f64]` view of a `&[Point<D>]` run
+//!   (sound because [`Point`] is `#[repr(transparent)]` over `[f64; D]`),
+//! * [`AlignedCoords`] — a growable flat `f64` buffer whose storage is
+//!   64-byte aligned, so vector loads over per-thread scratch (the BCP ε-box
+//!   filter output) never split a cache line.
+//!
+//! Without the feature, [`AlignedCoords`] is an ordinary `Vec<f64>` wrapper
+//! with the same API (the scalar kernels are indifferent to alignment) and
+//! the crate compiles under `#![forbid(unsafe_code)]`.
+
+#[cfg(feature = "simd")]
+use crate::point::Point;
+
+/// The flat row-major coordinate view of a contiguous point run:
+/// `coord_run(pts)[i * D + k]` is coordinate `k` of `pts[i]`.
+#[cfg(feature = "simd")]
+#[inline]
+#[allow(unsafe_code)]
+pub fn coord_run<const D: usize>(pts: &[Point<D>]) -> &[f64] {
+    // SAFETY: `Point<D>` is `#[repr(transparent)]` over `[f64; D]`, so a
+    // slice of `pts.len()` points is exactly `pts.len() * D` contiguous
+    // `f64`s starting at the same address, with the same (or stricter)
+    // alignment. `len * D` cannot overflow: the slice already occupies
+    // `len * D * 8` addressable bytes.
+    unsafe { std::slice::from_raw_parts(pts.as_ptr().cast::<f64>(), pts.len() * D) }
+}
+
+/// One cache line of coordinates; the allocation unit of [`AlignedCoords`].
+#[cfg(feature = "simd")]
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+struct CoordLine([f64; 8]);
+
+/// A growable flat `f64` coordinate buffer with 64-byte-aligned storage.
+///
+/// Mirrors the small part of the `Vec<f64>` API the per-thread BCP scratch
+/// needs: [`clear`](AlignedCoords::clear) +
+/// [`extend_from_slice`](AlignedCoords::extend_from_slice) refills, a
+/// [`capacity`](AlignedCoords::capacity) probe so callers can count
+/// reallocations, and a flat [`as_slice`](AlignedCoords::as_slice) view for
+/// the kernels.
+#[cfg(feature = "simd")]
+#[derive(Default)]
+pub struct AlignedCoords {
+    lines: Vec<CoordLine>,
+    len: usize,
+}
+
+#[cfg(feature = "simd")]
+#[allow(unsafe_code)]
+impl AlignedCoords {
+    /// An empty buffer (no allocation yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `f64`s currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no coordinates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of `f64`s the buffer can hold without reallocating.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.lines.capacity() * 8
+    }
+
+    /// Empties the buffer, keeping its allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Reserves capacity for at least `n` `f64`s in total.
+    pub fn reserve_total(&mut self, n: usize) {
+        let lines = n.div_ceil(8);
+        if lines > self.lines.capacity() {
+            self.lines.reserve(lines - self.lines.len());
+        }
+    }
+
+    /// Appends all values of `src`.
+    #[inline]
+    pub fn extend_from_slice(&mut self, src: &[f64]) {
+        let new_len = self.len + src.len();
+        let lines = new_len.div_ceil(8);
+        if lines > self.lines.len() {
+            self.lines.resize(lines, CoordLine([0.0; 8]));
+        }
+        // SAFETY: `lines` spans at least `new_len` f64s of initialized
+        // (possibly zero-padded) storage; `CoordLine` is `repr(C)` over
+        // `[f64; 8]`, so the line array is contiguous f64 storage.
+        let flat = unsafe {
+            std::slice::from_raw_parts_mut(self.lines.as_mut_ptr().cast::<f64>(), lines * 8)
+        };
+        flat[self.len..new_len].copy_from_slice(src);
+        self.len = new_len;
+    }
+
+    /// The stored coordinates as one flat slice, starting at a 64-byte
+    /// aligned address.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        // SAFETY: the first `len` f64s of the line storage are initialized
+        // by `extend_from_slice`; layout as in `extend_from_slice`.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr().cast::<f64>(), self.len) }
+    }
+}
+
+/// Portable stand-in for the aligned buffer when the `simd` feature is off:
+/// a plain `Vec<f64>` with the same API (the scalar kernels do not care
+/// about alignment, and this keeps the crate free of `unsafe`).
+#[cfg(not(feature = "simd"))]
+#[derive(Default)]
+pub struct AlignedCoords {
+    buf: Vec<f64>,
+}
+
+#[cfg(not(feature = "simd"))]
+impl AlignedCoords {
+    /// An empty buffer (no allocation yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `f64`s currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer holds no coordinates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of `f64`s the buffer can hold without reallocating.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Empties the buffer, keeping its allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Reserves capacity for at least `n` `f64`s in total.
+    pub fn reserve_total(&mut self, n: usize) {
+        if n > self.buf.capacity() {
+            self.buf.reserve(n - self.buf.len());
+        }
+    }
+
+    /// Appends all values of `src`.
+    #[inline]
+    pub fn extend_from_slice(&mut self, src: &[f64]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// The stored coordinates as one flat slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn coord_run_is_the_flat_view() {
+        let pts = vec![
+            Point::new([1.0, 2.0, 3.0]),
+            Point::new([4.0, 5.0, 6.0]),
+            Point::new([7.0, 8.0, 9.0]),
+        ];
+        assert_eq!(
+            coord_run(&pts),
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+        );
+        assert!(coord_run::<3>(&[]).is_empty());
+    }
+
+    #[test]
+    fn aligned_coords_round_trips_and_reuses_capacity() {
+        let mut buf = AlignedCoords::new();
+        assert!(buf.is_empty());
+        buf.extend_from_slice(&[1.0, 2.0, 3.0]);
+        buf.extend_from_slice(&[4.0, 5.0]);
+        assert_eq!(buf.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(buf.len(), 5);
+
+        let cap = buf.capacity();
+        assert!(cap >= 5);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap, "clear keeps the allocation");
+        buf.extend_from_slice(&[9.0; 5]);
+        assert_eq!(buf.capacity(), cap, "refill within capacity: no growth");
+        assert_eq!(buf.as_slice(), &[9.0; 5]);
+    }
+
+    #[test]
+    fn reserve_total_prevents_later_growth() {
+        let mut buf = AlignedCoords::new();
+        buf.reserve_total(100);
+        let cap = buf.capacity();
+        assert!(cap >= 100);
+        for _ in 0..10 {
+            buf.extend_from_slice(&[0.5; 10]);
+        }
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.len(), 100);
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn aligned_coords_storage_is_64_byte_aligned() {
+        let mut buf = AlignedCoords::new();
+        buf.extend_from_slice(&[1.0; 17]);
+        assert_eq!(buf.as_slice().as_ptr() as usize % 64, 0);
+    }
+}
