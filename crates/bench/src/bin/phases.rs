@@ -1,0 +1,296 @@
+//! Per-phase wall/CPU breakdown and parallel efficiency, from the
+//! observability layer's worker-pool profile.
+//!
+//! For each dataset × point count this binary times the four phases of
+//! Algorithm 1 separately (like `hotpath`), but additionally brackets every
+//! phase with [`rayon::pool_stats`] deltas: the pool's busy nanoseconds
+//! attributable to that phase, plus the caller thread's wall time, give the
+//! phase's CPU time, and
+//!
+//! ```text
+//! parallel_efficiency = (pool_busy + wall) / (wall × threads)
+//! ```
+//!
+//! is the fraction of the machine the phase actually kept busy (1.0 =
+//! perfect scaling, 1/threads = fully sequential).
+//!
+//! The binary also measures the observability substrate's own cost: the
+//! `DBSCAN_OBS` mode is read once per process, so it re-executes itself as
+//! a subprocess under `DBSCAN_OBS=off` and `DBSCAN_OBS=counters` and
+//! reports the end-to-end ratio in an `overhead` object (the acceptance
+//! bar is < 2% at the 100k hotpath run).
+//!
+//! Output: CSV per row plus a `BENCH_phases.json` document (schema-checked
+//! by `check_schema`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin phases -- \
+//!     [--scale S] [--reps R] [--smoke] [--json PATH] [--skip-overhead]
+//! ```
+//!
+//! `--smoke` shrinks to one tiny point count with one rep; `--skip-overhead`
+//! drops the subprocess re-exec (the overhead object then reports zeros and
+//! `measured: false`).
+
+use bench::*;
+use pardbscan::pipeline::SpatialIndex;
+use pardbscan::{
+    cluster_border, cluster_core, dbscan, mark_core, CellGraphMethod, CellMethod,
+    ClusterCoreOptions, Clustering, MarkCoreMethod,
+};
+use std::time::Instant;
+
+/// One measured row: a phase of a dataset at one point count.
+struct PhaseRow {
+    dataset: String,
+    n: usize,
+    phase: &'static str,
+    wall_s: f64,
+    pool_busy_s: f64,
+    cpu_s: f64,
+    efficiency: f64,
+}
+
+/// Times `f` and brackets it with pool busy-ns deltas. The CPU time credits
+/// the caller thread with the full wall time — in this shim every parallel
+/// region keeps the submitting thread working alongside the pool.
+fn time_phase<T>(threads: usize, f: impl FnOnce() -> T) -> (T, f64, f64, f64, f64) {
+    let busy0 = rayon::pool_stats().total_busy();
+    let start = Instant::now();
+    let out = f();
+    let wall = start.elapsed();
+    let busy = rayon::pool_stats()
+        .total_busy()
+        .saturating_sub(busy0)
+        .as_secs_f64();
+    let wall_s = wall.as_secs_f64();
+    let cpu_s = busy + wall_s;
+    let efficiency = cpu_s / (wall_s.max(1e-12) * threads.max(1) as f64);
+    (out, wall_s, busy, cpu_s, efficiency)
+}
+
+fn measure<const D: usize>(workload: &Workload<D>, threads: usize) -> Vec<PhaseRow> {
+    let n = workload.points.len();
+    let (eps, min_pts) = (workload.eps, workload.min_pts);
+    let mut rows = Vec::new();
+    let mut push = |phase: &'static str, wall_s: f64, pool_busy_s: f64, cpu_s: f64, eff: f64| {
+        let row = PhaseRow {
+            dataset: workload.name.clone(),
+            n,
+            phase,
+            wall_s,
+            pool_busy_s,
+            cpu_s,
+            efficiency: eff,
+        };
+        println!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.4}",
+            row.dataset, row.n, row.phase, row.wall_s, row.pool_busy_s, row.cpu_s, row.efficiency
+        );
+        rows.push(row);
+    };
+
+    let (index, wall, busy, cpu, eff) = time_phase(threads, || {
+        SpatialIndex::build(&workload.points, eps, CellMethod::Grid).unwrap()
+    });
+    push(obs::phase::PARTITION, wall, busy, cpu, eff);
+
+    let (core, wall, busy, cpu, eff) =
+        time_phase(threads, || mark_core(&index, min_pts, MarkCoreMethod::Scan));
+    push(obs::phase::MARK_CORE, wall, busy, cpu, eff);
+
+    let options = ClusterCoreOptions {
+        method: CellGraphMethod::Bcp,
+        bucketing: false,
+        rho: None,
+    };
+    let (core_clusters, wall, busy, cpu, eff) =
+        time_phase(threads, || cluster_core(&index, &core, &options));
+    push(obs::phase::CLUSTER_CORE, wall, busy, cpu, eff);
+
+    let (sets, wall, busy, cpu, eff) =
+        time_phase(threads, || cluster_border(&index, &core, &core_clusters));
+    push(obs::phase::CLUSTER_BORDER, wall, busy, cpu, eff);
+    std::hint::black_box(&sets);
+
+    rows
+}
+
+/// The end-to-end run the overhead subprocess times (`--overhead-child N`):
+/// the same loops the phases above measure, through the one-shot API.
+fn overhead_child(n: usize, reps: usize) {
+    let workload = ss_simden::<2>(n);
+    let mut best = f64::INFINITY;
+    let mut check: Option<Clustering> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let clustering = dbscan(&workload.points, workload.eps, workload.min_pts).unwrap();
+        best = best.min(start.elapsed().as_secs_f64());
+        check = Some(clustering);
+    }
+    std::hint::black_box(&check);
+    // Sole stdout line: the parent parses it as the child's best seconds.
+    println!("{best:.9}");
+}
+
+/// Re-executes this binary under a pinned `DBSCAN_OBS` mode and returns the
+/// child's best end-to-end seconds. A subprocess is the only honest way to
+/// compare modes: the switch is read once per process.
+fn run_overhead_probe(mode: &str, n: usize, reps: usize) -> Result<f64, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let out = std::process::Command::new(exe)
+        .args([
+            "--overhead-child",
+            &n.to_string(),
+            "--reps",
+            &reps.to_string(),
+        ])
+        .env("DBSCAN_OBS", mode)
+        .output()
+        .map_err(|e| format!("spawn overhead child: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "overhead child ({mode}) exited with {}",
+            out.status
+        ));
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    text.lines()
+        .last()
+        .and_then(|l| l.trim().parse::<f64>().ok())
+        .ok_or_else(|| format!("overhead child ({mode}) printed no timing"))
+}
+
+struct Overhead {
+    measured: bool,
+    n: usize,
+    off_s: f64,
+    counters_s: f64,
+    ratio: f64,
+}
+
+fn report_json(rows: &[PhaseRow], overhead: &Overhead, threads: usize, smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"phases\",\n  \"smoke\": {},\n  \"machine_cores\": {},\n  \
+         \"threads\": {},\n  \"overhead\": {{\"measured\": {}, \"n\": {}, \"off_s\": {}, \
+         \"counters_s\": {}, \"ratio\": {}}},\n  \"series\": [\n",
+        smoke,
+        num_cpus::get(),
+        threads,
+        overhead.measured,
+        overhead.n,
+        json_f64(overhead.off_s),
+        json_f64(overhead.counters_s),
+        json_f64(overhead.ratio),
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"phase\": \"{}\", \"wall_s\": {}, \
+             \"pool_busy_s\": {}, \"cpu_s\": {}, \"parallel_efficiency\": {}}}{}\n",
+            json_escape(&r.dataset),
+            r.n,
+            json_escape(r.phase),
+            json_f64(r.wall_s),
+            json_f64(r.pool_busy_s),
+            json_f64(r.cpu_s),
+            json_f64(r.efficiency),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let reps = arg_value("--reps")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(3)
+        .max(1);
+    if let Some(n) = arg_value("--overhead-child").and_then(|s| s.parse::<usize>().ok()) {
+        overhead_child(n, reps);
+        return;
+    }
+
+    let scale = scale_from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let skip_overhead = std::env::args().any(|a| a == "--skip-overhead");
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_phases.json".to_string());
+    let threads = num_cpus::get().max(1);
+
+    print_header(
+        "phases",
+        "per-phase wall/CPU breakdown and parallel efficiency from the pool profile",
+    );
+    println!("dataset,n,phase,wall_s,pool_busy_s,cpu_s,parallel_efficiency");
+
+    let ns: Vec<usize> = if smoke {
+        vec![2_000]
+    } else {
+        [100_000usize, 1_000_000]
+            .iter()
+            .map(|&n| scaled(n, scale))
+            .collect()
+    };
+
+    let mut rows = Vec::new();
+    for &n in &ns {
+        rows.extend(measure(&ss_simden::<2>(n), threads));
+        rows.extend(measure(&ss_varden::<2>(n), threads));
+        rows.extend(measure(&uniform::<2>(n), threads));
+    }
+
+    let overhead_n = if smoke { 2_000 } else { scaled(100_000, scale) };
+    let overhead = if skip_overhead {
+        Overhead {
+            measured: false,
+            n: overhead_n,
+            off_s: 0.0,
+            counters_s: 0.0,
+            ratio: 0.0,
+        }
+    } else {
+        // Min-of-reps on both sides; the full run gets extra reps because
+        // the acceptance bar (< 2%) is near timer noise on fast machines.
+        let overhead_reps = if smoke { reps } else { reps.max(5) };
+        let probe = run_overhead_probe("off", overhead_n, overhead_reps).and_then(|off_s| {
+            run_overhead_probe("counters", overhead_n, overhead_reps)
+                .map(|counters_s| (off_s, counters_s))
+        });
+        match probe {
+            Ok((off_s, counters_s)) => {
+                let ratio = counters_s / off_s.max(1e-12);
+                println!(
+                    "# overhead @ n={overhead_n}: off {off_s:.6}s, counters {counters_s:.6}s, \
+                     ratio {ratio:.4}"
+                );
+                Overhead {
+                    measured: true,
+                    n: overhead_n,
+                    off_s,
+                    counters_s,
+                    ratio,
+                }
+            }
+            Err(err) => {
+                eprintln!("# overhead probe failed: {err}");
+                Overhead {
+                    measured: false,
+                    n: overhead_n,
+                    off_s: 0.0,
+                    counters_s: 0.0,
+                    ratio: 0.0,
+                }
+            }
+        }
+    };
+
+    let json = report_json(&rows, &overhead, threads, smoke);
+    println!("\n# JSON\n{json}");
+    if json_path != "-" {
+        match std::fs::write(&json_path, &json) {
+            Ok(()) => println!("# wrote {json_path}"),
+            Err(err) => eprintln!("# failed to write {json_path}: {err}"),
+        }
+    }
+}

@@ -10,8 +10,11 @@
 //! cargo run --release -p bench --bin trend_append -- \
 //!     --date YYYY-MM-DD [--commit SHA] [--scale S] \
 //!     [--hotpath BENCH_hotpath.json] [--fig6 BENCH_fig6_eps_sweep.json] \
-//!     [--csv BENCH_trend.csv]
+//!     [--phases BENCH_phases.json] [--csv BENCH_trend.csv]
 //! ```
+//!
+//! `--phases` is optional: when given, the row's parallel-efficiency
+//! columns are filled from that document; otherwise they stay empty.
 //!
 //! Both inputs are schema-validated first, and the CSV's header line is
 //! verified before appending, so a drifted producer fails loudly here.
@@ -43,8 +46,20 @@ fn run() -> Result<(), String> {
 
     let hotpath = load_validated(&hotpath_path, "hotpath")?;
     let fig6 = load_validated(&fig6_path, "fig6_eps_sweep")?;
+    let phases = match arg_value("--phases") {
+        Some(path) => Some(load_validated(&path, "phases")?),
+        None => None,
+    };
     let backend = pardbscan::active_backend().label();
-    let row = trend::build_row(&date, commit, scale, backend, &hotpath, &fig6)?;
+    let row = trend::build_row(
+        &date,
+        commit,
+        scale,
+        backend,
+        &hotpath,
+        &fig6,
+        phases.as_ref(),
+    )?;
     trend::append_row(&csv_path, &row)?;
     println!("{}", trend::TREND_HEADER);
     println!("{row}");

@@ -90,6 +90,26 @@ pub const SCHEMAS: &[DocSchema] = &[
         nested: None,
     },
     DocSchema {
+        figure: "phases",
+        top: &[
+            ("smoke", Kind::Bool),
+            ("machine_cores", Kind::Num),
+            ("threads", Kind::Num),
+            ("overhead", Kind::Obj),
+        ],
+        rows: "series",
+        row_fields: &[
+            ("dataset", Kind::Str),
+            ("n", Kind::Num),
+            ("phase", Kind::Str),
+            ("wall_s", Kind::Num),
+            ("pool_busy_s", Kind::Num),
+            ("cpu_s", Kind::Num),
+            ("parallel_efficiency", Kind::Num),
+        ],
+        nested: None,
+    },
+    DocSchema {
         figure: "fig6_eps_sweep",
         top: &[("scale", Kind::Num)],
         rows: "datasets",

@@ -12,7 +12,8 @@ use crate::jsonv::Value;
 pub const TREND_HEADER: &str = "date,commit,scale,machine_cores,backend,hotpath_max_n,\
                                 hotpath_dbscan_geomean_s,hotpath_mark_core_geomean_s,\
                                 hotpath_cell_graph_geomean_s,fig6_engine_total_s,\
-                                fig6_oneshot_total_s";
+                                fig6_oneshot_total_s,phases_mark_core_eff,\
+                                phases_cluster_core_eff";
 
 fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -27,11 +28,43 @@ fn require_f64(v: &Value, key: &str, context: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{context}: missing numeric `{key}`"))
 }
 
-/// Builds one CSV row from a `hotpath` and a `fig6_eps_sweep` document.
+/// Geometric-mean parallel efficiency of one phase at the largest point
+/// count of a `phases` document, across datasets.
+fn phase_efficiency(phases: &Value, phase: &str) -> Result<f64, String> {
+    let series = phases
+        .get("series")
+        .and_then(Value::as_array)
+        .filter(|s| !s.is_empty())
+        .ok_or("phases: missing non-empty `series`")?;
+    let max_n = series
+        .iter()
+        .map(|row| require_f64(row, "n", "phases series"))
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    let mut effs = Vec::new();
+    for row in series {
+        if require_f64(row, "n", "phases series")? == max_n
+            && row.get("phase").and_then(Value::as_str) == Some(phase)
+        {
+            effs.push(require_f64(row, "parallel_efficiency", "phases series")?);
+        }
+    }
+    if effs.is_empty() {
+        return Err(format!("phases: no `{phase}` rows at the largest n"));
+    }
+    Ok(geomean(&effs))
+}
+
+/// Builds one CSV row from a `hotpath` and a `fig6_eps_sweep` document,
+/// plus (optionally) a `phases` document for the parallel-efficiency
+/// columns — those fields stay empty when no phases run is supplied, so
+/// older invocations keep producing schema-conforming rows.
 ///
 /// The hotpath summary covers only the rows at the *largest* point count of
 /// the run (the paper-scale series the scheduled job exists to track);
-/// the fig6 columns are total sweep seconds summed over datasets and ε.
+/// the fig6 columns are total sweep seconds summed over datasets and ε; the
+/// efficiency columns are largest-n geomeans across datasets.
 pub fn build_row(
     date: &str,
     commit: &str,
@@ -39,6 +72,7 @@ pub fn build_row(
     backend: &str,
     hotpath: &Value,
     fig6: &Value,
+    phases: Option<&Value>,
 ) -> Result<String, String> {
     if date.len() != 10 || date.as_bytes()[4] != b'-' || date.as_bytes()[7] != b'-' {
         return Err(format!("date `{date}` is not YYYY-MM-DD"));
@@ -85,8 +119,16 @@ pub fn build_row(
             oneshot_total += require_f64(point, "oneshot_s", "fig6 series")?;
         }
     }
+    let (mark_core_eff, cluster_core_eff) = match phases {
+        Some(doc) => (
+            format!("{:.4}", phase_efficiency(doc, "mark_core")?),
+            format!("{:.4}", phase_efficiency(doc, "cluster_core")?),
+        ),
+        None => (String::new(), String::new()),
+    };
     Ok(format!(
-        "{date},{commit},{scale},{machine_cores},{backend},{max_n},{:.6},{:.6},{:.6},{:.6},{:.6}",
+        "{date},{commit},{scale},{machine_cores},{backend},{max_n},{:.6},{:.6},{:.6},{:.6},{:.6},\
+         {mark_core_eff},{cluster_core_eff}",
         geomean(&dbscan_s),
         geomean(&mark_core_s),
         geomean(&cell_graph_s),
@@ -144,10 +186,36 @@ mod tests {
         (hotpath, fig6)
     }
 
+    fn sample_phases() -> Value {
+        parse(
+            "{\"figure\": \"phases\", \"smoke\": false, \"machine_cores\": 4, \"threads\": 4, \
+             \"overhead\": {\"measured\": true, \"n\": 100000, \"off_s\": 1.0, \
+             \"counters_s\": 1.01, \"ratio\": 1.01}, \"series\": [\
+             {\"dataset\": \"a\", \"n\": 100, \"phase\": \"mark_core\", \"wall_s\": 0.1, \
+              \"pool_busy_s\": 0.2, \"cpu_s\": 0.3, \"parallel_efficiency\": 0.5},\
+             {\"dataset\": \"a\", \"n\": 1000, \"phase\": \"mark_core\", \"wall_s\": 1.0, \
+              \"pool_busy_s\": 2.0, \"cpu_s\": 3.0, \"parallel_efficiency\": 0.9},\
+             {\"dataset\": \"b\", \"n\": 1000, \"phase\": \"mark_core\", \"wall_s\": 1.0, \
+              \"pool_busy_s\": 1.0, \"cpu_s\": 2.0, \"parallel_efficiency\": 0.4},\
+             {\"dataset\": \"a\", \"n\": 1000, \"phase\": \"cluster_core\", \"wall_s\": 1.0, \
+              \"pool_busy_s\": 2.4, \"cpu_s\": 3.4, \"parallel_efficiency\": 0.85}]}",
+        )
+        .unwrap()
+    }
+
     #[test]
     fn row_summarizes_largest_n_and_sweep_totals() {
         let (hotpath, fig6) = sample_docs();
-        let row = build_row("2026-07-31", "abc123", 10.0, "avx2+fma", &hotpath, &fig6).unwrap();
+        let row = build_row(
+            "2026-07-31",
+            "abc123",
+            10.0,
+            "avx2+fma",
+            &hotpath,
+            &fig6,
+            None,
+        )
+        .unwrap();
         let fields: Vec<&str> = row.split(',').collect();
         assert_eq!(fields.len(), TREND_HEADER.split(',').count());
         assert_eq!(fields[0], "2026-07-31");
@@ -156,15 +224,56 @@ mod tests {
         assert_eq!(fields[6], "4.000000");
         assert_eq!(fields[9], "0.750000");
         assert_eq!(fields[10], "2.500000");
+        // Without a phases run the efficiency columns are present but empty.
+        assert_eq!(fields[11], "");
+        assert_eq!(fields[12], "");
+    }
+
+    #[test]
+    fn phases_document_fills_the_efficiency_columns() {
+        let (hotpath, fig6) = sample_docs();
+        let phases = sample_phases();
+        let row = build_row(
+            "2026-07-31",
+            "abc123",
+            10.0,
+            "avx2+fma",
+            &hotpath,
+            &fig6,
+            Some(&phases),
+        )
+        .unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), TREND_HEADER.split(',').count());
+        // geomean(0.9, 0.4) = 0.6 — the n = 100 row must not contribute.
+        assert_eq!(fields[11], "0.6000");
+        assert_eq!(fields[12], "0.8500");
     }
 
     #[test]
     fn malformed_inputs_are_rejected() {
         let (hotpath, fig6) = sample_docs();
-        assert!(build_row("31/07/2026", "c", 1.0, "scalar", &hotpath, &fig6).is_err());
-        assert!(build_row("2026-07-31", "a,b", 1.0, "scalar", &hotpath, &fig6).is_err());
+        assert!(build_row("31/07/2026", "c", 1.0, "scalar", &hotpath, &fig6, None).is_err());
+        assert!(build_row("2026-07-31", "a,b", 1.0, "scalar", &hotpath, &fig6, None).is_err());
         let empty = parse("{\"figure\": \"hotpath\", \"series\": []}").unwrap();
-        assert!(build_row("2026-07-31", "c", 1.0, "scalar", &empty, &fig6).is_err());
+        assert!(build_row("2026-07-31", "c", 1.0, "scalar", &empty, &fig6, None).is_err());
+        // A phases doc without the phase rows at the largest n is an error,
+        // not silently-empty columns.
+        let bad = parse(
+            "{\"figure\": \"phases\", \"series\": [{\"n\": 10, \"phase\": \"x\", \
+             \"parallel_efficiency\": 1.0}]}",
+        )
+        .unwrap();
+        assert!(build_row(
+            "2026-07-31",
+            "c",
+            1.0,
+            "scalar",
+            &hotpath,
+            &fig6,
+            Some(&bad)
+        )
+        .is_err());
     }
 
     #[test]

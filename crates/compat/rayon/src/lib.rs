@@ -19,6 +19,8 @@
 
 mod pool;
 
+pub use pool::{pool_stats, PoolStats, WorkerProfile};
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -700,6 +702,29 @@ mod tests {
         assert!(caught.is_err(), "panic must propagate through join");
         let (a, b) = join(|| 2 + 2, || 3 + 3);
         assert_eq!((a, b), (4, 6));
+    }
+
+    #[test]
+    fn pool_stats_reflects_pool_activity() {
+        let before = pool_stats();
+        let _: Vec<u64> = (0..(4 * SEQ_CUTOFF) as u64)
+            .into_par_iter()
+            .map(|i| i * 3)
+            .collect();
+        let after = pool_stats();
+        if after.started {
+            // A wide enough region on a multi-core machine actually handed
+            // chunks to the workers.
+            assert_eq!(after.peak_size, pool_worker_count());
+            assert_eq!(after.workers.len(), pool_worker_count());
+            assert!(after.total_tasks() >= before.total_tasks());
+        } else {
+            // Single-threaded configuration: the pool never starts and the
+            // stats stay empty rather than erroring.
+            assert_eq!(pool_worker_count(), 0);
+            assert!(after.workers.is_empty());
+            assert_eq!(after.peak_size, 0);
+        }
     }
 
     #[test]

@@ -31,7 +31,9 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
 
 /// A type-erased, lifetime-erased unit of work plus its completion latch.
 type QueuedJob = Box<dyn FnOnce() + Send + 'static>;
@@ -59,24 +61,69 @@ fn queue() -> &'static Queue {
     })
 }
 
+/// Per-worker profiling counters, updated by the worker itself (uncontended
+/// relaxed atomics) and read by [`pool_stats`] and the registry callbacks.
+#[derive(Default)]
+struct WorkerCounters {
+    tasks: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+/// One counter block per pool worker, allocated once for the process's fixed
+/// worker count (the pool never grows or shrinks after start).
+fn worker_counters() -> &'static [WorkerCounters] {
+    static COUNTERS: OnceLock<Box<[WorkerCounters]>> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (0..crate::pool_worker_count())
+            .map(|_| WorkerCounters::default())
+            .collect()
+    })
+}
+
+static STARTED: OnceLock<()> = OnceLock::new();
+
 /// Ensures the worker threads exist (idempotent, racing initializers spawn
 /// once). Separate from `queue()` so the queue can be constructed inside the
 /// `OnceLock` initializer without self-reference.
 fn ensure_workers() {
-    static STARTED: OnceLock<()> = OnceLock::new();
     STARTED.get_or_init(|| {
         let count = crate::pool_worker_count();
         for i in 0..count {
             std::thread::Builder::new()
                 .name(format!("rayon-shim-worker-{i}"))
-                .spawn(|| worker_loop(queue()))
+                .spawn(move || worker_loop(queue(), &worker_counters()[i]))
                 .expect("rayon-shim: failed to spawn pool worker");
         }
+        // Surface the pool through the metrics registry: the aggregate
+        // counters are evaluated lazily at snapshot time, so the hot path
+        // pays nothing beyond the workers' own relaxed stores.
+        static POOL_PEAK: obs::LazyGauge = obs::LazyGauge::new("dbscan_pool_workers_peak");
+        POOL_PEAK.set_max(count as i64);
+        obs::register_gauge_fn("dbscan_pool_tasks_total", || {
+            worker_counters()
+                .iter()
+                .map(|c| c.tasks.load(Ordering::Relaxed))
+                .sum::<u64>() as i64
+        });
+        obs::register_gauge_fn("dbscan_pool_busy_nanos_total", || {
+            worker_counters()
+                .iter()
+                .map(|c| c.busy_ns.load(Ordering::Relaxed))
+                .sum::<u64>() as i64
+        });
+        obs::register_gauge_fn("dbscan_pool_idle_nanos_total", || {
+            worker_counters()
+                .iter()
+                .map(|c| c.idle_ns.load(Ordering::Relaxed))
+                .sum::<u64>() as i64
+        });
     });
 }
 
-fn worker_loop(queue: &'static Queue) {
+fn worker_loop(queue: &'static Queue, counters: &'static WorkerCounters) {
     loop {
+        let wait_start = Instant::now();
         let job = {
             let mut jobs = lock(&queue.jobs);
             loop {
@@ -89,7 +136,76 @@ fn worker_loop(queue: &'static Queue) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
+        counters
+            .idle_ns
+            .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let busy_start = Instant::now();
         job();
+        counters
+            .busy_ns
+            .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        counters.tasks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Profiling counters of one pool worker, as captured by [`pool_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerProfile {
+    /// Jobs this worker has completed.
+    pub tasks: u64,
+    /// Total time spent running jobs.
+    pub busy: Duration,
+    /// Total time spent waiting for work (only counted once a wait ends, so
+    /// a currently-parked worker's ongoing wait is not yet included).
+    pub idle: Duration,
+}
+
+/// Point-in-time profiling view of the persistent worker pool.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// One entry per worker, in spawn order. Empty until the pool starts.
+    pub workers: Vec<WorkerProfile>,
+    /// Largest worker count the pool has reached (the pool is fixed-size,
+    /// so this is the worker count once started, 0 before).
+    pub peak_size: usize,
+    /// Whether the pool's threads have been spawned.
+    pub started: bool,
+}
+
+impl PoolStats {
+    /// Total jobs completed across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Total busy time summed across all workers. With a phase's wall time,
+    /// this is the pool half of a parallel-efficiency estimate:
+    /// `(busy_delta + wall) / (wall × threads)` — the `+ wall` term credits
+    /// the caller thread, which works alongside the pool in every region.
+    pub fn total_busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+}
+
+/// Captures the pool's per-worker task counts and busy/idle time. Cheap
+/// (relaxed loads), safe to call whether or not the pool ever started.
+pub fn pool_stats() -> PoolStats {
+    let started = STARTED.get().is_some();
+    if !started {
+        return PoolStats::default();
+    }
+    let workers: Vec<WorkerProfile> = worker_counters()
+        .iter()
+        .map(|c| WorkerProfile {
+            tasks: c.tasks.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(c.busy_ns.load(Ordering::Relaxed)),
+            idle: Duration::from_nanos(c.idle_ns.load(Ordering::Relaxed)),
+        })
+        .collect();
+    PoolStats {
+        peak_size: workers.len(),
+        workers,
+        started,
     }
 }
 

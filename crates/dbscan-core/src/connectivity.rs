@@ -44,10 +44,31 @@ pub fn bcp_scratch_stats() -> (u64, u64) {
     BCP_COUNTERS.with(|c| c.get())
 }
 
+/// Resets the calling thread's [`bcp_scratch_stats`] counters to `(0, 0)`,
+/// so a test can make absolute assertions regardless of what earlier work
+/// ran on the same thread (e.g. under `RUST_TEST_THREADS=1`). Only the
+/// per-thread counters reset; the process-wide registry counters
+/// (`dbscan_bcp_queries_total`, `dbscan_bcp_scratch_growths_total`) are
+/// cumulative by design and unaffected.
+pub fn reset_bcp_scratch_stats() {
+    BCP_COUNTERS.with(|c| c.set((0, 0)));
+}
+
 thread_local! {
     /// `(queries, scratch growths)` of this thread's BCP kernel.
     static BCP_COUNTERS: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+    /// Registry mirror of the query counter, batched like the kernel-block
+    /// counter (a shared atomic per BCP query would show up in sweeps).
+    static BCP_PENDING_QUERIES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
+
+/// Process-wide mirrors of the per-thread counters. Queries are batched
+/// (flushed every [`FLUSH_QUERIES`], so the registry value is approximate);
+/// growths are rare and counted immediately.
+static BCP_QUERIES: obs::LazyCounter = obs::LazyCounter::new("dbscan_bcp_queries_total");
+static BCP_GROWTHS: obs::LazyCounter = obs::LazyCounter::new("dbscan_bcp_scratch_growths_total");
+
+const FLUSH_QUERIES: u64 = 256;
 
 #[inline]
 fn count_query() {
@@ -55,6 +76,17 @@ fn count_query() {
         let (q, g) = c.get();
         c.set((q + 1, g));
     });
+    if obs::counters_enabled() {
+        BCP_PENDING_QUERIES.with(|p| {
+            let v = p.get() + 1;
+            if v >= FLUSH_QUERIES {
+                BCP_QUERIES.add(v);
+                p.set(0);
+            } else {
+                p.set(v);
+            }
+        });
+    }
 }
 
 #[inline]
@@ -63,6 +95,7 @@ fn count_growth() {
         let (q, g) = c.get();
         c.set((q, g + 1));
     });
+    BCP_GROWTHS.incr();
 }
 
 /// Per-thread reusable buffers of the BCP ε-box filter: original positions
@@ -354,15 +387,19 @@ mod tests {
         // scratch buffers are exercised at full cell size every query.
         let (a, a_bbox) = random_cell(&mut rng, [0.0, 0.0], side, 80);
         let (b, b_bbox) = random_cell(&mut rng, [side, 0.0], side, 80);
+        // Absolute counting from a clean slate: whatever ran earlier on this
+        // thread (other tests under RUST_TEST_THREADS=1, say) is wiped.
+        reset_bcp_scratch_stats();
         // Warm-up: lets this thread's scratch grow to the cell size.
         bcp_witness(&a, &a_bbox, &b, &b_bbox, eps);
         let (q0, g0) = bcp_scratch_stats();
+        assert_eq!(q0, 1, "reset, then exactly one warm-up query");
         for _ in 0..500 {
             bcp_witness(&a, &a_bbox, &b, &b_bbox, eps);
             bcp_witness(&b, &b_bbox, &a, &a_bbox, eps);
         }
         let (q1, g1) = bcp_scratch_stats();
-        assert_eq!(q1 - q0, 1000, "every query is counted");
+        assert_eq!(q1, 1001, "every query is counted");
         assert_eq!(
             g1, g0,
             "steady-state BCP queries must not grow the scratch buffers"

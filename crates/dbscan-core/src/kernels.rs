@@ -84,6 +84,13 @@ static BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNINIT);
 fn init_backend() -> u8 {
     let code = detect_backend();
     BACKEND.store(code, Ordering::Relaxed);
+    let label = match code {
+        BACKEND_AVX2 => Backend::Avx2Fma,
+        BACKEND_NEON => Backend::Neon,
+        _ => Backend::Scalar,
+    }
+    .label();
+    obs::set_info("dbscan_backend_info", label);
     code
 }
 
@@ -117,6 +124,39 @@ fn backend_code() -> u8 {
     }
 }
 
+/// Registry counter of [`BLOCK`]-wide kernel block scans
+/// (`dbscan_kernel_blocks_total`). The entry points are far too hot for a
+/// shared atomic per call, so each thread batches block counts in a local
+/// cell and flushes every [`FLUSH_BLOCKS`]; the registry value is therefore
+/// *approximate* (it can lag each live thread by up to `FLUSH_BLOCKS − 1`
+/// blocks).
+static KERNEL_BLOCKS: obs::LazyCounter = obs::LazyCounter::new("dbscan_kernel_blocks_total");
+
+const FLUSH_BLOCKS: u64 = 1 << 12;
+
+thread_local! {
+    static PENDING_BLOCKS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Count one kernel invocation scanning `n` points: `ceil(n / BLOCK)` blocks,
+/// minimum 1 (an empty scan is still an invocation).
+#[inline]
+fn count_blocks(n: usize) {
+    if !obs::counters_enabled() {
+        return;
+    }
+    let blocks = (n as u64).div_ceil(BLOCK as u64).max(1);
+    PENDING_BLOCKS.with(|p| {
+        let v = p.get() + blocks;
+        if v >= FLUSH_BLOCKS {
+            KERNEL_BLOCKS.add(v);
+            p.set(0);
+        } else {
+            p.set(v);
+        }
+    });
+}
+
 /// The backend every kernel entry point routes to in this process (the
 /// test-visible dispatch probe). Selected once: the first call decides,
 /// and the decision never changes for the lifetime of the process.
@@ -148,6 +188,7 @@ pub fn count_within_capped<const D: usize>(
     eps_sq: f64,
     cap: usize,
 ) -> usize {
+    count_blocks(pts.len());
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     if simd_dim(D) && backend_code() == BACKEND_AVX2 {
         return avx2::count_within_capped(p, pts, eps_sq, cap);
@@ -162,6 +203,7 @@ pub fn count_within_capped<const D: usize>(
 /// Whether any point of `pts` lies within squared distance `eps_sq` of `p`.
 #[inline]
 pub fn any_within<const D: usize>(p: &Point<D>, pts: &[Point<D>], eps_sq: f64) -> bool {
+    count_blocks(pts.len());
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     if simd_dim(D) && backend_code() == BACKEND_AVX2 {
         return avx2::any_within(p, pts, eps_sq);
@@ -179,6 +221,7 @@ pub fn any_within<const D: usize>(p: &Point<D>, pts: &[Point<D>], eps_sq: f64) -
 #[inline]
 pub fn find_within_flat<const D: usize>(p: &[f64; D], pts: &[f64], eps_sq: f64) -> Option<usize> {
     debug_assert_eq!(pts.len() % D, 0);
+    count_blocks(pts.len() / D);
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     if simd_dim(D) && backend_code() == BACKEND_AVX2 {
         return avx2::find_within_flat(p, pts, eps_sq);

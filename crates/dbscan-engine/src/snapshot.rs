@@ -193,6 +193,10 @@ impl<const D: usize> Snapshot<D> {
     ) -> Result<QueryResult, DbscanError> {
         params.validate()?;
         variant.validate_for_dimension(D)?;
+        let _span = obs::Span::enter("engine", obs::phase::QUERY)
+            .eps(params.eps)
+            .min_pts(params.min_pts)
+            .n(self.num_points());
         let start = Instant::now();
         let (index, generation, partition_hit, partition_time) =
             self.index_for(params.eps, variant.cell_method)?;
@@ -200,9 +204,11 @@ impl<const D: usize> Snapshot<D> {
             self.core_for(&index, generation, params.min_pts, variant.mark_core);
         let (clustering, cluster_core_time, cluster_border_time) =
             run_cluster_phases(&index, &core, &variant);
+        QUERY_SECONDS.observe(start.elapsed());
         let stats = QueryStats {
             eps: params.eps,
             min_pts: params.min_pts,
+            variant: variant.paper_name(),
             partition_cache_hit: partition_hit,
             core_cache_hit: core_hit,
             partition_time,
@@ -283,6 +289,8 @@ impl<const D: usize> Snapshot<D> {
             // Zero queries: don't build indexes for columns nothing will use.
             return Ok(Vec::new());
         }
+        let _span =
+            obs::Span::enter("engine", obs::phase::SWEEP).n(eps_grid.len() * min_pts_grid.len());
         let columns: Vec<Result<Vec<SweepCell>, DbscanError>> = eps_grid
             .par_iter()
             .map(|&eps| {
@@ -306,6 +314,7 @@ impl<const D: usize> Snapshot<D> {
                         let stats = QueryStats {
                             eps,
                             min_pts,
+                            variant: variant.paper_name(),
                             // Cells after the ε's first share the index that
                             // cell fetched or built, so reuse is reported
                             // from their perspective.
@@ -438,6 +447,10 @@ impl<const D: usize> Snapshot<D> {
         (core, false, elapsed)
     }
 }
+
+/// End-to-end duration histogram of [`Snapshot::query_variant`] calls
+/// (`dbscan_query_duration_seconds`).
+static QUERY_SECONDS: obs::LazyHistogram = obs::LazyHistogram::new("dbscan_query_duration_seconds");
 
 /// Runs phases 3–4 (always computed) and canonicalizes the result.
 fn run_cluster_phases<const D: usize>(

@@ -16,6 +16,10 @@ pub struct QueryStats {
     pub eps: f64,
     /// The minPts of the query.
     pub min_pts: usize,
+    /// Paper name of the variant that ran (e.g. `"our-exact"`,
+    /// `"our-exact-qt"`, `"our-approx"`), so traces and stats distinguish
+    /// exact from approximate runs.
+    pub variant: String,
     /// Whether phase 1 was served from the snapshot's partition cache.
     pub partition_cache_hit: bool,
     /// Whether phase 2 was served from the snapshot's core-set cache.
@@ -72,6 +76,17 @@ fn rate(hits: usize, misses: usize) -> f64 {
     }
 }
 
+/// Process-wide registry mirrors of the cache counters. [`CacheStats`] is a
+/// per-snapshot view; these accumulate the same events across every snapshot
+/// for the life of the process. `CacheCounters::record_*` below is the
+/// single write path for both, so the two can never drift.
+static PARTITION_HITS: obs::LazyCounter =
+    obs::LazyCounter::new("dbscan_partition_cache_hits_total");
+static PARTITION_MISSES: obs::LazyCounter =
+    obs::LazyCounter::new("dbscan_partition_cache_misses_total");
+static CORE_HITS: obs::LazyCounter = obs::LazyCounter::new("dbscan_core_cache_hits_total");
+static CORE_MISSES: obs::LazyCounter = obs::LazyCounter::new("dbscan_core_cache_misses_total");
+
 /// Thread-safe counter block backing [`CacheStats`].
 #[derive(Default)]
 pub(crate) struct CacheCounters {
@@ -85,16 +100,20 @@ impl CacheCounters {
     pub(crate) fn record_partition(&self, hit: bool) {
         if hit {
             self.partition_hits.fetch_add(1, Ordering::Relaxed);
+            PARTITION_HITS.incr();
         } else {
             self.partition_misses.fetch_add(1, Ordering::Relaxed);
+            PARTITION_MISSES.incr();
         }
     }
 
     pub(crate) fn record_core(&self, hit: bool) {
         if hit {
             self.core_hits.fetch_add(1, Ordering::Relaxed);
+            CORE_HITS.incr();
         } else {
             self.core_misses.fetch_add(1, Ordering::Relaxed);
+            CORE_MISSES.incr();
         }
     }
 

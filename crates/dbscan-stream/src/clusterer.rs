@@ -14,6 +14,23 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Instant;
 use unionfind::DynamicUnionFind;
 
+/// Process-wide registry mirrors of the per-batch [`UpdateStats`] fields
+/// (which remain the per-call view; both are written on the single path at
+/// the end of [`StreamingClusterer::apply`]).
+static STREAM_APPLIES: obs::LazyCounter = obs::LazyCounter::new("dbscan_stream_applies_total");
+static STREAM_CELLS_TOUCHED: obs::LazyCounter =
+    obs::LazyCounter::new("dbscan_stream_cells_touched_total");
+static STREAM_RESCANNED: obs::LazyCounter =
+    obs::LazyCounter::new("dbscan_stream_points_rescanned_total");
+static STREAM_REFLAGGED: obs::LazyCounter =
+    obs::LazyCounter::new("dbscan_stream_points_reflagged_total");
+static STREAM_CONNECTIVITY: obs::LazyCounter =
+    obs::LazyCounter::new("dbscan_stream_connectivity_queries_total");
+static STREAM_COMPACTIONS: obs::LazyCounter =
+    obs::LazyCounter::new("dbscan_stream_compactions_total");
+static APPLY_SECONDS: obs::LazyHistogram =
+    obs::LazyHistogram::new("dbscan_stream_apply_duration_seconds");
+
 /// A DBSCAN clustering maintained incrementally under point insertions and
 /// deletions.
 ///
@@ -232,6 +249,11 @@ impl<const D: usize> StreamingClusterer<D> {
                 return Err(StreamError::DuplicateDelete(id));
             }
         }
+
+        let _span = obs::Span::enter("stream", obs::phase::APPLY)
+            .eps(self.params.eps)
+            .min_pts(self.params.min_pts)
+            .n(batch.len());
 
         let mut stats = UpdateStats {
             inserted: batch.inserts.len(),
@@ -481,10 +503,17 @@ impl<const D: usize> StreamingClusterer<D> {
         if self.overlay.needs_compaction() {
             self.overlay.compact();
             stats.compacted = true;
+            STREAM_COMPACTIONS.incr();
         }
 
         self.cell_scratch = scratch;
         stats.elapsed = start.elapsed();
+        STREAM_APPLIES.incr();
+        STREAM_CELLS_TOUCHED.add(stats.cells_touched as u64);
+        STREAM_RESCANNED.add(stats.points_rescanned as u64);
+        STREAM_REFLAGGED.add(stats.points_reflagged as u64);
+        STREAM_CONNECTIVITY.add(stats.connectivity_queries as u64);
+        APPLY_SECONDS.observe(stats.elapsed);
         Ok(stats)
     }
 

@@ -8,8 +8,9 @@
 //! session, not the source code, decides the dimension), the whole
 //! ε × minPts grid runs as a single [`ClusterSession::sweep`] (each ε's
 //! cell partition is built once and shared across all minPts values), and
-//! the printed per-query stats plus the final cache hit rates make the
-//! reuse visible instead of taking it on faith.
+//! the printed per-query stats plus the final [`ClusterSession::metrics`]
+//! readout — the process-wide observability registry, opted into via
+//! `DBSCAN_OBS` — make the reuse visible instead of taking it on faith.
 //!
 //! Optionally reads a CSV of points (one comma-separated row per point, any
 //! dimension from 2 to 8); otherwise generates a variable-density 2D
@@ -75,6 +76,13 @@ fn load_cloud() -> PointCloud {
 }
 
 fn main() {
+    // Opt this process into the metrics registry (the mode is read once, at
+    // the first instrumented call, so it must be set before any query). An
+    // explicit DBSCAN_OBS from the caller wins.
+    if std::env::var_os("DBSCAN_OBS").is_none() {
+        std::env::set_var("DBSCAN_OBS", "counters");
+    }
+
     let cloud = load_cloud();
     let (n, dim) = (cloud.len(), cloud.dim());
     println!("exploring DBSCAN parameters over {n} points of dimension {dim}\n");
@@ -113,15 +121,22 @@ fn main() {
         );
     }
 
-    let stats = session.cache_stats();
+    // The same accounting, read back through the observability registry
+    // (`ClusterSession::metrics` is a snapshot of the process-wide counters
+    // every layer records under DBSCAN_OBS — here it has exactly this
+    // session in it).
+    let report = session.metrics();
+    let counter = |name: &str| report.counter(name).unwrap_or(0);
+    let builds = counter("dbscan_partition_cache_misses_total");
+    let hits = counter("dbscan_partition_cache_hits_total");
     println!(
         "\nsweep of {} queries in {:.1} ms: {} partition builds (one per eps — a one-shot \
          loop would have done {}), partition cache hit rate {:.0}%",
         grid.len(),
         sweep_time.as_secs_f64() * 1e3,
-        stats.partition_misses,
+        builds,
         grid.len(),
-        stats.partition_hit_rate() * 100.0,
+        100.0 * hits as f64 / (hits + builds).max(1) as f64,
     );
 
     // A second look at the whole grid, through the quadtree variant this
@@ -151,6 +166,24 @@ fn main() {
         stats.partition_hit_rate() * 100.0,
         stats.core_hit_rate() * 100.0,
     );
+
+    // Everything above came from per-query stats; the registry also carries
+    // what those cannot show — kernel-level work counters, the query-latency
+    // histogram, and the worker-pool profile — in Prometheus text format,
+    // ready for scraping.
+    let report = session.metrics();
+    if let Some(h) = report.histogram("dbscan_query_duration_seconds") {
+        println!(
+            "\nregistry: {} one-shot queries through the engine, {} kernel blocks, \
+             {} BCP witness scans",
+            h.count,
+            report.counter("dbscan_kernel_blocks_total").unwrap_or(0),
+            report.counter("dbscan_bcp_queries_total").unwrap_or(0),
+        );
+    }
+    println!("\n--- session.metrics().to_prometheus() ---");
+    print!("{}", report.to_prometheus());
+    println!("-----------------------------------------");
 
     println!(
         "\nReading the table: very small eps (or very large minPts) pushes everything to noise;\n\

@@ -105,6 +105,12 @@ pub use dbscan_stream as stream;
 /// advanced statically-typed interface behind [`cluster`].
 pub use pardbscan;
 
+/// The observability substrate behind [`ClusterSession::metrics`] and
+/// [`ClusterSession::take_trace`] — re-exported so downstream users can name
+/// its types (reports, span records, phase constants) without a direct
+/// dependency.
+pub use obs;
+
 /// One-shot exact DBSCAN over a runtime-dimension point cloud: the
 /// dimension-erased counterpart of [`pardbscan::dbscan`], dispatched
 /// through the core crate's sealed [`pardbscan::ErasedPipeline`] jump

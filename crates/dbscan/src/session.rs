@@ -202,6 +202,10 @@ impl ClusterSession {
         params: DbscanParams,
         variant: VariantConfig,
     ) -> Result<QueryOutcome, Error> {
+        let _span = obs::Span::enter("session", obs::phase::QUERY)
+            .eps(params.eps)
+            .min_pts(params.min_pts)
+            .n(self.num_points());
         self.inner.query(params, variant)
     }
 
@@ -220,6 +224,8 @@ impl ClusterSession {
         min_pts_grid: &[usize],
         variant: VariantConfig,
     ) -> Result<Vec<SweepCell>, Error> {
+        let _span =
+            obs::Span::enter("session", obs::phase::SWEEP).n(eps_grid.len() * min_pts_grid.len());
         self.inner.sweep(eps_grid, min_pts_grid, variant)
     }
 
@@ -227,6 +233,33 @@ impl ClusterSession {
     /// last streaming handle froze back, which re-indexes).
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.cache_stats()
+    }
+
+    /// A point-in-time snapshot of the **process-wide** metrics registry:
+    /// cache hit/miss counters, kernel and BCP work counters, streaming
+    /// maintenance counters, query/apply duration histograms, and the
+    /// worker-pool profile — everything the workspace records under the
+    /// `DBSCAN_OBS` observability mode (see the [`obs`] crate docs).
+    ///
+    /// Unlike [`ClusterSession::cache_stats`], which counts this session's
+    /// snapshot only, the registry accumulates across every session, engine
+    /// and streaming path in the process since start. Empty when
+    /// `DBSCAN_OBS=off`. Render it with
+    /// [`obs::MetricsReport::to_prometheus`] for scraping.
+    pub fn metrics(&self) -> obs::MetricsReport {
+        obs::snapshot()
+    }
+
+    /// Drains and returns the recorded trace spans (phase-level timings with
+    /// ε, minPts, point counts and thread ids), oldest first.
+    ///
+    /// Spans are recorded only under `DBSCAN_OBS=trace` and land in one
+    /// **process-wide** ring buffer shared by every session; draining here
+    /// empties it for all readers. The ring keeps the most recent
+    /// [`obs::RING_CAPACITY`] spans — check [`obs::trace_dropped`] to see
+    /// whether older ones were overwritten.
+    pub fn take_trace(&self) -> Vec<obs::SpanRecord> {
+        obs::take_trace()
     }
 
     /// Switches the session into streaming mode under `params` and returns
@@ -279,6 +312,7 @@ impl UpdateHandle<'_> {
                 got: inserts.dim(),
             });
         }
+        let _span = obs::Span::enter("session", obs::phase::APPLY).n(inserts.len() + deletes.len());
         self.session.inner.apply(inserts.coords(), deletes)
     }
 

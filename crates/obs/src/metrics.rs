@@ -1,0 +1,492 @@
+//! The metrics registry: named atomic counters, gauges, fixed-bucket
+//! duration histograms, info labels, and callback gauges, with a typed
+//! snapshot and a Prometheus text-exposition exporter.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in nanoseconds: 1µs … 10s in powers of ten,
+/// plus the implicit `+Inf` bucket. Durations in this workspace span
+/// sub-microsecond kernel blocks to multi-second paper-scale queries.
+const BUCKET_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// A monotonically increasing named counter.
+///
+/// Handles are `&'static` and live in the registry; obtain one through
+/// [`LazyCounter`] (the cheap, recommended path for hot call sites).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter. Not gated on the observability mode — gating
+    /// happens in [`LazyCounter::add`], which skips registry access entirely
+    /// when `DBSCAN_OBS=off`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named gauge: a value that can go up and down (pool sizes, high-water
+/// marks).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (atomic max — for peaks).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket duration histogram (bounds: 1µs … 10s in powers of ten,
+/// plus `+Inf`), tracking per-bucket counts, total count, and summed
+/// duration.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_NS.len()],
+    /// Observations above the last bound (the `+Inf` bucket).
+    overflow: AtomicU64,
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Default::default(),
+            overflow: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn observe(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        match BUCKET_BOUNDS_NS.iter().position(|&b| ns <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let mut cumulative = 0;
+        let mut buckets = Vec::with_capacity(BUCKET_BOUNDS_NS.len());
+        for (i, bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            buckets.push((*bound as f64 / 1e9, cumulative));
+        }
+        HistogramSnapshot {
+            name: name.to_string(),
+            buckets,
+            sum_seconds: self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            count: cumulative + self.overflow.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of one [`Histogram`], as captured by [`snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registry name of the histogram.
+    pub name: String,
+    /// `(upper_bound_seconds, cumulative_count)` per bucket, ascending; the
+    /// implicit `+Inf` bucket is [`HistogramSnapshot::count`].
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of all observed durations, in seconds.
+    pub sum_seconds: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
+    Histogram(&'static Histogram),
+    Info(String),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn with_registry<T>(f: impl FnOnce(&mut BTreeMap<&'static str, Metric>) -> T) -> T {
+    f(&mut registry().lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Register (or look up) the counter named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+fn counter(name: &'static str) -> &'static Counter {
+    with_registry(|reg| {
+        match reg
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Box::leak(Box::default())))
+        {
+            Metric::Counter(c) => *c,
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    })
+}
+
+fn gauge(name: &'static str) -> &'static Gauge {
+    with_registry(|reg| {
+        match reg
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Box::leak(Box::default())))
+        {
+            Metric::Gauge(g) => *g,
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    })
+}
+
+fn histogram(name: &'static str) -> &'static Histogram {
+    with_registry(|reg| {
+        match reg
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::default())))
+        {
+            Metric::Histogram(h) => *h,
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    })
+}
+
+/// Register a callback gauge: `f` is evaluated at every [`snapshot`], so
+/// subsystems that keep their own counters (e.g. the worker pool) can expose
+/// them without double accounting. Re-registering a name replaces the
+/// callback. No-op when `DBSCAN_OBS=off`.
+pub fn register_gauge_fn(name: &'static str, f: impl Fn() -> i64 + Send + Sync + 'static) {
+    if !crate::counters_enabled() {
+        return;
+    }
+    with_registry(|reg| {
+        reg.insert(name, Metric::GaugeFn(Box::new(f)));
+    });
+}
+
+/// Set an info label: a string-valued pseudo-metric (e.g. the active SIMD
+/// backend), exported as `name{value="…"} 1`. No-op when `DBSCAN_OBS=off`.
+pub fn set_info(name: &'static str, value: &str) {
+    if !crate::counters_enabled() {
+        return;
+    }
+    with_registry(|reg| {
+        reg.insert(name, Metric::Info(value.to_string()));
+    });
+}
+
+/// A counter handle for hot call sites: a `const`-constructible static that
+/// resolves its registry entry once and gates every update on the
+/// observability mode.
+///
+/// ```
+/// static BLOCKS: obs::LazyCounter = obs::LazyCounter::new("dbscan_kernel_blocks_total");
+/// BLOCKS.add(3);
+/// ```
+pub struct LazyCounter {
+    name: &'static str,
+    slot: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// A handle for the counter named `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Resolve the underlying registry counter.
+    pub fn get(&self) -> &'static Counter {
+        self.slot.get_or_init(|| counter(self.name))
+    }
+
+    /// Add `n`, unless `DBSCAN_OBS=off` (then nothing is registered or
+    /// recorded).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::counters_enabled() {
+            self.get().add(n);
+        }
+    }
+
+    /// Add 1 (same gating as [`LazyCounter::add`]).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// A gauge handle for hot call sites; see [`LazyCounter`].
+pub struct LazyGauge {
+    name: &'static str,
+    slot: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    /// A handle for the gauge named `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        LazyGauge {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Resolve the underlying registry gauge.
+    pub fn get(&self) -> &'static Gauge {
+        self.slot.get_or_init(|| gauge(self.name))
+    }
+
+    /// Set the gauge, unless `DBSCAN_OBS=off`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::counters_enabled() {
+            self.get().set(v);
+        }
+    }
+
+    /// Raise the gauge to `v` if larger, unless `DBSCAN_OBS=off`.
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        if crate::counters_enabled() {
+            self.get().set_max(v);
+        }
+    }
+}
+
+/// A histogram handle for hot call sites; see [`LazyCounter`].
+pub struct LazyHistogram {
+    name: &'static str,
+    slot: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// A handle for the histogram named `name` (registered on first use).
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Resolve the underlying registry histogram.
+    pub fn get(&self) -> &'static Histogram {
+        self.slot.get_or_init(|| histogram(self.name))
+    }
+
+    /// Record a duration, unless `DBSCAN_OBS=off`.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        if crate::counters_enabled() {
+            self.get().observe(d);
+        }
+    }
+}
+
+/// Point-in-time view of the whole registry, sorted by metric name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge, including callback gauges
+    /// (evaluated at snapshot time).
+    pub gauges: Vec<(String, i64)>,
+    /// One snapshot per registered histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// `(name, value)` for every info label.
+    pub infos: Vec<(String, String)>,
+}
+
+impl MetricsReport {
+    /// Value of the counter named `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge named `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Snapshot of the histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Value of the info label named `name`, if registered.
+    pub fn info(&self, name: &str) -> Option<&str> {
+        self.infos
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Render the report in Prometheus text exposition format (version
+    /// 0.0.4): `# TYPE` lines, `_bucket{le=…}`/`_sum`/`_count` series for
+    /// histograms, and info labels as `name{value="…"} 1`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        for h in &self.histograms {
+            let name = &h.name;
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (bound, cumulative) in &h.buckets {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum_seconds);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        for (name, value) in &self.infos {
+            let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name}{{value=\"{escaped}\"}} 1");
+        }
+        out
+    }
+}
+
+/// Capture the current state of every registered metric.
+///
+/// Registry values are cumulative for the life of the process (unlike the
+/// per-session `CacheStats` views); diff two snapshots to scope a
+/// measurement. Under `DBSCAN_OBS=off` nothing ever registers, so the report
+/// is empty.
+pub fn snapshot() -> MetricsReport {
+    with_registry(|reg| {
+        let mut report = MetricsReport::default();
+        for (name, metric) in reg.iter() {
+            match metric {
+                Metric::Counter(c) => report.counters.push((name.to_string(), c.value())),
+                Metric::Gauge(g) => report.gauges.push((name.to_string(), g.value())),
+                Metric::GaugeFn(f) => report.gauges.push((name.to_string(), f())),
+                Metric::Histogram(h) => report.histograms.push(h.snapshot(name)),
+                Metric::Info(v) => report.infos.push((name.to_string(), v.clone())),
+            }
+        }
+        report
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        static C: LazyCounter = LazyCounter::new("obs_test_counter_total");
+        let before = snapshot().counter("obs_test_counter_total").unwrap_or(0);
+        C.add(2);
+        C.incr();
+        let after = snapshot().counter("obs_test_counter_total").unwrap();
+        assert_eq!(after - before, 3);
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        static G: LazyGauge = LazyGauge::new("obs_test_gauge");
+        G.set(7);
+        G.set_max(3);
+        assert_eq!(snapshot().gauge("obs_test_gauge"), Some(7));
+        G.set_max(11);
+        assert_eq!(snapshot().gauge("obs_test_gauge"), Some(11));
+    }
+
+    #[test]
+    fn gauge_fn_evaluates_at_snapshot_time() {
+        use std::sync::atomic::AtomicI64;
+        static V: AtomicI64 = AtomicI64::new(0);
+        register_gauge_fn("obs_test_gauge_fn", || V.load(Ordering::Relaxed));
+        V.store(5, Ordering::Relaxed);
+        assert_eq!(snapshot().gauge("obs_test_gauge_fn"), Some(5));
+        V.store(9, Ordering::Relaxed);
+        assert_eq!(snapshot().gauge("obs_test_gauge_fn"), Some(9));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        static H: LazyHistogram = LazyHistogram::new("obs_test_hist_seconds");
+        H.observe(Duration::from_nanos(500)); // <= 1µs bucket
+        H.observe(Duration::from_micros(5)); // <= 10µs bucket
+        H.observe(Duration::from_secs(60)); // +Inf bucket
+        let snap = snapshot();
+        let h = snap.histogram("obs_test_hist_seconds").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0], (1e-6, 1));
+        assert_eq!(h.buckets[1], (1e-5, 2));
+        assert_eq!(h.buckets.last().unwrap().1, 2);
+        assert!((h.sum_seconds - 60.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn info_labels_round_trip() {
+        set_info("obs_test_info", "scalar");
+        assert_eq!(snapshot().info("obs_test_info"), Some("scalar"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        static C: LazyCounter = LazyCounter::new("obs_test_prom_total");
+        static H: LazyHistogram = LazyHistogram::new("obs_test_prom_seconds");
+        C.incr();
+        H.observe(Duration::from_millis(2));
+        set_info("obs_test_prom_info", "avx2+fma");
+        let text = snapshot().to_prometheus();
+        assert!(text.contains("# TYPE obs_test_prom_total counter"));
+        assert!(text.contains("# TYPE obs_test_prom_seconds histogram"));
+        assert!(text.contains("obs_test_prom_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("obs_test_prom_seconds_count 1"));
+        assert!(text.contains("obs_test_prom_info{value=\"avx2+fma\"} 1"));
+    }
+}

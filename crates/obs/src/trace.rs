@@ -1,0 +1,222 @@
+//! Structured span tracing: RAII guards and the process-wide ring buffer.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Capacity of the process-wide span ring buffer. Oldest records are
+/// overwritten once full; [`trace_dropped`] counts the casualties.
+pub const RING_CAPACITY: usize = 8192;
+
+/// One completed span: a phase of work on one clustering path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Which layer emitted the span: `"core"`, `"engine"`, `"stream"`, or
+    /// `"session"`.
+    pub path: &'static str,
+    /// Phase name — one of the [`crate::phase`] constants.
+    pub phase: &'static str,
+    /// The ε the phase ran under, or `NaN` when not applicable.
+    pub eps: f64,
+    /// The minPts the phase ran under, or 0 when not applicable.
+    pub min_pts: usize,
+    /// Problem size the phase saw (points, pairs, or batch updates —
+    /// whatever the instrumented site counts its work in).
+    pub n: usize,
+    /// Wall-clock duration from guard construction to drop.
+    pub duration: Duration,
+    /// Process-unique id of the recording thread ([`crate::thread_id`]).
+    pub thread: u64,
+}
+
+struct Ring {
+    buf: Vec<SpanRecord>,
+    /// Index of the oldest record when `buf` is full.
+    start: usize,
+    dropped: u64,
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring {
+    buf: Vec::new(),
+    start: 0,
+    dropped: 0,
+});
+
+fn ring() -> std::sync::MutexGuard<'static, Ring> {
+    // A panic while holding the lock can only happen on OOM pushing into
+    // `buf`; the ring contents stay structurally valid either way.
+    RING.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn record(rec: SpanRecord) {
+    let mut ring = ring();
+    if ring.buf.len() < RING_CAPACITY {
+        ring.buf.push(rec);
+    } else {
+        let start = ring.start;
+        ring.buf[start] = rec;
+        ring.start = (start + 1) % RING_CAPACITY;
+        ring.dropped += 1;
+    }
+}
+
+/// Drain every recorded span, oldest first, leaving the buffer empty.
+///
+/// Spans only record under `DBSCAN_OBS=trace`; in other modes this always
+/// returns an empty vector.
+pub fn take_trace() -> Vec<SpanRecord> {
+    let mut ring = ring();
+    let start = ring.start;
+    ring.start = 0;
+    let mut buf = std::mem::take(&mut ring.buf);
+    buf.rotate_left(start);
+    buf
+}
+
+/// Number of spans currently buffered (capped at the ring capacity).
+pub fn trace_len() -> usize {
+    ring().buf.len()
+}
+
+/// Total spans overwritten because the ring buffer was full.
+pub fn trace_dropped() -> u64 {
+    ring().dropped
+}
+
+struct ActiveSpan {
+    path: &'static str,
+    phase: &'static str,
+    eps: f64,
+    min_pts: usize,
+    n: usize,
+    start: Instant,
+}
+
+/// RAII span guard: times the enclosing scope and records a [`SpanRecord`]
+/// on drop. When tracing is disabled ([`crate::trace_enabled`] is false) the
+/// guard is inert — construction takes one atomic load and drop does
+/// nothing.
+///
+/// ```
+/// let _span = obs::Span::enter("core", obs::phase::MARK_CORE)
+///     .eps(0.5)
+///     .min_pts(10)
+///     .n(100_000);
+/// // ... phase work; the span records when `_span` drops ...
+/// ```
+#[must_use = "a span records the time until it is dropped; binding it to _ drops it immediately"]
+pub struct Span(Option<ActiveSpan>);
+
+impl Span {
+    /// Start a span on `path` (the emitting layer) for `phase` (one of
+    /// [`crate::phase`]). No-op unless `DBSCAN_OBS=trace`.
+    pub fn enter(path: &'static str, phase: &'static str) -> Span {
+        if !crate::trace_enabled() {
+            return Span(None);
+        }
+        Span(Some(ActiveSpan {
+            path,
+            phase,
+            eps: f64::NAN,
+            min_pts: 0,
+            n: 0,
+            start: Instant::now(),
+        }))
+    }
+
+    /// Attach the ε this phase runs under.
+    pub fn eps(mut self, eps: f64) -> Span {
+        if let Some(a) = self.0.as_mut() {
+            a.eps = eps;
+        }
+        self
+    }
+
+    /// Attach the minPts this phase runs under.
+    pub fn min_pts(mut self, min_pts: usize) -> Span {
+        if let Some(a) = self.0.as_mut() {
+            a.min_pts = min_pts;
+        }
+        self
+    }
+
+    /// Attach the problem size this phase saw.
+    pub fn n(mut self, n: usize) -> Span {
+        if let Some(a) = self.0.as_mut() {
+            a.n = n;
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            record(SpanRecord {
+                path: a.path,
+                phase: a.phase,
+                eps: a.eps,
+                min_pts: a.min_pts,
+                n: a.n,
+                duration: a.start.elapsed(),
+                thread: crate::thread_id(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ring is process-wide; serialize the tests that drain it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn rec(n: usize) -> SpanRecord {
+        SpanRecord {
+            path: "core",
+            phase: crate::phase::MARK_CORE,
+            eps: 1.0,
+            min_pts: 2,
+            n,
+            duration: Duration::from_micros(n as u64),
+            thread: crate::thread_id(),
+        }
+    }
+
+    #[test]
+    fn ring_drains_in_order_and_overwrites_oldest() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let _ = take_trace();
+        for i in 0..3 {
+            record(rec(i));
+        }
+        let got = take_trace();
+        assert_eq!(got.iter().map(|r| r.n).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(trace_len(), 0);
+
+        let dropped_before = trace_dropped();
+        for i in 0..RING_CAPACITY + 5 {
+            record(rec(i));
+        }
+        let got = take_trace();
+        assert_eq!(got.len(), RING_CAPACITY);
+        assert_eq!(got.first().unwrap().n, 5);
+        assert_eq!(got.last().unwrap().n, RING_CAPACITY + 4);
+        assert_eq!(trace_dropped() - dropped_before, 5);
+    }
+
+    #[test]
+    fn span_guard_is_inert_when_tracing_disabled() {
+        // The test process does not set DBSCAN_OBS=trace (mode defaults to
+        // counters), so guards must record nothing.
+        let _guard = TEST_LOCK.lock().unwrap();
+        let _ = take_trace();
+        {
+            let _span = Span::enter("core", crate::phase::PARTITION)
+                .eps(0.1)
+                .min_pts(5)
+                .n(42);
+        }
+        assert_eq!(trace_len(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Invariant tests for `DBSCAN_OBS=trace`: spans record with sane phase
+//! accounting, and the registry's cache counters stay in lock-step with the
+//! engine's per-snapshot `CacheStats`.
+//!
+//! Own-process integration binary (same pattern as `force_scalar.rs`): the
+//! mode is read once per process, so the variable must be set before the
+//! first instrumented call. Keep this file single-test.
+
+use dbscan::{ClusterSession, Params, PointCloud, VariantConfig};
+use std::time::Duration;
+
+#[test]
+fn trace_spans_and_registry_agree_with_query_stats() {
+    std::env::set_var("DBSCAN_OBS", "trace");
+    assert_eq!(obs::mode(), obs::ObsMode::Trace);
+
+    let rows: Vec<[f64; 2]> = (0..500)
+        .map(|i| [0.05 * (i % 100) as f64, 0.02 * (i / 100) as f64])
+        .collect();
+    let session = ClusterSession::ingest(PointCloud::from_rows(&rows).unwrap()).unwrap();
+    let params = Params::new(0.2, 3);
+
+    // --- Invariant 1: per-phase span durations sum to at most the query's
+    // end-to-end wall time (the phases run sequentially inside it).
+    let _ = session.take_trace(); // start from an empty ring
+    let query_report_before = session.metrics();
+    let outcome = session.query(params, VariantConfig::exact()).unwrap();
+    let query_report_after = session.metrics();
+    assert_eq!(outcome.stats.variant, "our-exact");
+    let trace = session.take_trace();
+    assert!(!trace.is_empty(), "trace mode must record spans");
+
+    let phase_names = [
+        obs::phase::PARTITION,
+        obs::phase::MARK_CORE,
+        obs::phase::CLUSTER_CORE,
+        obs::phase::CLUSTER_BORDER,
+    ];
+    let core_spans: Vec<_> = trace.iter().filter(|s| s.path == "core").collect();
+    assert!(
+        !core_spans.is_empty(),
+        "a fresh-ε query runs the core phases"
+    );
+    for span in &core_spans {
+        assert!(
+            phase_names.contains(&span.phase)
+                || span.phase == obs::phase::MARK_CORE_REGION
+                || span.phase == obs::phase::CONNECT_REGION,
+            "unexpected core phase {:?}",
+            span.phase
+        );
+    }
+    let phase_sum: Duration = core_spans
+        .iter()
+        .filter(|s| phase_names.contains(&s.phase))
+        .map(|s| s.duration)
+        .sum();
+    assert!(
+        phase_sum <= outcome.stats.total_time,
+        "phase spans ({phase_sum:?}) exceed the query's total_time ({:?})",
+        outcome.stats.total_time
+    );
+
+    // The dispatch layers wrapped the same work: one session-level and one
+    // engine-level query span, each covering at least the core phases.
+    assert_eq!(
+        trace.iter().filter(|s| s.path == "session").count(),
+        1,
+        "one facade dispatch span"
+    );
+    assert_eq!(
+        trace.iter().filter(|s| s.path == "engine").count(),
+        1,
+        "one engine query span"
+    );
+
+    // --- Invariant 2: after a scripted sweep, the registry's cache-counter
+    // deltas equal the per-snapshot CacheStats deltas (single write path).
+    let before_report = session.metrics();
+    let before_stats = session.cache_stats();
+    let grid = session.sweep(&[0.2, 0.3], &[3, 5]).unwrap();
+    assert_eq!(grid.len(), 4);
+    let after_report = session.metrics();
+    let after_stats = session.cache_stats();
+
+    let registry_delta = |name: &str| -> usize {
+        (after_report.counter(name).unwrap_or(0) - before_report.counter(name).unwrap_or(0))
+            as usize
+    };
+    assert_eq!(
+        registry_delta("dbscan_partition_cache_hits_total"),
+        after_stats.partition_hits - before_stats.partition_hits
+    );
+    assert_eq!(
+        registry_delta("dbscan_partition_cache_misses_total"),
+        after_stats.partition_misses - before_stats.partition_misses
+    );
+    assert_eq!(
+        registry_delta("dbscan_core_cache_hits_total"),
+        after_stats.core_hits - before_stats.core_hits
+    );
+    assert_eq!(
+        registry_delta("dbscan_core_cache_misses_total"),
+        after_stats.core_misses - before_stats.core_misses
+    );
+
+    // The query-duration histogram counted the one-shot query above exactly
+    // once. (Sweeps dispatch cells through their own batched path, so they
+    // do not observe this histogram — only `query_variant` calls do.)
+    let before_count = query_report_before
+        .histogram("dbscan_query_duration_seconds")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    let after_count = query_report_after
+        .histogram("dbscan_query_duration_seconds")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    assert_eq!(after_count - before_count, 1);
+}
