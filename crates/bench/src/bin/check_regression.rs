@@ -1,0 +1,113 @@
+//! CI gate: compare a freshly produced `BENCH_*.json` against its committed
+//! baseline and fail on metric regressions.
+//!
+//! ```text
+//! cargo run --release -p bench --bin check_regression -- \
+//!     --baseline ci/baselines/BENCH_hotpath_smoke.json \
+//!     --current BENCH_hotpath.json \
+//!     [--tol-scale X] [--require-coverage] [--self-test]
+//! ```
+//!
+//! The comparison logic lives in [`bench::regress`]; see its module docs for
+//! the band/sanity/coverage policy. `--tol-scale` multiplies every tolerance
+//! band (CI uses a widened scale on shared runners); `--require-coverage`
+//! additionally fails when a baseline row is missing from the current
+//! document (the smoke legs use it, the scaled weekly runs cannot).
+//!
+//! `--self-test` is the gate's negative control: it ignores `--current`,
+//! degrades one banded metric of the baseline by 1000× in memory, compares
+//! the baseline against that copy, and exits 0 **iff the gate fires**. The
+//! context always matches (same document), so this proves on every runner —
+//! including ones whose core count disables the real bands — that a genuine
+//! regression would not pass silently.
+//!
+//! Exit codes: 0 pass, 1 gate violation (or, under `--self-test`, gate
+//! failed to fire), 2 usage/IO/parse error.
+
+use bench::jsonv::{parse, Value};
+use bench::regress::{compare, degrade_for_self_test, CompareOptions, GateReport};
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn print_report(report: &GateReport) {
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    for violation in &report.violations {
+        println!("VIOLATION: {violation}");
+    }
+    println!(
+        "check_regression [{}]: {} band check(s), {} sanity check(s), {} violation(s)",
+        report.figure,
+        report.bands_checked,
+        report.sanity_checked,
+        report.violations.len()
+    );
+}
+
+fn main() {
+    let baseline_path = bench::arg_value("--baseline");
+    let current_path = bench::arg_value("--current");
+    let self_test = std::env::args().any(|a| a == "--self-test");
+    let opts = CompareOptions {
+        tol_scale: bench::arg_value("--tol-scale")
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(1.0)
+            .max(0.01),
+        require_coverage: std::env::args().any(|a| a == "--require-coverage"),
+    };
+
+    let Some(baseline_path) = baseline_path else {
+        eprintln!(
+            "usage: check_regression --baseline BASE.json --current CUR.json \
+             [--tol-scale X] [--require-coverage] [--self-test]"
+        );
+        std::process::exit(2);
+    };
+    let baseline = match load(&baseline_path) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("check_regression: {err}");
+            std::process::exit(2);
+        }
+    };
+
+    if self_test {
+        let mut degraded = baseline.clone();
+        let Some(what) = degrade_for_self_test(&mut degraded) else {
+            eprintln!(
+                "check_regression --self-test: no banded metric to degrade in {baseline_path}"
+            );
+            std::process::exit(2);
+        };
+        println!("self-test: {what}");
+        let report = compare(&baseline, &degraded, &opts);
+        print_report(&report);
+        if report.passed() {
+            println!("self-test FAILED: the gate did not fire on a 1000x degradation");
+            std::process::exit(1);
+        }
+        println!("self-test passed: the gate fires on a degraded document");
+        return;
+    }
+
+    let Some(current_path) = current_path else {
+        eprintln!("check_regression: --current is required (or use --self-test)");
+        std::process::exit(2);
+    };
+    let current = match load(&current_path) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("check_regression: {err}");
+            std::process::exit(2);
+        }
+    };
+    let report = compare(&baseline, &current, &opts);
+    print_report(&report);
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

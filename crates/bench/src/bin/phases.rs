@@ -25,12 +25,17 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin phases -- \
-//!     [--scale S] [--reps R] [--smoke] [--json PATH] [--skip-overhead]
+//!     [--scale S] [--reps R] [--smoke] [--json PATH] [--skip-overhead] \
+//!     [--trace-out PATH]
 //! ```
 //!
 //! `--smoke` shrinks to one tiny point count with one rep; `--skip-overhead`
 //! drops the subprocess re-exec (the overhead object then reports zeros and
-//! `measured: false`).
+//! `measured: false`). `--trace-out PATH` (or the `DBSCAN_TRACE_OUT`
+//! environment variable) drains the span ring into a Chrome trace-event
+//! JSON at the end of the run — load it in `chrome://tracing` or Perfetto
+//! to see the phase timeline per thread. Requires `DBSCAN_OBS=trace`,
+//! otherwise the ring is empty and a notice is printed instead.
 
 use bench::*;
 use pardbscan::pipeline::SpatialIndex;
@@ -291,6 +296,27 @@ fn main() {
         match std::fs::write(&json_path, &json) {
             Ok(()) => println!("# wrote {json_path}"),
             Err(err) => eprintln!("# failed to write {json_path}: {err}"),
+        }
+    }
+
+    // `DBSCAN_TRACE_OUT` is intentionally not read here: obs's own exit
+    // writer owns that path (draining the ring for it from this side would
+    // leave the exit writer an empty ring to overwrite the file with).
+    if let Some(path) = arg_value("--trace-out").map(std::path::PathBuf::from) {
+        if obs::trace_enabled() {
+            let spans = obs::take_trace();
+            let dropped = obs::trace_dropped();
+            let trace = obs::export::chrome_trace(&spans);
+            match std::fs::write(&path, &trace) {
+                Ok(()) => println!(
+                    "# wrote {} ({} spans, {dropped} dropped by the ring)",
+                    path.display(),
+                    spans.len()
+                ),
+                Err(err) => eprintln!("# failed to write {}: {err}", path.display()),
+            }
+        } else {
+            eprintln!("# --trace-out ignored: span recording is off (run with DBSCAN_OBS=trace)");
         }
     }
 }

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod jsonv;
+pub mod regress;
 pub mod schema;
 pub mod trend;
 

@@ -19,7 +19,7 @@
 
 mod pool;
 
-pub use pool::{pool_stats, PoolStats, WorkerProfile};
+pub use pool::{pool_busy_nanos, pool_stats, pool_threads, PoolStats, WorkerProfile};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};

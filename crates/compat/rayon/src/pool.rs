@@ -98,8 +98,23 @@ fn ensure_workers() {
         // Surface the pool through the metrics registry: the aggregate
         // counters are evaluated lazily at snapshot time, so the hot path
         // pays nothing beyond the workers' own relaxed stores.
-        static POOL_PEAK: obs::LazyGauge = obs::LazyGauge::new("dbscan_pool_workers_peak");
+        static POOL_PEAK: obs::LazyGauge = obs::LazyGauge::with_help(
+            "dbscan_pool_workers_peak",
+            "Largest worker count the persistent pool has reached",
+        );
         POOL_PEAK.set_max(count as i64);
+        obs::describe(
+            "dbscan_pool_tasks_total",
+            "Jobs completed by the worker pool",
+        );
+        obs::describe(
+            "dbscan_pool_busy_nanos_total",
+            "Cumulative nanoseconds pool workers spent running jobs",
+        );
+        obs::describe(
+            "dbscan_pool_idle_nanos_total",
+            "Cumulative nanoseconds pool workers spent waiting for work",
+        );
         obs::register_gauge_fn("dbscan_pool_tasks_total", || {
             worker_counters()
                 .iter()
@@ -207,6 +222,26 @@ pub fn pool_stats() -> PoolStats {
         workers,
         started,
     }
+}
+
+/// Allocation-free sample of the pool's cumulative busy nanoseconds summed
+/// across workers — the scoped-delta primitive `obs::OpScope` brackets
+/// operations with (sample before and after, subtract). Returns 0 until the
+/// pool starts, so deltas stay correct across the pool's lazy spawn.
+pub fn pool_busy_nanos() -> u64 {
+    if STARTED.get().is_none() {
+        return 0;
+    }
+    worker_counters()
+        .iter()
+        .map(|c| c.busy_ns.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Parallelism available to a pool-backed operation: the pool's worker
+/// count plus the calling thread, which always works alongside the pool.
+pub fn pool_threads() -> usize {
+    crate::pool_worker_count() + 1
 }
 
 /// Completion latch of one scope: outstanding job count plus the first

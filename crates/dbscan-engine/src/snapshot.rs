@@ -218,6 +218,7 @@ impl<const D: usize> Snapshot<D> {
             total_time: start.elapsed(),
             num_cells: index.num_cells(),
             num_core_points: core.num_core_points(),
+            index_generation: generation,
         };
         Ok(QueryResult { clustering, stats })
     }
@@ -342,6 +343,7 @@ impl<const D: usize> Snapshot<D> {
                                 },
                             num_cells: index.num_cells(),
                             num_core_points: core.num_core_points(),
+                            index_generation: generation,
                         };
                         SweepCell {
                             eps,

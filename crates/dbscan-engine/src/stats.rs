@@ -39,6 +39,43 @@ pub struct QueryStats {
     pub num_cells: usize,
     /// Number of core points found.
     pub num_core_points: usize,
+    /// Generation number of the spatial index the query used — on a
+    /// partition cache hit, the build this query reused; on a miss, the
+    /// build this query performed. EXPLAIN reports it as the generation
+    /// that skipped the phase.
+    pub index_generation: u64,
+}
+
+impl std::fmt::Display for QueryStats {
+    /// One-line human summary: variant, parameters, cache outcomes, and
+    /// per-phase timings (cached phases print `hit` instead of a duration).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = |d: Duration| format!("{:.2}ms", d.as_secs_f64() * 1e3);
+        write!(
+            f,
+            "{} eps={} minPts={}: {} total (partition {}, mark_core {}, cluster_core {}, \
+             cluster_border {}), {} cells, {} core, index gen {}",
+            self.variant,
+            self.eps,
+            self.min_pts,
+            ms(self.total_time),
+            if self.partition_cache_hit {
+                "hit".to_string()
+            } else {
+                ms(self.partition_time)
+            },
+            if self.core_cache_hit {
+                "hit".to_string()
+            } else {
+                ms(self.mark_core_time)
+            },
+            ms(self.cluster_core_time),
+            ms(self.cluster_border_time),
+            self.num_cells,
+            self.num_core_points,
+            self.index_generation,
+        )
+    }
 }
 
 /// Cumulative cache counters of a [`crate::Snapshot`].

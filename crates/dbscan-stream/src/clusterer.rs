@@ -292,6 +292,7 @@ impl<const D: usize> StreamingClusterer<D> {
         // updates happened in step 1), so each cell's neighbour list is
         // computed once here and shared by every later step — the candidate
         // enumeration in 3D alone walks 342 keys per cell.
+        let step_start = Instant::now();
         let min_pts = self.params.min_pts;
         let mut nbr_memo: HashMap<usize, Vec<usize>> = HashMap::new();
         for &c in &touched {
@@ -322,6 +323,7 @@ impl<const D: usize> StreamingClusterer<D> {
             |c| overlay.live_points_of_cell(c),
             |c| memo[&c].clone(),
         );
+        stats.mark_core_region_time = step_start.elapsed();
 
         // Diff the flags: which cells gained core points, which lost them?
         // (`lost` already holds the deleted-core cells.)
@@ -392,6 +394,7 @@ impl<const D: usize> StreamingClusterer<D> {
         stats.connectivity_queries = candidates.len();
         let overlay = &self.overlay;
         let core = &self.core;
+        let step_start = Instant::now();
         let present: HashMap<(usize, usize), (usize, usize)> = connect_region(
             self.params.eps,
             &candidates,
@@ -407,6 +410,7 @@ impl<const D: usize> StreamingClusterer<D> {
         .into_iter()
         .map(|edge| (edge.cells, edge.witness))
         .collect();
+        stats.connect_region_time = step_start.elapsed();
 
         // Diff against the stored graph, symmetric updates on both sides.
         let mut removed_edges: Vec<(usize, usize)> = Vec::new();

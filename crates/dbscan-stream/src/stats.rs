@@ -78,6 +78,12 @@ pub struct UpdateStats {
     /// Whether the overlay compacted (re-semisorted its base) after this
     /// batch.
     pub compacted: bool,
+    /// Wall time of the localized MarkCore pass over the dirty region
+    /// (step 2 — the `mark_core_region` phase).
+    pub mark_core_region_time: Duration,
+    /// Wall time of the BCP re-connection of surviving cell pairs
+    /// (step 3 — the `connect_region` phase).
+    pub connect_region_time: Duration,
     /// Wall-clock time of the whole `apply` call.
     pub elapsed: Duration,
 }

@@ -139,6 +139,13 @@ fn main() {
         100.0 * hits as f64 / (hits + builds).max(1) as f64,
     );
 
+    // The sweep's own EXPLAIN report: which phases the whole grid actually
+    // ran vs. served from cache, pool utilization, and the registry counter
+    // deltas scoped to exactly this sweep.
+    if let Some(explain) = session.explain_last() {
+        println!("\n{explain}");
+    }
+
     // A second look at the whole grid, through the quadtree variant this
     // time: same (eps, minPts) keys, so both the partition and the MarkCore
     // state come straight from the session's caches — only the cell graph
@@ -153,8 +160,17 @@ fn main() {
             .expect("valid parameters");
         assert_eq!(requeried.labels, cell.labels);
         assert!(requeried.stats.partition_cache_hit && requeried.stats.core_cache_hit);
+        // `QueryStats` carries the same story per query; its one-line
+        // Display is the grep-friendly form of the table above.
+        println!("  {}", requeried.stats);
     }
     let requery_time = start.elapsed();
+
+    // Per-query EXPLAIN for the last re-query: both cached phases show as
+    // SKIP with the generation of the reused index.
+    if let Some(explain) = session.explain_last() {
+        println!("\n{explain}");
+    }
     let stats = session.cache_stats();
     println!(
         "re-querying all {} grid cells with the quadtree variant: {:.1} ms (vs {:.1} ms for \

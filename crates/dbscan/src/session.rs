@@ -28,6 +28,7 @@ use dbscan_engine::{CacheStats, Engine, QueryStats, Snapshot};
 use dbscan_stream::{IntoStreaming, StreamingClusterer, UpdateBatch, UpdateStats};
 use geom::{points_from_flat, Point};
 use pardbscan::{DbscanParams, VariantConfig};
+use std::sync::Mutex;
 
 /// Configures and opens [`ClusterSession`]s.
 ///
@@ -64,8 +65,80 @@ impl SessionBuilder {
     pub fn ingest(self, cloud: PointCloud) -> Result<ClusterSession, Error> {
         let dim = cloud.dim();
         let inner = open_session(self.engine, &cloud)?;
-        Ok(ClusterSession { dim, inner })
+        Ok(ClusterSession {
+            dim,
+            inner,
+            last_explain: Mutex::new(None),
+        })
     }
+}
+
+/// Builds the EXPLAIN phase list of one query from its stats: a cache hit
+/// reports the phase as skipped by the generation whose artifact served it,
+/// a miss reports the phase's measured duration. (ClusterCore and
+/// ClusterBorder always run.)
+fn phases_from_query(stats: &QueryStats) -> Vec<obs::PhaseExecution> {
+    vec![
+        if stats.partition_cache_hit {
+            obs::PhaseExecution::skipped(obs::phase::PARTITION, stats.index_generation)
+        } else {
+            obs::PhaseExecution::ran(obs::phase::PARTITION, stats.partition_time)
+        },
+        if stats.core_cache_hit {
+            // The core cache is keyed on (index generation, minPts), so the
+            // index generation identifies the reused artifact here too.
+            obs::PhaseExecution::skipped(obs::phase::MARK_CORE, stats.index_generation)
+        } else {
+            obs::PhaseExecution::ran(obs::phase::MARK_CORE, stats.mark_core_time)
+        },
+        obs::PhaseExecution::ran(obs::phase::CLUSTER_CORE, stats.cluster_core_time),
+        obs::PhaseExecution::ran(obs::phase::CLUSTER_BORDER, stats.cluster_border_time),
+    ]
+}
+
+/// Aggregates the per-cell phase outcomes of a sweep into one run/skip
+/// tally per phase.
+fn phases_from_sweep(cells: &[SweepCell]) -> Vec<obs::PhaseExecution> {
+    let mut out: Vec<obs::PhaseExecution> = [
+        obs::phase::PARTITION,
+        obs::phase::MARK_CORE,
+        obs::phase::CLUSTER_CORE,
+        obs::phase::CLUSTER_BORDER,
+    ]
+    .into_iter()
+    .map(|phase| obs::PhaseExecution {
+        phase,
+        runs: 0,
+        skips: 0,
+        skipped_by_generation: None,
+        duration: std::time::Duration::ZERO,
+    })
+    .collect();
+    for cell in cells {
+        for p in phases_from_query(&cell.stats) {
+            let acc = out
+                .iter_mut()
+                .find(|a| a.phase == p.phase)
+                .expect("fixed phase set");
+            acc.runs += p.runs;
+            acc.skips += p.skips;
+            acc.duration += p.duration;
+            if p.skipped_by_generation.is_some() {
+                acc.skipped_by_generation = p.skipped_by_generation;
+            }
+        }
+    }
+    out
+}
+
+/// The EXPLAIN phase list of one streaming apply: the two maintenance
+/// phases that dominate an update's cost (overlay bookkeeping and
+/// component/adjacency repair are part of the wall total).
+fn phases_from_update(stats: &UpdateStats) -> Vec<obs::PhaseExecution> {
+    vec![
+        obs::PhaseExecution::ran(obs::phase::MARK_CORE_REGION, stats.mark_core_region_time),
+        obs::PhaseExecution::ran(obs::phase::CONNECT_REGION, stats.connect_region_time),
+    ]
 }
 
 /// One clustering result grid cell of a [`ClusterSession::sweep`].
@@ -155,6 +228,9 @@ pub struct QueryOutcome {
 pub struct ClusterSession {
     dim: usize,
     inner: Box<dyn ErasedSession>,
+    /// EXPLAIN report of the most recent successful query/sweep/apply.
+    /// Interior mutability because `query`/`sweep` take `&self`.
+    last_explain: Mutex<Option<obs::ExplainReport>>,
 }
 
 impl std::fmt::Debug for ClusterSession {
@@ -202,11 +278,24 @@ impl ClusterSession {
         params: DbscanParams,
         variant: VariantConfig,
     ) -> Result<QueryOutcome, Error> {
-        let _span = obs::Span::enter("session", obs::phase::QUERY)
-            .eps(params.eps)
-            .min_pts(params.min_pts)
-            .n(self.num_points());
-        self.inner.query(params, variant)
+        let scope = obs::OpScope::begin_with_pool("query", rayon::pool_busy_nanos());
+        let outcome = {
+            let _span = obs::Span::enter("session", obs::phase::QUERY)
+                .eps(params.eps)
+                .min_pts(params.min_pts)
+                .n(self.num_points());
+            self.inner.query(params, variant)
+        }?;
+        let mut report = scope.finish_with_pool(rayon::pool_busy_nanos(), rayon::pool_threads());
+        report.variant = outcome.stats.variant.clone();
+        report.eps = params.eps;
+        report.min_pts = params.min_pts;
+        report.n = self.num_points();
+        report.cells_visited = outcome.stats.num_cells;
+        report.num_core_points = outcome.stats.num_core_points;
+        report.phases = phases_from_query(&outcome.stats);
+        self.store_explain(report);
+        Ok(outcome)
     }
 
     /// Runs the default exact variant over the full `ε-grid × minPts-grid`
@@ -224,9 +313,54 @@ impl ClusterSession {
         min_pts_grid: &[usize],
         variant: VariantConfig,
     ) -> Result<Vec<SweepCell>, Error> {
-        let _span =
-            obs::Span::enter("session", obs::phase::SWEEP).n(eps_grid.len() * min_pts_grid.len());
-        self.inner.sweep(eps_grid, min_pts_grid, variant)
+        let scope = obs::OpScope::begin_with_pool("sweep", rayon::pool_busy_nanos());
+        let grid = {
+            let _span = obs::Span::enter("session", obs::phase::SWEEP)
+                .n(eps_grid.len() * min_pts_grid.len());
+            self.inner.sweep(eps_grid, min_pts_grid, variant)
+        }?;
+        let mut report = scope.finish_with_pool(rayon::pool_busy_nanos(), rayon::pool_threads());
+        report.variant = format!(
+            "{} over a {}x{} grid",
+            variant.paper_name(),
+            eps_grid.len(),
+            min_pts_grid.len()
+        );
+        if let (&[eps], _) = (eps_grid, min_pts_grid) {
+            report.eps = eps;
+        }
+        if let [min_pts] = *min_pts_grid {
+            report.min_pts = min_pts;
+        }
+        report.n = self.num_points() * grid.len().max(1);
+        report.cells_visited = grid.iter().map(|c| c.stats.num_cells).sum();
+        report.num_core_points = grid.iter().map(|c| c.stats.num_core_points).sum();
+        report.phases = phases_from_sweep(&grid);
+        self.store_explain(report);
+        Ok(grid)
+    }
+
+    /// The [`obs::ExplainReport`] of this session's most recent successful
+    /// `query`, `sweep`, or streaming `apply`/`insert`/`delete` — which
+    /// phases ran vs. were cache-skipped (and by which generation), phase
+    /// and pool timings, parallel efficiency, registry counter deltas, and
+    /// (with the `alloc-profile` feature and a counting allocator
+    /// installed) allocation deltas. `None` before the first operation.
+    ///
+    /// Spans are attached only under `DBSCAN_OBS=trace`; counter deltas are
+    /// empty under `DBSCAN_OBS=off`. The registry and allocator are
+    /// process-wide, so operations running *concurrently* in other sessions
+    /// land in the same delta window — attribution is exact when operations
+    /// don't overlap.
+    pub fn explain_last(&self) -> Option<obs::ExplainReport> {
+        self.last_explain
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn store_explain(&self, report: obs::ExplainReport) {
+        *self.last_explain.lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
     }
 
     /// Cumulative cache counters since the session was opened (or since the
@@ -286,7 +420,10 @@ impl ClusterSession {
     /// still stream, but per-update costs rise accordingly.
     pub fn updates(&mut self, params: DbscanParams) -> Result<UpdateHandle<'_>, Error> {
         self.inner.begin_updates(params)?;
-        Ok(UpdateHandle { session: self })
+        Ok(UpdateHandle {
+            session: self,
+            params,
+        })
     }
 }
 
@@ -299,9 +436,37 @@ impl ClusterSession {
 /// session's indexed mode.
 pub struct UpdateHandle<'s> {
     session: &'s mut ClusterSession,
+    params: DbscanParams,
 }
 
 impl UpdateHandle<'_> {
+    /// The shared apply path of [`UpdateHandle::apply`], `insert`, and
+    /// `delete`: runs the batch under an EXPLAIN scope and stores the
+    /// session's `explain_last` report on success.
+    fn apply_scoped(
+        &mut self,
+        insert_coords: &[f64],
+        deletes: &[usize],
+    ) -> Result<UpdateStats, Error> {
+        let n = insert_coords.len() / self.session.dim.max(1) + deletes.len();
+        let scope = obs::OpScope::begin_with_pool("apply", rayon::pool_busy_nanos());
+        let stats = {
+            let _span = obs::Span::enter("session", obs::phase::APPLY)
+                .eps(self.params.eps)
+                .min_pts(self.params.min_pts)
+                .n(n);
+            self.session.inner.apply(insert_coords, deletes)
+        }?;
+        let mut report = scope.finish_with_pool(rayon::pool_busy_nanos(), rayon::pool_threads());
+        report.eps = self.params.eps;
+        report.min_pts = self.params.min_pts;
+        report.n = n;
+        report.cells_visited = stats.cells_touched;
+        report.phases = phases_from_update(&stats);
+        self.session.store_explain(report);
+        Ok(stats)
+    }
+
     /// Applies a batch of updates: `inserts` (validated against the
     /// session's dimensionality) and `deletes` (stable point ids). The
     /// batch is atomic — on error nothing is applied.
@@ -312,8 +477,7 @@ impl UpdateHandle<'_> {
                 got: inserts.dim(),
             });
         }
-        let _span = obs::Span::enter("session", obs::phase::APPLY).n(inserts.len() + deletes.len());
-        self.session.inner.apply(inserts.coords(), deletes)
+        self.apply_scoped(inserts.coords(), deletes)
     }
 
     /// Inserts one point, returning its stable id. Fails on arity mismatch
@@ -326,13 +490,13 @@ impl UpdateHandle<'_> {
             });
         }
         crate::cloud::validate_finite(point, self.session.dim, 0)?;
-        let stats = self.session.inner.apply(point, &[])?;
+        let stats = self.apply_scoped(point, &[])?;
         Ok(stats.inserted_ids[0])
     }
 
     /// Deletes one live point by stable id.
     pub fn delete(&mut self, id: usize) -> Result<UpdateStats, Error> {
-        self.session.inner.apply(&[], &[id])
+        self.apply_scoped(&[], &[id])
     }
 
     /// The current labels of the live points, in ascending stable-id order

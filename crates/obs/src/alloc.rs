@@ -1,0 +1,162 @@
+//! Allocation accounting: a counting global allocator behind the
+//! `alloc-profile` feature.
+//!
+//! The workspace makes "zero allocations on the steady-state hot path"
+//! claims (BCP scratch reuse, flat CSR adjacency). This module turns those
+//! claims into live metrics: build with `--features alloc-profile`, install
+//! `CountingAllocator` as the `#[global_allocator]` in the *binary* under
+//! test, and every [`super::scope::ExplainReport`] carries the allocation
+//! delta of its operation.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: obs::alloc::CountingAllocator = obs::alloc::CountingAllocator;
+//! ```
+//!
+//! Caveats (also in the README):
+//!
+//! * The counters are **process-wide**, not per-thread or per-scope-owner:
+//!   concurrent threads' allocations land in the same window.
+//! * Counting costs two relaxed atomic adds per malloc/free — measurable on
+//!   allocation-heavy code, which is why the feature is off by default and
+//!   never enabled for benchmark runs.
+//! * Without the feature (or without installing the allocator), deltas
+//!   report as "not profiled" ([`AllocStats`] stays zero).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static BYTES_DEALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide allocation counters, as sampled by [`stats`].
+/// All-zero unless `CountingAllocator` is installed as the global
+/// allocator (which requires the `alloc-profile` feature).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Calls to `alloc`/`alloc_zeroed`, plus growing `realloc`s.
+    pub allocations: u64,
+    /// Calls to `dealloc`.
+    pub deallocations: u64,
+    /// Total bytes requested by allocations.
+    pub bytes_allocated: u64,
+    /// Total bytes released by deallocations.
+    pub bytes_deallocated: u64,
+}
+
+impl AllocStats {
+    /// Component-wise `self - earlier` (saturating).
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            deallocations: self.deallocations.saturating_sub(earlier.deallocations),
+            bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
+            bytes_deallocated: self
+                .bytes_deallocated
+                .saturating_sub(earlier.bytes_deallocated),
+        }
+    }
+}
+
+/// Sample the cumulative allocation counters. Cheap (four relaxed loads);
+/// all-zero when no `CountingAllocator` is installed.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        deallocations: DEALLOCATIONS.load(Ordering::Relaxed),
+        bytes_allocated: BYTES_ALLOCATED.load(Ordering::Relaxed),
+        bytes_deallocated: BYTES_DEALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
+/// `true` once the counting allocator has observed at least one allocation —
+/// i.e. it is actually installed in this process. (Any Rust program
+/// allocates long before user code runs, so after `main` starts this is
+/// equivalent to "installed".)
+pub fn profiling_active() -> bool {
+    ALLOCATIONS.load(Ordering::Relaxed) > 0
+}
+
+#[cfg(feature = "alloc-profile")]
+mod counting {
+    use super::{ALLOCATIONS, BYTES_ALLOCATED, BYTES_DEALLOCATED, DEALLOCATIONS};
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::Ordering;
+
+    /// A [`GlobalAlloc`] that forwards to [`System`] and counts every
+    /// allocation, deallocation, and their byte totals. Install it with
+    /// `#[global_allocator]` in the binary under test.
+    pub struct CountingAllocator;
+
+    // The only unsafe in the obs crate: pure forwarding to the system
+    // allocator, with the caller's `GlobalAlloc` contract passed through
+    // unchanged. Counting happens outside the unsafe operations.
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+                BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc_zeroed(layout);
+            if !p.is_null() {
+                ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+                BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            BYTES_DEALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                // A realloc is one free plus one allocation of the new size.
+                ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+                DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+                BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+                BYTES_DEALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            }
+            p
+        }
+    }
+}
+
+#[cfg(feature = "alloc-profile")]
+pub use counting::CountingAllocator;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_saturates_and_subtracts() {
+        let a = AllocStats {
+            allocations: 10,
+            deallocations: 4,
+            bytes_allocated: 100,
+            bytes_deallocated: 40,
+        };
+        let b = AllocStats {
+            allocations: 3,
+            deallocations: 6,
+            bytes_allocated: 30,
+            bytes_deallocated: 60,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.allocations, 7);
+        assert_eq!(d.deallocations, 0);
+        assert_eq!(d.bytes_allocated, 70);
+        assert_eq!(d.bytes_deallocated, 0);
+    }
+}

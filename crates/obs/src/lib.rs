@@ -29,20 +29,36 @@
 //!
 //! Unknown values fall back to `counters`.
 //!
+//! On top of the substrate sit the attribution layers: [`OpScope`] /
+//! [`ExplainReport`] (per-operation EXPLAIN built from registry + ring
+//! deltas, see [`OpScope`]), the exporters in [`export`] (EXPLAIN JSON,
+//! Chrome trace-event JSON, the `DBSCAN_TRACE_OUT` sink), and allocation
+//! accounting in [`alloc`] (a counting global allocator behind the
+//! `alloc-profile` feature).
+//!
 //! This crate is offline and dependency-free by design (compat-style — no
-//! `tracing`, no `prometheus` crate) and contains no unsafe code.
+//! `tracing`, no `prometheus` crate). It contains no unsafe code except,
+//! behind the `alloc-profile` feature, the `GlobalAlloc` forwarding shim in
+//! [`alloc`] (the trait itself is unsafe to implement).
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "alloc-profile"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-profile", deny(unsafe_code))]
 #![deny(missing_docs)]
 
+pub mod alloc;
+pub mod export;
 mod metrics;
+mod scope;
 mod trace;
 
 pub use metrics::{
-    register_gauge_fn, set_info, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
+    describe, register_gauge_fn, set_info, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
     LazyCounter, LazyGauge, LazyHistogram, MetricsReport,
 };
-pub use trace::{take_trace, trace_dropped, trace_len, Span, SpanRecord, RING_CAPACITY};
+pub use scope::{AllocDelta, ExplainReport, OpScope, PhaseExecution};
+pub use trace::{
+    spans_since, take_trace, trace_dropped, trace_len, trace_seq, Span, SpanRecord, RING_CAPACITY,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -85,6 +101,25 @@ fn init_mode() -> u8 {
     // A racing first call may store a different-but-identical decision; the
     // env var is only read, never written, so both racers agree.
     MODE.store(code, Ordering::Relaxed);
+    if code >= MODE_COUNTERS {
+        // Ring-health gauges: exhaustion shows up in the Prometheus dump
+        // instead of silently truncating traces. Registered here (after the
+        // mode store) so `DBSCAN_OBS=off` keeps the registry empty.
+        metrics::describe(
+            "dbscan_trace_buffered",
+            "Spans currently buffered in the trace ring",
+        );
+        metrics::register_gauge_fn("dbscan_trace_buffered", || trace_len() as i64);
+        metrics::describe(
+            "dbscan_trace_dropped_total",
+            "Spans overwritten because the trace ring was full",
+        );
+        metrics::register_gauge_fn("dbscan_trace_dropped_total", || trace_dropped() as i64);
+    }
+    if code == MODE_TRACE {
+        // Best-effort DBSCAN_TRACE_OUT flush when this thread exits.
+        export::arm_exit_writer();
+    }
     code
 }
 

@@ -149,6 +149,26 @@ fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+/// HELP texts, keyed by metric name. Kept separate from the registry so
+/// help can be attached before or after the metric itself registers.
+fn helps() -> &'static Mutex<BTreeMap<&'static str, &'static str>> {
+    static HELPS: OnceLock<Mutex<BTreeMap<&'static str, &'static str>>> = OnceLock::new();
+    HELPS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Attach Prometheus `# HELP` text to the metric named `name`. May be called
+/// before or after the metric registers; the last call wins. No-op when
+/// `DBSCAN_OBS=off`.
+pub fn describe(name: &'static str, help: &'static str) {
+    if !crate::counters_enabled() {
+        return;
+    }
+    helps()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(name, help);
+}
+
 fn with_registry<T>(f: impl FnOnce(&mut BTreeMap<&'static str, Metric>) -> T) -> T {
     f(&mut registry().lock().unwrap_or_else(|e| e.into_inner()))
 }
@@ -227,6 +247,7 @@ pub fn set_info(name: &'static str, value: &str) {
 /// ```
 pub struct LazyCounter {
     name: &'static str,
+    help: Option<&'static str>,
     slot: OnceLock<&'static Counter>,
 }
 
@@ -235,13 +256,28 @@ impl LazyCounter {
     pub const fn new(name: &'static str) -> Self {
         LazyCounter {
             name,
+            help: None,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Like [`LazyCounter::new`], with `# HELP` text attached on first use.
+    pub const fn with_help(name: &'static str, help: &'static str) -> Self {
+        LazyCounter {
+            name,
+            help: Some(help),
             slot: OnceLock::new(),
         }
     }
 
     /// Resolve the underlying registry counter.
     pub fn get(&self) -> &'static Counter {
-        self.slot.get_or_init(|| counter(self.name))
+        self.slot.get_or_init(|| {
+            if let Some(help) = self.help {
+                describe(self.name, help);
+            }
+            counter(self.name)
+        })
     }
 
     /// Add `n`, unless `DBSCAN_OBS=off` (then nothing is registered or
@@ -263,6 +299,7 @@ impl LazyCounter {
 /// A gauge handle for hot call sites; see [`LazyCounter`].
 pub struct LazyGauge {
     name: &'static str,
+    help: Option<&'static str>,
     slot: OnceLock<&'static Gauge>,
 }
 
@@ -271,13 +308,28 @@ impl LazyGauge {
     pub const fn new(name: &'static str) -> Self {
         LazyGauge {
             name,
+            help: None,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Like [`LazyGauge::new`], with `# HELP` text attached on first use.
+    pub const fn with_help(name: &'static str, help: &'static str) -> Self {
+        LazyGauge {
+            name,
+            help: Some(help),
             slot: OnceLock::new(),
         }
     }
 
     /// Resolve the underlying registry gauge.
     pub fn get(&self) -> &'static Gauge {
-        self.slot.get_or_init(|| gauge(self.name))
+        self.slot.get_or_init(|| {
+            if let Some(help) = self.help {
+                describe(self.name, help);
+            }
+            gauge(self.name)
+        })
     }
 
     /// Set the gauge, unless `DBSCAN_OBS=off`.
@@ -300,6 +352,7 @@ impl LazyGauge {
 /// A histogram handle for hot call sites; see [`LazyCounter`].
 pub struct LazyHistogram {
     name: &'static str,
+    help: Option<&'static str>,
     slot: OnceLock<&'static Histogram>,
 }
 
@@ -308,13 +361,28 @@ impl LazyHistogram {
     pub const fn new(name: &'static str) -> Self {
         LazyHistogram {
             name,
+            help: None,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Like [`LazyHistogram::new`], with `# HELP` text attached on first use.
+    pub const fn with_help(name: &'static str, help: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            help: Some(help),
             slot: OnceLock::new(),
         }
     }
 
     /// Resolve the underlying registry histogram.
     pub fn get(&self) -> &'static Histogram {
-        self.slot.get_or_init(|| histogram(self.name))
+        self.slot.get_or_init(|| {
+            if let Some(help) = self.help {
+                describe(self.name, help);
+            }
+            histogram(self.name)
+        })
     }
 
     /// Record a duration, unless `DBSCAN_OBS=off`.
@@ -338,6 +406,8 @@ pub struct MetricsReport {
     pub histograms: Vec<HistogramSnapshot>,
     /// `(name, value)` for every info label.
     pub infos: Vec<(String, String)>,
+    /// `(name, help)` for every metric with [`describe`]d HELP text.
+    pub helps: Vec<(String, String)>,
 }
 
 impl MetricsReport {
@@ -367,21 +437,61 @@ impl MetricsReport {
             .map(|(_, v)| v.as_str())
     }
 
+    /// HELP text attached to the metric named `name`, if any.
+    pub fn help(&self, name: &str) -> Option<&str> {
+        self.helps
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Counters that advanced since `before`: `(name, delta)` for every
+    /// counter whose value grew, sorted by name (registry order). Counters
+    /// absent from `before` (registered in between) count from zero.
+    /// Gauges and histograms are excluded — deltas of non-monotonic values
+    /// are not attributable to the scoped window.
+    pub fn counter_deltas(&self, before: &MetricsReport) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter_map(|(name, after)| {
+                let delta = after.saturating_sub(before.counter(name).unwrap_or(0));
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect()
+    }
+
     /// Render the report in Prometheus text exposition format (version
-    /// 0.0.4): `# TYPE` lines, `_bucket{le=…}`/`_sum`/`_count` series for
-    /// histograms, and info labels as `name{value="…"} 1`.
+    /// 0.0.4): `# HELP`/`# TYPE` lines, `_bucket{le=…}`/`_sum`/`_count`
+    /// series for histograms (cumulative, ending in the `+Inf` bucket that
+    /// always equals `_count`), and info labels as `name{value="…"} 1`.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
+        // Text-exposition escaping: HELP text escapes `\` and newline; label
+        // values additionally escape `"`.
+        let escape_help = |s: &str| s.replace('\\', "\\\\").replace('\n', "\\n");
+        let escape_label = |s: &str| {
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        };
         let mut out = String::new();
+        let header = |out: &mut String, name: &str, kind: &str| {
+            if let Some(help) = self.help(name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+            }
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        };
         for (name, value) in &self.counters {
-            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+            header(&mut out, name, "counter");
+            let _ = writeln!(out, "{name} {value}");
         }
         for (name, value) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+            header(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name} {value}");
         }
         for h in &self.histograms {
             let name = &h.name;
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            header(&mut out, name, "histogram");
             for (bound, cumulative) in &h.buckets {
                 let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
             }
@@ -390,8 +500,8 @@ impl MetricsReport {
             let _ = writeln!(out, "{name}_count {}", h.count);
         }
         for (name, value) in &self.infos {
-            let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
-            let _ = writeln!(out, "# TYPE {name} gauge\n{name}{{value=\"{escaped}\"}} 1");
+            header(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name}{{value=\"{}\"}} 1", escape_label(value));
         }
         out
     }
@@ -413,6 +523,13 @@ pub fn snapshot() -> MetricsReport {
                 Metric::GaugeFn(f) => report.gauges.push((name.to_string(), f())),
                 Metric::Histogram(h) => report.histograms.push(h.snapshot(name)),
                 Metric::Info(v) => report.infos.push((name.to_string(), v.clone())),
+            }
+        }
+        let helps = helps().lock().unwrap_or_else(|e| e.into_inner());
+        for (name, help) in helps.iter() {
+            // Only surface help for metrics that actually registered.
+            if reg.contains_key(name) {
+                report.helps.push((name.to_string(), help.to_string()));
             }
         }
         report
@@ -488,5 +605,56 @@ mod tests {
         assert!(text.contains("obs_test_prom_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("obs_test_prom_seconds_count 1"));
         assert!(text.contains("obs_test_prom_info{value=\"avx2+fma\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_help_lines_and_escaping() {
+        static C: LazyCounter = LazyCounter::with_help(
+            "obs_test_help_total",
+            "counts things\nwith a newline and a back\\slash",
+        );
+        C.incr();
+        set_info("obs_test_escape_info", "quo\"te\\slash\nnewline");
+        let text = snapshot().to_prometheus();
+        // HELP precedes TYPE, with `\` and newline escaped.
+        assert!(text.contains(
+            "# HELP obs_test_help_total counts things\\nwith a newline and a back\\\\slash\n\
+             # TYPE obs_test_help_total counter"
+        ));
+        // Label values escape `\`, `"`, and newline — one physical line.
+        assert!(text.contains("obs_test_escape_info{value=\"quo\\\"te\\\\slash\\nnewline\"} 1"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_inf_bucket_matches_count() {
+        static H: LazyHistogram = LazyHistogram::new("obs_test_inf_seconds");
+        H.observe(Duration::from_micros(3));
+        H.observe(Duration::from_secs(100)); // overflow bucket
+        let snap = snapshot();
+        let h = snap.histogram("obs_test_inf_seconds").unwrap();
+        let text = snap.to_prometheus();
+        let inf_line = format!("obs_test_inf_seconds_bucket{{le=\"+Inf\"}} {}", h.count);
+        let count_line = format!("obs_test_inf_seconds_count {}", h.count);
+        assert!(text.contains(&inf_line));
+        assert!(text.contains(&count_line));
+    }
+
+    #[test]
+    fn counter_deltas_between_snapshots() {
+        static A: LazyCounter = LazyCounter::new("obs_test_delta_a_total");
+        static B: LazyCounter = LazyCounter::new("obs_test_delta_b_total");
+        A.incr();
+        let before = snapshot();
+        A.add(4);
+        B.get(); // registered but unchanged
+        let deltas = snapshot().counter_deltas(&before);
+        assert!(deltas.contains(&("obs_test_delta_a_total".to_string(), 4)));
+        assert!(!deltas.iter().any(|(n, _)| n == "obs_test_delta_b_total"));
     }
 }

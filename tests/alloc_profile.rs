@@ -1,0 +1,81 @@
+//! Allocation-accounting tests behind the `alloc-profile` feature: installs
+//! [`obs::alloc::CountingAllocator`] as this binary's global allocator and
+//! proves (a) the BCP distance kernel is allocation-free in steady state,
+//! (b) EXPLAIN reports carry real allocation deltas (`alloc.profiled`), and
+//! (c) cache-served repeat queries allocate strictly less than the fresh
+//! build they reuse.
+//!
+//! Own-process integration binary (same pattern as `obs_trace.rs`): the
+//! `DBSCAN_OBS` mode is read once per process, so the variable must be set
+//! before the first instrumented call — and the allocator must be installed
+//! here, in the binary, not by the `obs` library. Keep this file
+//! single-test.
+#![cfg(feature = "alloc-profile")]
+
+use dbscan::{ClusterSession, Params, PointCloud, VariantConfig};
+use geom::Point;
+
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAllocator = obs::alloc::CountingAllocator;
+
+#[test]
+fn counting_allocator_accounts_for_operations_and_clears_the_bcp_hot_path() {
+    std::env::set_var("DBSCAN_OBS", "counters");
+    assert!(
+        obs::alloc::profiling_active(),
+        "the installed allocator has already counted this test's setup"
+    );
+
+    // --- (a) The BCP kernel allocates nothing in steady state. Measured
+    // before any pool work starts, so no other thread can perturb the
+    // process-wide counters.
+    let a: Vec<Point<2>> = (0..64).map(|i| Point::new([i as f64, 0.0])).collect();
+    let b: Vec<Point<2>> = (0..64).map(|i| Point::new([i as f64, 100.0])).collect();
+    assert!(pardbscan::bichromatic_closest_pair(&a, &b).is_some());
+    let before = obs::alloc::stats();
+    for _ in 0..100 {
+        std::hint::black_box(pardbscan::bichromatic_closest_pair(
+            std::hint::black_box(&a),
+            std::hint::black_box(&b),
+        ));
+    }
+    let delta = obs::alloc::stats().since(&before);
+    assert_eq!(
+        delta.allocations, 0,
+        "steady-state BCP must not touch the allocator"
+    );
+    assert_eq!(delta.bytes_allocated, 0);
+
+    // --- (b) EXPLAIN reports are backed by real deltas when the counting
+    // allocator is installed.
+    let rows: Vec<[f64; 2]> = (0..600)
+        .map(|i| [0.05 * (i % 100) as f64, 0.02 * (i / 100) as f64])
+        .collect();
+    let session = ClusterSession::ingest(PointCloud::from_rows(&rows).unwrap()).unwrap();
+    let params = Params::new(0.2, 3);
+    session.query(params, VariantConfig::exact()).unwrap();
+    let fresh = session.explain_last().unwrap();
+    assert!(fresh.alloc.profiled);
+    assert!(
+        fresh.alloc.allocations > 0,
+        "a fresh query builds the index and must allocate"
+    );
+    assert!(fresh.alloc.bytes_allocated > 0);
+
+    // --- (c) A cache-served repeat of the same query reuses the index and
+    // core set, so its allocation footprint is strictly smaller than the
+    // fresh build's.
+    session.query(params, VariantConfig::exact()).unwrap();
+    let repeat = session.explain_last().unwrap();
+    assert!(repeat.alloc.profiled);
+    assert!(
+        repeat.phase(obs::phase::PARTITION).unwrap().cache_skipped(),
+        "the repeat query must be cache-served for the comparison to mean anything"
+    );
+    assert!(
+        repeat.alloc.allocations < fresh.alloc.allocations,
+        "cache-served query allocated {} times, fresh build {}",
+        repeat.alloc.allocations,
+        fresh.alloc.allocations
+    );
+}

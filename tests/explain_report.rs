@@ -1,0 +1,148 @@
+//! Invariant tests for the per-operation EXPLAIN reports
+//! ([`ClusterSession::explain_last`]): phase skip flags agree with the
+//! engine's `QueryStats` cache flags, per-phase durations sum to at most the
+//! operation's wall time, and counter deltas do not bleed between
+//! back-to-back scoped operations.
+//!
+//! Own-process integration binary (same pattern as `obs_trace.rs`): the
+//! `DBSCAN_OBS` mode is read once per process, so the variable must be set
+//! before the first instrumented call. Keep this file single-test.
+
+use dbscan::{ClusterSession, Params, PointCloud, VariantConfig};
+use std::time::Duration;
+
+#[test]
+fn explain_reports_track_cache_flags_timings_and_counters() {
+    std::env::set_var("DBSCAN_OBS", "counters");
+    assert_eq!(obs::mode(), obs::ObsMode::Counters);
+
+    let rows: Vec<[f64; 2]> = (0..600)
+        .map(|i| [0.05 * (i % 100) as f64, 0.02 * (i / 100) as f64])
+        .collect();
+    let mut session = ClusterSession::ingest(PointCloud::from_rows(&rows).unwrap()).unwrap();
+    let params = Params::new(0.2, 3);
+
+    assert!(
+        session.explain_last().is_none(),
+        "no report before the first operation"
+    );
+
+    // --- Fresh query: every phase executed, and the report mirrors the
+    // engine's QueryStats.
+    let outcome = session.query(params, VariantConfig::exact()).unwrap();
+    let report = session.explain_last().expect("query stores a report");
+    assert_eq!(report.op, "query");
+    assert_eq!(report.variant, outcome.stats.variant);
+    assert_eq!(report.eps, params.eps);
+    assert_eq!(report.min_pts, params.min_pts);
+    assert_eq!(report.n, rows.len());
+    assert_eq!(report.cells_visited, outcome.stats.num_cells);
+    assert_eq!(report.num_core_points, outcome.stats.num_core_points);
+
+    assert!(!outcome.stats.partition_cache_hit);
+    assert!(!outcome.stats.core_cache_hit);
+    for name in [
+        obs::phase::PARTITION,
+        obs::phase::MARK_CORE,
+        obs::phase::CLUSTER_CORE,
+        obs::phase::CLUSTER_BORDER,
+    ] {
+        let phase = report.phase(name).expect("query reports all four phases");
+        assert!(phase.executed(), "fresh query must run {name}");
+        assert!(!phase.cache_skipped());
+    }
+
+    // Per-phase durations sum to at most the scope's wall time (the phases
+    // run sequentially inside the operation).
+    let phase_sum: Duration = report.phases.iter().map(|p| p.duration).sum();
+    assert!(
+        phase_sum <= report.wall,
+        "phase durations ({phase_sum:?}) exceed the operation wall time ({:?})",
+        report.wall
+    );
+    assert!(report.parallel_efficiency > 0.0);
+    assert!(report.parallel_efficiency.is_finite());
+
+    // Counters mode: the fresh query's misses are visible as deltas.
+    assert_eq!(report.delta("dbscan_partition_cache_misses_total"), 1);
+    assert_eq!(report.delta("dbscan_core_cache_misses_total"), 1);
+    assert!(
+        report.spans.is_empty(),
+        "spans attach only under DBSCAN_OBS=trace"
+    );
+
+    // --- Repeat query: the cached phases report SKIP, tagged with the
+    // generation of the reused index, and the counter deltas cover only this
+    // operation (no bleed from the first query's misses).
+    let outcome2 = session.query(params, VariantConfig::exact()).unwrap();
+    let report2 = session.explain_last().unwrap();
+    assert!(outcome2.stats.partition_cache_hit);
+    assert!(outcome2.stats.core_cache_hit);
+    for name in [obs::phase::PARTITION, obs::phase::MARK_CORE] {
+        let phase = report2.phase(name).unwrap();
+        assert!(phase.cache_skipped(), "repeat query must skip {name}");
+        assert_eq!(
+            phase.skipped_by_generation,
+            Some(outcome2.stats.index_generation),
+            "the skip names the generation of the reused artifact"
+        );
+    }
+    assert!(report2.phase(obs::phase::CLUSTER_CORE).unwrap().executed());
+    assert!(report2
+        .phase(obs::phase::CLUSTER_BORDER)
+        .unwrap()
+        .executed());
+    assert_eq!(
+        report2.delta("dbscan_partition_cache_misses_total"),
+        0,
+        "the first query's miss must not bleed into the second scope"
+    );
+    assert_eq!(report2.delta("dbscan_partition_cache_hits_total"), 1);
+    assert_eq!(report2.delta("dbscan_core_cache_hits_total"), 1);
+
+    // The Display rendering names the skipped phases.
+    let rendered = format!("{report2}");
+    assert!(rendered.contains("EXPLAIN"), "{rendered}");
+    assert!(rendered.contains("SKIP"), "{rendered}");
+
+    // --- Sweep: one aggregated report for the whole grid.
+    let eps_grid = [0.2, 0.3];
+    let min_pts_grid = [3, 5];
+    let grid = session.sweep(&eps_grid, &min_pts_grid).unwrap();
+    assert_eq!(grid.len(), 4);
+    let sweep_report = session.explain_last().unwrap();
+    assert_eq!(sweep_report.op, "sweep");
+    assert_eq!(sweep_report.n, rows.len() * grid.len());
+    let partition = sweep_report.phase(obs::phase::PARTITION).unwrap();
+    assert_eq!(
+        partition.runs + partition.skips,
+        grid.len(),
+        "every sweep cell accounts for its partition phase"
+    );
+    assert!(
+        partition.skips >= 1,
+        "ε=0.2 was cached by the earlier queries"
+    );
+    let sweep_phase_sum: Duration = sweep_report.phases.iter().map(|p| p.duration).sum();
+    assert!(sweep_phase_sum <= sweep_report.wall);
+
+    // --- Streaming apply: the report covers the incremental phases.
+    let mut updates = session.updates(params).unwrap();
+    let id = updates.insert(&[0.025, 0.01]).unwrap();
+    assert!(updates.live_ids().contains(&id));
+    drop(updates);
+    let apply_report = session.explain_last().unwrap();
+    assert_eq!(apply_report.op, "apply");
+    assert_eq!(apply_report.n, 1);
+    assert!(apply_report
+        .phase(obs::phase::MARK_CORE_REGION)
+        .unwrap()
+        .executed());
+    assert!(apply_report
+        .phase(obs::phase::CONNECT_REGION)
+        .unwrap()
+        .executed());
+    assert!(apply_report.cells_visited > 0);
+    let apply_phase_sum: Duration = apply_report.phases.iter().map(|p| p.duration).sum();
+    assert!(apply_phase_sum <= apply_report.wall);
+}
