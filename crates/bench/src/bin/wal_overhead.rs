@@ -1,0 +1,322 @@
+//! WAL overhead: what durability costs the update stream.
+//!
+//! The durable layer's contract is that every acknowledged batch survives a
+//! crash — paid for in the apply path as one WAL record encode + append
+//! plus, depending on [`dbscan_durable::FsyncPolicy`], an fsync. This
+//! binary prices that contract: the same scripted update sequence is
+//! applied three times per dataset —
+//!
+//! * `none` — the plain in-memory [`dbscan_stream::StreamingClusterer`]
+//!   (the pre-durability baseline, loses everything on a crash);
+//! * `per_batch` — [`DurableClusterer`] with `FsyncPolicy::PerBatch`
+//!   (every acknowledged batch is on disk when `apply` returns);
+//! * `group_commit_8` — `FsyncPolicy::GroupCommit(8)` (appends buffer,
+//!   one fsync per 8 batches: bounded loss, amortized cost).
+//!
+//! The durable runs write through the real filesystem in a temporary
+//! directory, so the reported fsync latencies are the medium's, not a
+//! mock's. Checkpointing is disabled (`checkpoint_every: 0`) to isolate
+//! the per-batch WAL cost from the amortized snapshot cost.
+//!
+//! Expected shape: `per_batch` is dominated by fsync latency (on fast NVMe
+//! it may still be cheap, on CI's shared disks it will not be);
+//! `group_commit_8` sits close to `none` because the encode+append is
+//! microseconds — the gap between the two fsync policies *is* the
+//! durability-latency trade the README's policy table documents.
+//!
+//! Output: a CSV block per dataset plus `BENCH_wal.json` (override with
+//! `--json PATH`; `--smoke` shrinks to CI size and writes
+//! `BENCH_wal_smoke.json` conventions via the explicit `--json` flag).
+//!
+//! ```text
+//! cargo run --release -p bench --bin wal_overhead -- \
+//!     [--scale S] [--batches K] [--smoke] [--json PATH]
+//! ```
+
+use bench::*;
+use dbscan_durable::{DurableClusterer, DurableOptions, FsyncPolicy, RealStorage};
+use dbscan_stream::{StreamingClusterer, UpdateBatch};
+use geom::Point;
+use pardbscan::DbscanParams;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Deterministic xorshift64* so the bin needs no rand dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// One measured row: a dataset under one durability policy.
+struct Row {
+    dataset: String,
+    n: usize,
+    batch: usize,
+    policy: &'static str,
+    apply_s: f64,
+    wal_bytes_per_batch: f64,
+    wal_append_s: f64,
+    wal_fsync_s: f64,
+    overhead_vs_none: f64,
+}
+
+/// Scripts `batches` update batches (half deletes of live ids, half
+/// inserts from the pool) against a live-set model, so every policy run
+/// applies the *identical* sequence. Ids are assigned sequentially by both
+/// the plain and the durable clusterer, so one id space serves both.
+fn script_batches<const D: usize>(
+    initial_n: usize,
+    insert_pool: &[Point<D>],
+    batch_size: usize,
+    batches: usize,
+    seed: u64,
+) -> Vec<UpdateBatch<D>> {
+    let mut rng = Lcg(seed | 1);
+    let mut live: Vec<usize> = (0..initial_n).collect();
+    let mut next_id = initial_n;
+    let mut pool = insert_pool.iter().copied().cycle();
+    let mut out = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let num_deletes = (batch_size / 2).min(live.len());
+        for i in 0..num_deletes {
+            let j = i + rng.below(live.len() - i);
+            live.swap(i, j);
+        }
+        let deletes: Vec<usize> = live[..num_deletes].to_vec();
+        live.drain(..num_deletes);
+        let inserts: Vec<Point<D>> = (0..batch_size - num_deletes)
+            .map(|_| pool.next().expect("cyclic pool"))
+            .collect();
+        for _ in 0..inserts.len() {
+            live.push(next_id);
+            next_id += 1;
+        }
+        out.push(UpdateBatch { inserts, deletes });
+    }
+    out
+}
+
+struct PolicyOutcome {
+    apply_s: f64,
+    wal_bytes_per_batch: f64,
+    wal_append_s: f64,
+    wal_fsync_s: f64,
+}
+
+fn run_plain<const D: usize>(
+    initial: &[Point<D>],
+    params: DbscanParams,
+    batches: &[UpdateBatch<D>],
+) -> PolicyOutcome {
+    let mut clusterer =
+        StreamingClusterer::new(initial.to_vec(), params).expect("benchmark data is finite");
+    let start = Instant::now();
+    for batch in batches {
+        clusterer
+            .apply(batch.clone())
+            .expect("scripted batches are valid");
+    }
+    PolicyOutcome {
+        apply_s: start.elapsed().as_secs_f64() / batches.len() as f64,
+        wal_bytes_per_batch: 0.0,
+        wal_append_s: 0.0,
+        wal_fsync_s: 0.0,
+    }
+}
+
+fn run_durable<const D: usize>(
+    initial: &[Point<D>],
+    params: DbscanParams,
+    batches: &[UpdateBatch<D>],
+    fsync: FsyncPolicy,
+    dir: &PathBuf,
+) -> PolicyOutcome {
+    let _ = std::fs::remove_dir_all(dir);
+    let options = DurableOptions {
+        fsync,
+        checkpoint_every: 0,
+    };
+    let mut clusterer = DurableClusterer::create(
+        RealStorage::shared(),
+        dir,
+        initial.to_vec(),
+        params,
+        options,
+    )
+    .expect("temporary directory is writable");
+    let mut bytes = 0u64;
+    let mut append_s = 0.0f64;
+    let mut fsync_s = 0.0f64;
+    let start = Instant::now();
+    for batch in batches {
+        let stats = clusterer
+            .apply(batch.clone())
+            .expect("scripted batches are valid");
+        bytes += stats.wal_bytes;
+        append_s += stats.wal_append_time.as_secs_f64();
+        fsync_s += stats.wal_fsync_time.as_secs_f64();
+    }
+    // Group commit may owe a final fsync; settle it inside the timed
+    // region so policies are compared at equal durability.
+    clusterer.sync().expect("final fsync");
+    let apply_s = start.elapsed().as_secs_f64() / batches.len() as f64;
+    let _ = std::fs::remove_dir_all(dir);
+    PolicyOutcome {
+        apply_s,
+        wal_bytes_per_batch: bytes as f64 / batches.len() as f64,
+        wal_append_s: append_s / batches.len() as f64,
+        wal_fsync_s: fsync_s / batches.len() as f64,
+    }
+}
+
+fn run_dataset<const D: usize>(
+    workload: &Workload<D>,
+    batches: usize,
+    tmp_root: &Path,
+    rows: &mut Vec<Row>,
+) {
+    let n = workload.points.len() / 2;
+    let (initial, insert_pool) = workload.points.split_at(n);
+    let params = DbscanParams::new(workload.eps, workload.min_pts);
+    let batch_size = (n / 100).max(4); // 1% churn per batch
+    let script = script_batches(n, insert_pool, batch_size, batches, 0xD00D ^ n as u64);
+
+    println!(
+        "\n## dataset {} (n = {}, batch = {}, {} batches)",
+        workload.name, n, batch_size, batches
+    );
+    println!("policy,apply_s,overhead_vs_none,wal_bytes_per_batch,wal_append_s,wal_fsync_s");
+
+    let dir = tmp_root.join(format!("{}_{}", workload.name, n));
+    let outcomes: Vec<(&'static str, PolicyOutcome)> = vec![
+        ("none", run_plain(initial, params, &script)),
+        (
+            "per_batch",
+            run_durable(initial, params, &script, FsyncPolicy::PerBatch, &dir),
+        ),
+        (
+            "group_commit_8",
+            run_durable(initial, params, &script, FsyncPolicy::GroupCommit(8), &dir),
+        ),
+    ];
+    let none_s = outcomes[0].1.apply_s.max(1e-12);
+    for (policy, outcome) in outcomes {
+        let overhead = outcome.apply_s / none_s;
+        println!(
+            "{},{:.6},{:.2},{:.0},{:.6},{:.6}",
+            policy,
+            outcome.apply_s,
+            overhead,
+            outcome.wal_bytes_per_batch,
+            outcome.wal_append_s,
+            outcome.wal_fsync_s,
+        );
+        rows.push(Row {
+            dataset: workload.name.clone(),
+            n,
+            batch: batch_size,
+            policy,
+            apply_s: outcome.apply_s,
+            wal_bytes_per_batch: outcome.wal_bytes_per_batch,
+            wal_append_s: outcome.wal_append_s,
+            wal_fsync_s: outcome.wal_fsync_s,
+            overhead_vs_none: overhead,
+        });
+    }
+}
+
+fn report_json(rows: &[Row], smoke: bool, batches: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"wal\",\n  \"smoke\": {},\n  \"machine_cores\": {},\n  \
+         \"batches\": {},\n  \"series\": [\n",
+        smoke,
+        num_cpus::get(),
+        batches
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"batch\": {}, \"policy\": \"{}\", \
+             \"apply_s\": {}, \"overhead_vs_none\": {}, \"wal_bytes_per_batch\": {}, \
+             \"wal_append_s\": {}, \"wal_fsync_s\": {}}}{}\n",
+            json_escape(&r.dataset),
+            r.n,
+            r.batch,
+            r.policy,
+            json_f64(r.apply_s),
+            json_f64(r.overhead_vs_none),
+            json_f64(r.wal_bytes_per_batch),
+            json_f64(r.wal_append_s),
+            json_f64(r.wal_fsync_s),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let batches = arg_value("--batches")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(if smoke { 6 } else { 24 })
+        .max(1);
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_wal.json".to_string());
+    print_header(
+        "WAL overhead",
+        "durable apply throughput: no WAL vs per-batch fsync vs group commit",
+    );
+
+    let tmp_root = std::env::temp_dir().join(format!("pardbscan_wal_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp_root).expect("temporary directory is writable");
+
+    // Workload point counts are doubled: half seeds the clusterer, half is
+    // the insert pool (matching the stream_updates convention).
+    let mut rows = Vec::new();
+    if smoke {
+        run_dataset(&ss_simden::<2>(4_000), batches, &tmp_root, &mut rows);
+        run_dataset(&uniform::<3>(3_000), batches, &tmp_root, &mut rows);
+    } else {
+        run_dataset(
+            &ss_simden::<2>(scaled(200_000, scale)),
+            batches,
+            &tmp_root,
+            &mut rows,
+        );
+        run_dataset(
+            &ss_varden::<2>(scaled(200_000, scale)),
+            batches,
+            &tmp_root,
+            &mut rows,
+        );
+        run_dataset(
+            &uniform::<3>(scaled(100_000, scale)),
+            batches,
+            &tmp_root,
+            &mut rows,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&tmp_root);
+
+    let json = report_json(&rows, smoke, batches);
+    println!("\n# JSON\n{json}");
+    if json_path != "-" {
+        match std::fs::write(&json_path, &json) {
+            Ok(()) => println!("# wrote {json_path}"),
+            Err(err) => eprintln!("# failed to write {json_path}: {err}"),
+        }
+    }
+}

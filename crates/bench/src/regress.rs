@@ -168,6 +168,23 @@ pub const GATES: &[FigureGate] = &[
         nested: None,
     },
     FigureGate {
+        // Fsync latency on shared CI disks is far noisier than CPU-bound
+        // timings, so the bands here are deliberately wide: the gate's job
+        // is to catch pathological regressions (an accidental extra fsync
+        // per batch, a quadratic encode), not single-digit percentages.
+        figure: "wal",
+        context: &["smoke", "machine_cores", "batches"],
+        keys: &["dataset", "n", "policy"],
+        metrics: &[
+            MetricGate::lower("apply_s", 1.00, 0.010),
+            MetricGate::lower("overhead_vs_none", 1.00, 0.50).with_sanity((0.0, 1e6)),
+            MetricGate::sanity_only("wal_bytes_per_batch", (0.0, f64::INFINITY)),
+            MetricGate::sanity_only("wal_append_s", (0.0, f64::INFINITY)),
+            MetricGate::sanity_only("wal_fsync_s", (0.0, f64::INFINITY)),
+        ],
+        nested: None,
+    },
+    FigureGate {
         figure: "fig6_eps_sweep",
         context: &["scale"],
         keys: &["name", "n", "min_pts"],

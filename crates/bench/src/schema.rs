@@ -110,6 +110,27 @@ pub const SCHEMAS: &[DocSchema] = &[
         nested: None,
     },
     DocSchema {
+        figure: "wal",
+        top: &[
+            ("smoke", Kind::Bool),
+            ("machine_cores", Kind::Num),
+            ("batches", Kind::Num),
+        ],
+        rows: "series",
+        row_fields: &[
+            ("dataset", Kind::Str),
+            ("n", Kind::Num),
+            ("batch", Kind::Num),
+            ("policy", Kind::Str),
+            ("apply_s", Kind::Num),
+            ("overhead_vs_none", Kind::Num),
+            ("wal_bytes_per_batch", Kind::Num),
+            ("wal_append_s", Kind::Num),
+            ("wal_fsync_s", Kind::Num),
+        ],
+        nested: None,
+    },
+    DocSchema {
         figure: "fig6_eps_sweep",
         top: &[("scale", Kind::Num)],
         rows: "datasets",

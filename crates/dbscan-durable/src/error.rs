@@ -1,0 +1,113 @@
+//! The durability error type.
+
+use dbscan_stream::StreamError;
+use std::fmt;
+use std::io;
+
+/// Errors reported by the durable storage layer.
+///
+/// Carries strings rather than `io::Error` so the type stays `Clone +
+/// PartialEq` (the facade's `dbscan::Error` is both, and lifts these
+/// variants losslessly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurableError {
+    /// An I/O operation failed (or an injected fault fired).
+    Io(String),
+    /// On-disk state failed validation: a checksum mismatch, a truncated
+    /// non-tail region, an impossible length, or a replay that contradicts
+    /// the snapshot. `lsn` is the log sequence number of the offending WAL
+    /// record when the corruption is attributable to one.
+    Corrupt {
+        /// LSN of the offending WAL record, when known.
+        lsn: Option<u64>,
+        /// What failed validation.
+        reason: String,
+    },
+    /// The file was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// WAL replay was rejected by the streaming clusterer (carries the LSN
+    /// of the record being replayed).
+    Replay {
+        /// LSN of the record whose replay failed.
+        lsn: u64,
+        /// The streaming layer's rejection.
+        source: StreamError,
+    },
+    /// A live-path streaming error (not during replay), carried verbatim.
+    Stream(StreamError),
+}
+
+impl DurableError {
+    /// Shorthand for a [`DurableError::Corrupt`].
+    pub fn corrupt(lsn: Option<u64>, reason: impl Into<String>) -> Self {
+        DurableError::Corrupt {
+            lsn,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(msg) => write!(f, "durable store I/O error: {msg}"),
+            DurableError::Corrupt {
+                lsn: Some(lsn),
+                reason,
+            } => {
+                write!(f, "durable store corrupt at lsn {lsn}: {reason}")
+            }
+            DurableError::Corrupt { lsn: None, reason } => {
+                write!(f, "durable store corrupt: {reason}")
+            }
+            DurableError::VersionMismatch { found, expected } => write!(
+                f,
+                "durable store format version {found} is not the supported version {expected}"
+            ),
+            DurableError::Replay { lsn, source } => {
+                write!(f, "WAL replay failed at lsn {lsn}: {source}")
+            }
+            DurableError::Stream(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(err: io::Error) -> Self {
+        DurableError::Io(err.to_string())
+    }
+}
+
+impl From<StreamError> for DurableError {
+    fn from(err: StreamError) -> Self {
+        DurableError::Stream(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failing_layer() {
+        assert!(DurableError::Io("disk full".into())
+            .to_string()
+            .contains("disk full"));
+        assert!(DurableError::corrupt(Some(7), "bad crc")
+            .to_string()
+            .contains("lsn 7"));
+        assert!(DurableError::VersionMismatch {
+            found: 9,
+            expected: 1
+        }
+        .to_string()
+        .contains("version 9"));
+    }
+}

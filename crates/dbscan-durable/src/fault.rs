@@ -1,0 +1,442 @@
+//! Deterministic fault injection: an in-memory [`Storage`] with seeded
+//! failpoints.
+//!
+//! [`FaultStorage`] models the distinction an honest durability test needs:
+//! **visible** state (what the running process reads back — the OS page
+//! cache) versus **durable** state (what survives a crash — bytes an fsync
+//! actually flushed). Writes land in the visible layer only; [`sync`]
+//! promotes a file's visible bytes to the durable layer; a *crash* discards
+//! the visible layer entirely and the harness reboots from a
+//! [`FaultStorage::durable_clone`].
+//!
+//! Three failpoint kinds, all driven by one deterministic [`FaultPlan`]:
+//!
+//! * **kill at the Nth operation** — every mutating storage call counts as
+//!   one operation; the Nth call fails with an injected error, the storage
+//!   goes dead (every later call errors), and only the durable layer
+//!   survives;
+//! * **torn write** — when the fatal operation is an fsync, only a
+//!   seed-derived *prefix* of the unflushed bytes reaches the durable layer
+//!   (a record torn mid-write), and when it is a rename/create/remove, a
+//!   seed bit decides whether the metadata change applied before the crash;
+//! * **silently dropped fsync** — with [`FaultPlan::drop_append_fsyncs`],
+//!   fsyncs of append-opened files (WAL record syncs) return `Ok` without
+//!   flushing anything, modelling storage that acknowledges group commits
+//!   it never made durable.
+//!
+//! [`sync`]: crate::StorageFile::sync
+
+use crate::storage::{Storage, StorageFile};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The deterministic failure schedule of one [`FaultStorage`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Crash on the Nth mutating operation (1-based). `None` never crashes.
+    pub crash_at_op: Option<u64>,
+    /// Silently drop fsyncs of append-opened files (WAL record syncs): the
+    /// call succeeds but promotes nothing to the durable layer.
+    pub drop_append_fsyncs: bool,
+    /// Seed for the torn-write fractions and applied-or-not metadata bits.
+    pub seed: u64,
+}
+
+/// SplitMix64: cheap, well-distributed, and deterministic per (seed, op).
+fn mix(seed: u64, op: u64) -> u64 {
+    let mut z = seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Default)]
+struct MemState {
+    /// What a reboot recovers: only fsync'd bytes.
+    durable: BTreeMap<PathBuf, Vec<u8>>,
+    /// What the live process observes: durable plus unflushed writes.
+    visible: BTreeMap<PathBuf, Vec<u8>>,
+    dirs: Vec<PathBuf>,
+    op: u64,
+    dead: bool,
+    plan: FaultPlan,
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+impl MemState {
+    /// Counts one mutating operation; `Err` means this is the fatal one.
+    /// The caller applies the operation's (possibly partial) effect first
+    /// when the semantics call for it.
+    fn tick(&mut self) -> Result<u64, io::Error> {
+        if self.dead {
+            return Err(injected("storage is dead after a crash"));
+        }
+        self.op += 1;
+        if self.plan.crash_at_op == Some(self.op) {
+            self.dead = true;
+            return Err(injected("crash"));
+        }
+        Ok(self.op)
+    }
+
+    /// Seed bit for "did the metadata change land before the crash".
+    fn crash_applies_effect(&self) -> bool {
+        mix(self.plan.seed, self.op) & 1 == 1
+    }
+}
+
+/// An in-memory [`Storage`] with deterministic, seeded failpoints.
+#[derive(Clone)]
+pub struct FaultStorage {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl Default for FaultStorage {
+    fn default() -> Self {
+        FaultStorage::new()
+    }
+}
+
+fn lock(state: &Mutex<MemState>) -> MutexGuard<'_, MemState> {
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FaultStorage {
+    /// A fault-free in-memory storage (useful as a fast test medium).
+    pub fn new() -> Self {
+        FaultStorage::with_plan(FaultPlan::default())
+    }
+
+    /// A storage that fails according to `plan`.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        FaultStorage {
+            state: Arc::new(Mutex::new(MemState {
+                plan,
+                ..MemState::default()
+            })),
+        }
+    }
+
+    /// Mutating operations issued so far (the crash-site count of a probe
+    /// run).
+    pub fn op_count(&self) -> u64 {
+        lock(&self.state).op
+    }
+
+    /// Whether the planned crash has fired.
+    pub fn crashed(&self) -> bool {
+        lock(&self.state).dead
+    }
+
+    /// "Reboot": a fresh fault-free storage whose visible layer is this
+    /// storage's durable layer — exactly what a process restarting after a
+    /// crash can read.
+    pub fn durable_clone(&self) -> FaultStorage {
+        let state = lock(&self.state);
+        FaultStorage {
+            state: Arc::new(Mutex::new(MemState {
+                durable: state.durable.clone(),
+                visible: state.durable.clone(),
+                dirs: state.dirs.clone(),
+                ..MemState::default()
+            })),
+        }
+    }
+
+    /// A shareable `dyn` handle.
+    pub fn shared(&self) -> Arc<dyn Storage> {
+        Arc::new(self.clone())
+    }
+}
+
+/// An open file of a [`FaultStorage`]: writes buffer in the visible layer;
+/// sync promotes them to the durable layer (unless dropped or torn).
+struct FaultFile {
+    state: Arc<Mutex<MemState>>,
+    path: PathBuf,
+    /// Whether this handle was opened with `open_append` (the handles whose
+    /// fsyncs `drop_append_fsyncs` silently drops).
+    appended: bool,
+}
+
+impl StorageFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut state = lock(&self.state);
+        match state.tick() {
+            Ok(_) => {
+                state
+                    .visible
+                    .get_mut(&self.path)
+                    .ok_or_else(|| injected("write to a removed file"))?
+                    .extend_from_slice(buf);
+                Ok(())
+            }
+            Err(e) => {
+                // A torn in-flight write: a seed-derived prefix reaches the
+                // visible layer, which the crash then discards anyway — the
+                // durable layer is untouched either way.
+                let keep = (mix(state.plan.seed, state.op) as usize) % (buf.len() + 1);
+                if let Some(v) = state.visible.get_mut(&self.path) {
+                    v.extend_from_slice(&buf[..keep]);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut state = lock(&self.state);
+        let drop_this = state.plan.drop_append_fsyncs && self.appended;
+        match state.tick() {
+            Ok(_) => {
+                if !drop_this {
+                    if let Some(v) = state.visible.get(&self.path).cloned() {
+                        state.durable.insert(self.path.clone(), v);
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Crash mid-fsync: a seed-derived prefix of the unflushed
+                // suffix reaches durable media — the torn-tail case the WAL
+                // open path must detect and truncate.
+                if !drop_this {
+                    if let Some(v) = state.visible.get(&self.path).cloned() {
+                        let already = state
+                            .durable
+                            .get(&self.path)
+                            .map(|d| d.len())
+                            .unwrap_or(0)
+                            .min(v.len());
+                        let extra = v.len() - already;
+                        let keep =
+                            already + (mix(state.plan.seed, state.op) as usize) % (extra + 1);
+                        state.durable.insert(self.path.clone(), v[..keep].to_vec());
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Storage for FaultStorage {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let mut state = lock(&self.state);
+        match state.tick() {
+            Ok(_) => {
+                state.visible.insert(path.to_path_buf(), Vec::new());
+                // File creation is metadata; model it as durable with the
+                // directory (a crash can still leave the content empty).
+                state.durable.insert(path.to_path_buf(), Vec::new());
+                Ok(Box::new(FaultFile {
+                    state: Arc::clone(&self.state),
+                    path: path.to_path_buf(),
+                    appended: false,
+                }))
+            }
+            Err(e) => {
+                if state.crash_applies_effect() {
+                    state.visible.insert(path.to_path_buf(), Vec::new());
+                    state.durable.insert(path.to_path_buf(), Vec::new());
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let mut state = lock(&self.state);
+        state.tick()?;
+        if !state.visible.contains_key(path) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            ));
+        }
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.state),
+            path: path.to_path_buf(),
+            appended: true,
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let state = lock(&self.state);
+        if state.dead {
+            return Err(injected("storage is dead after a crash"));
+        }
+        state.visible.get(path).cloned().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            )
+        })
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = lock(&self.state);
+        let apply = |state: &mut MemState| -> io::Result<()> {
+            let v = state.visible.remove(from).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no such file: {}", from.display()),
+                )
+            })?;
+            state.visible.insert(to.to_path_buf(), v);
+            // Rename is atomic metadata: the durable layer renames whatever
+            // *content* was actually flushed for `from`.
+            let d = state.durable.remove(from).unwrap_or_default();
+            state.durable.insert(to.to_path_buf(), d);
+            Ok(())
+        };
+        match state.tick() {
+            Ok(_) => apply(&mut state),
+            Err(e) => {
+                if state.crash_applies_effect() {
+                    let _ = apply(&mut state);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut state = lock(&self.state);
+        match state.tick() {
+            Ok(_) => {
+                state.visible.remove(path);
+                state.durable.remove(path);
+                Ok(())
+            }
+            Err(e) => {
+                if state.crash_applies_effect() {
+                    state.visible.remove(path);
+                    state.durable.remove(path);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        lock(&self.state).visible.contains_key(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let state = lock(&self.state);
+        if state.dead {
+            return Err(injected("storage is dead after a crash"));
+        }
+        Ok(state
+            .visible
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut state = lock(&self.state);
+        if state.dead {
+            return Err(injected("storage is dead after a crash"));
+        }
+        if !state.dirs.iter().any(|d| d == dir) {
+            state.dirs.push(dir.to_path_buf());
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        // Directory metadata is modelled as durable on creation; the call
+        // still counts as a crash site.
+        lock(&self.state).tick().map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsynced_writes_are_visible_but_not_durable() {
+        let storage = FaultStorage::new();
+        let p = Path::new("/d/f");
+        let mut f = storage.create(p).unwrap();
+        f.write_all(b"hello").unwrap();
+        assert_eq!(storage.read(p).unwrap(), b"hello");
+        // A reboot before the fsync loses the bytes…
+        assert_eq!(storage.durable_clone().read(p).unwrap(), b"");
+        // …and after the fsync keeps them.
+        f.sync().unwrap();
+        assert_eq!(storage.durable_clone().read(p).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn crash_at_op_kills_the_storage() {
+        let storage = FaultStorage::with_plan(FaultPlan {
+            crash_at_op: Some(3),
+            ..FaultPlan::default()
+        });
+        let p = Path::new("/d/f");
+        let mut f = storage.create(p).unwrap(); // op 1
+        f.write_all(b"a").unwrap(); // op 2
+        assert!(f.sync().is_err()); // op 3: crash
+        assert!(storage.crashed());
+        assert!(storage.read(p).is_err());
+        let mut g = match storage.create(Path::new("/d/g")) {
+            Err(_) => return,
+            Ok(g) => g,
+        };
+        assert!(g.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn torn_sync_persists_a_prefix() {
+        for seed in 0..32u64 {
+            let storage = FaultStorage::with_plan(FaultPlan {
+                crash_at_op: Some(5),
+                seed,
+                ..FaultPlan::default()
+            });
+            let p = Path::new("/d/f");
+            let mut f = storage.create(p).unwrap(); // 1
+            f.write_all(b"abcd").unwrap(); // 2
+            f.sync().unwrap(); // 3
+            f.write_all(b"efgh").unwrap(); // 4
+            let _ = f.sync(); // 5: crash mid-fsync → torn durable suffix
+            let durable = storage.durable_clone().read(p).unwrap();
+            // The first four bytes were honestly fsync'd; anything after is
+            // a prefix of the torn suffix.
+            assert!(
+                durable.len() >= 4 && durable.len() <= 8,
+                "{}",
+                durable.len()
+            );
+            assert!(b"abcdefgh".starts_with(durable.as_slice()));
+        }
+    }
+
+    #[test]
+    fn dropped_append_fsyncs_acknowledge_without_flushing() {
+        let storage = FaultStorage::with_plan(FaultPlan {
+            drop_append_fsyncs: true,
+            ..FaultPlan::default()
+        });
+        let p = Path::new("/d/wal");
+        let mut f = storage.create(p).unwrap();
+        f.write_all(b"header").unwrap();
+        f.sync().unwrap(); // create-handle: honest
+        drop(f);
+        let mut f = storage.open_append(p).unwrap();
+        f.write_all(b"+rec").unwrap();
+        f.sync().unwrap(); // append-handle: silently dropped
+        assert_eq!(storage.read(p).unwrap(), b"header+rec");
+        assert_eq!(storage.durable_clone().read(p).unwrap(), b"header");
+    }
+}

@@ -1,0 +1,280 @@
+//! The binary substrate shared by the snapshot and WAL formats: CRC32,
+//! little-endian primitive encoding, and checksummed length-prefixed
+//! sections.
+//!
+//! Everything on disk is little-endian and length-prefixed. A *section* is
+//! `[len: u32][payload: len bytes][crc: u32]` where the CRC covers the
+//! payload only; readers verify the checksum before interpreting a byte of
+//! the payload, so a torn or bit-flipped region surfaces as a typed
+//! [`DurableError::Corrupt`] instead of garbage coordinates.
+
+use crate::error::DurableError;
+
+/// IEEE 802.3 CRC-32 lookup table, generated at compile time (reflected
+/// polynomial `0xEDB88320` — the same parameters as zlib's `crc32`).
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Little-endian encoder appending to an owned buffer.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` by bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Wraps the encoded payload as one checksummed section:
+    /// `[len][payload][crc]`.
+    pub fn into_section(self) -> Vec<u8> {
+        let payload = self.buf;
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// Little-endian cursor over a byte slice with typed corruption errors.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context string used in corruption messages (e.g. `"snapshot header"`).
+    what: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    /// A cursor over `buf`; `what` names the region in error messages.
+    pub fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Dec { buf, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DurableError> {
+        if self.remaining() < n {
+            return Err(DurableError::corrupt(
+                None,
+                format!(
+                    "{} truncated: wanted {n} bytes, {} left",
+                    self.what,
+                    self.remaining()
+                ),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DurableError> {
+        self.take(n)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DurableError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DurableError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DurableError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, DurableError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DurableError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u64` and checks it fits a `usize` and a sanity bound (a
+    /// corrupted length must not drive a multi-terabyte allocation).
+    pub fn len(&mut self, bound: usize) -> Result<usize, DurableError> {
+        let v = self.u64()?;
+        if v > bound as u64 {
+            return Err(DurableError::corrupt(
+                None,
+                format!("{}: implausible length {v} (bound {bound})", self.what),
+            ));
+        }
+        Ok(v as usize)
+    }
+
+    /// Fails unless every byte was consumed.
+    pub fn finish(self) -> Result<(), DurableError> {
+        if self.remaining() != 0 {
+            return Err(DurableError::corrupt(
+                None,
+                format!("{}: {} trailing bytes", self.what, self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Splits one `[len][payload][crc]` section off the front of `buf`,
+/// verifying the checksum. Returns `(payload, rest)`.
+pub fn read_section<'a>(
+    buf: &'a [u8],
+    what: &'static str,
+) -> Result<(&'a [u8], &'a [u8]), DurableError> {
+    if buf.len() < 4 {
+        return Err(DurableError::corrupt(
+            None,
+            format!("{what}: missing section length"),
+        ));
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    let total = 4 + len + 4;
+    if buf.len() < total {
+        return Err(DurableError::corrupt(
+            None,
+            format!(
+                "{what}: section of {len} bytes extends past the end of the file ({} available)",
+                buf.len() - 4
+            ),
+        ));
+    }
+    let payload = &buf[4..4 + len];
+    let stored = u32::from_le_bytes(buf[4 + len..total].try_into().unwrap());
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(DurableError::corrupt(
+            None,
+            format!("{what}: checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"),
+        ));
+    }
+    Ok((payload, &buf[total..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn section_round_trip_and_corruption() {
+        let mut enc = Enc::new();
+        enc.u32(7);
+        enc.f64(1.5);
+        enc.bytes(b"xyz");
+        let section = enc.into_section();
+
+        let (payload, rest) = read_section(&section, "test").unwrap();
+        assert!(rest.is_empty());
+        let mut dec = Dec::new(payload, "test");
+        assert_eq!(dec.u32().unwrap(), 7);
+        assert_eq!(dec.f64().unwrap(), 1.5);
+        assert_eq!(dec.bytes(3).unwrap(), b"xyz");
+        dec.finish().unwrap();
+
+        // Any single bit flip in the payload is caught.
+        let mut bad = section.clone();
+        bad[6] ^= 0x40;
+        assert!(matches!(
+            read_section(&bad, "test"),
+            Err(DurableError::Corrupt { .. })
+        ));
+        // A truncated section is caught before the checksum.
+        assert!(read_section(&section[..section.len() - 5], "test").is_err());
+    }
+
+    #[test]
+    fn implausible_lengths_are_rejected() {
+        let mut enc = Enc::new();
+        enc.u64(u64::MAX / 2);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes, "test");
+        assert!(dec.len(1 << 20).is_err());
+    }
+}

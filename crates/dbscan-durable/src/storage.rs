@@ -1,0 +1,122 @@
+//! The storage abstraction the durable layer writes through.
+//!
+//! Every byte the WAL and snapshot code touches goes through [`Storage`] /
+//! [`StorageFile`], so the fault-injection harness ([`crate::fault`]) can
+//! substitute a deterministic in-memory medium with seeded failpoints while
+//! production uses [`RealStorage`] (plain `std::fs`). The trait surface is
+//! deliberately the small set of operations a WAL needs — truncating
+//! create, append, whole-file read, atomic rename, remove, list — rather
+//! than a general filesystem.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An open writable file. `Sync` is required so the owning structures
+/// (e.g. a session holding a WAL) stay shareable; all mutation goes
+/// through `&mut self` anyway.
+pub trait StorageFile: Send + Sync {
+    /// Appends `buf` at the end of the file. Buffered: bytes are not
+    /// durable until [`StorageFile::sync`] returns.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes written bytes to durable media (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A durable byte store addressed by paths.
+pub trait Storage: Send + Sync {
+    /// Creates (or truncates) the file at `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Opens the file at `path` for appending at its current end.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Reads the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically replaces `to` with `from`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+    /// The files directly inside `dir` (no recursion), in unspecified order.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Creates `dir` and its ancestors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Flushes `dir`'s metadata (entry creation/rename durability).
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// [`Storage`] backed by the real filesystem.
+#[derive(Debug, Default, Clone)]
+pub struct RealStorage;
+
+impl RealStorage {
+    /// A shareable handle.
+    pub fn shared() -> Arc<dyn Storage> {
+        Arc::new(RealStorage)
+    }
+}
+
+struct RealFile(fs::File);
+
+impl StorageFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl Storage for RealStorage {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(RealFile(fs::File::create(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(RealFile(
+            fs::OpenOptions::new().append(true).open(path)?,
+        )))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directory fsync is how a rename/create becomes durable on Linux;
+        // on platforms where opening a directory fails this is best-effort.
+        match fs::File::open(dir) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+}

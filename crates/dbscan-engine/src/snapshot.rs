@@ -63,12 +63,40 @@ impl Engine {
     /// reuse. The points are immutable for the snapshot's lifetime — for an
     /// updated point set, index a new snapshot.
     pub fn index<const D: usize>(&self, points: Vec<Point<D>>) -> Snapshot<D> {
+        self.index_with_prebuilt(points, Vec::new())
+    }
+
+    /// [`Engine::index`] seeded with already-built spatial indexes — the
+    /// load half of snapshot persistence (`dbscan-durable` reconstructs the
+    /// persisted per-ε state and hands it in here, so the first query after
+    /// a process restart is a partition-cache hit).
+    ///
+    /// Each prebuilt entry is `(generation, index)`; entries are inserted in
+    /// the given order (least recently used first), entries beyond the
+    /// partition-cache capacity evict from the front, and the snapshot's
+    /// generation counter resumes past the largest seeded generation so
+    /// later builds can never collide with a persisted core-set key.
+    pub fn index_with_prebuilt<const D: usize>(
+        &self,
+        points: Vec<Point<D>>,
+        prebuilt: Vec<(u64, SpatialIndex<D>)>,
+    ) -> Snapshot<D> {
+        let mut partitions = LruCache::new(self.partition_cache_capacity);
+        let mut next_generation = 0u64;
+        for (generation, index) in prebuilt {
+            next_generation = next_generation.max(generation + 1);
+            let key = IndexKey {
+                eps_bits: index.eps.to_bits(),
+                cell_method: index.cell_method,
+            };
+            partitions.insert(key, (generation, Arc::new(index)));
+        }
         Snapshot {
             points: Arc::new(points),
-            partitions: Mutex::new(LruCache::new(self.partition_cache_capacity)),
+            partitions: Mutex::new(partitions),
             cores: Mutex::new(LruCache::new(self.core_cache_capacity)),
             counters: CacheCounters::default(),
-            next_generation: AtomicU64::new(0),
+            next_generation: AtomicU64::new(next_generation),
         }
     }
 }
@@ -172,6 +200,18 @@ impl<const D: usize> Snapshot<D> {
             cell_method,
         };
         lock(&self.partitions).get(&key).map(|(_, index)| index)
+    }
+
+    /// Every cached spatial index as `(generation, index)`, least recently
+    /// used first, without refreshing recency or touching the hit/miss
+    /// counters. This is the persist half of snapshot durability: feeding
+    /// the entries back to [`Engine::index_with_prebuilt`] in this order
+    /// reproduces the cache's eviction order.
+    pub fn cached_indexes(&self) -> Vec<(u64, Arc<SpatialIndex<D>>)> {
+        lock(&self.partitions)
+            .iter()
+            .map(|(_, (generation, index))| (*generation, Arc::clone(index)))
+            .collect()
     }
 
     /// Runs the paper's default exact variant (`our-exact`) for `params`,

@@ -86,6 +86,18 @@ pub struct UpdateStats {
     pub connect_region_time: Duration,
     /// Wall-clock time of the whole `apply` call.
     pub elapsed: Duration,
+    /// Bytes appended to the write-ahead log for this batch. Zero for a
+    /// non-durable clusterer — the `dbscan-durable` wrapper fills the three
+    /// WAL fields, and the facade's EXPLAIN report includes the WAL phases
+    /// only when this is non-zero.
+    pub wal_bytes: u64,
+    /// Wall time spent encoding and appending the batch's WAL record
+    /// (zero without a WAL — the `wal_append` phase).
+    pub wal_append_time: Duration,
+    /// Wall time spent in fsync for this batch's WAL record (zero without a
+    /// WAL or when the group-commit policy deferred the sync — the
+    /// `wal_fsync` phase).
+    pub wal_fsync_time: Duration,
 }
 
 /// Errors reported by the streaming clusterer.

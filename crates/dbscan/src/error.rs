@@ -55,6 +55,26 @@ pub enum Error {
     /// The underlying subsystem rejected the configuration for a reason the
     /// facade does not model (carried verbatim).
     Unsupported(String),
+    /// A durable-store I/O operation failed (message carried verbatim; the
+    /// store's on-disk state is untouched by the failed operation).
+    Io(String),
+    /// Durable on-disk state failed validation: a checksum mismatch, a
+    /// truncated non-tail region, an implausible length, or a WAL replay
+    /// the snapshot contradicts.
+    Corrupt {
+        /// Log sequence number of the offending WAL record, when the
+        /// corruption is attributable to one.
+        lsn: Option<u64>,
+        /// What failed validation.
+        reason: String,
+    },
+    /// A durable file was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -100,6 +120,20 @@ impl fmt::Display for Error {
                 write!(f, "point id {id} is deleted twice in one batch")
             }
             Error::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
+            Error::Io(msg) => write!(f, "durable store I/O error: {msg}"),
+            Error::Corrupt {
+                lsn: Some(lsn),
+                reason,
+            } => {
+                write!(f, "durable store corrupt at lsn {lsn}: {reason}")
+            }
+            Error::Corrupt { lsn: None, reason } => {
+                write!(f, "durable store corrupt: {reason}")
+            }
+            Error::VersionMismatch { found, expected } => write!(
+                f,
+                "durable store format version {found} is not the supported version {expected}"
+            ),
         }
     }
 }
@@ -134,6 +168,28 @@ impl From<dbscan_stream::StreamError> for Error {
     }
 }
 
+impl From<dbscan_durable::DurableError> for Error {
+    fn from(err: dbscan_durable::DurableError) -> Self {
+        use dbscan_durable::DurableError;
+        match err {
+            DurableError::Io(msg) => Error::Io(msg),
+            DurableError::Corrupt { lsn, reason } => Error::Corrupt { lsn, reason },
+            DurableError::VersionMismatch { found, expected } => {
+                Error::VersionMismatch { found, expected }
+            }
+            // A replay rejection means the log and the snapshot disagree —
+            // on-disk state inconsistent with itself, i.e. corruption (the
+            // durable layer validates batches *before* appending them, so a
+            // well-formed store never produces this).
+            DurableError::Replay { lsn, source } => Error::Corrupt {
+                lsn: Some(lsn),
+                reason: format!("WAL replay rejected: {source}"),
+            },
+            DurableError::Stream(err) => err.into(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +220,31 @@ mod tests {
         assert_eq!(e, Error::UnknownPoint(7));
         let e: Error = dbscan_stream::StreamError::DuplicateDelete(3).into();
         assert_eq!(e, Error::DuplicateDelete(3));
+        let e: Error = dbscan_durable::DurableError::Io("disk full".into()).into();
+        assert_eq!(e, Error::Io("disk full".into()));
+        let e: Error = dbscan_durable::DurableError::corrupt(Some(9), "bad crc").into();
+        assert_eq!(
+            e,
+            Error::Corrupt {
+                lsn: Some(9),
+                reason: "bad crc".into()
+            }
+        );
+        let e: Error = dbscan_durable::DurableError::VersionMismatch {
+            found: 2,
+            expected: 1,
+        }
+        .into();
+        assert_eq!(
+            e,
+            Error::VersionMismatch {
+                found: 2,
+                expected: 1
+            }
+        );
+        let e: Error =
+            dbscan_durable::DurableError::Stream(dbscan_stream::StreamError::UnknownPoint(5))
+                .into();
+        assert_eq!(e, Error::UnknownPoint(5));
     }
 }

@@ -92,6 +92,16 @@ pub use dbscan_engine::CacheStats;
 /// Per-update-batch statistics, re-exported from the streaming crate.
 pub use dbscan_stream::UpdateStats;
 
+/// Durability knobs for [`ClusterSession::ingest_durable`] /
+/// [`ClusterSession::open_durable`] — WAL fsync policy and checkpoint
+/// cadence, re-exported from the durable crate.
+pub use dbscan_durable::{DurableOptions, FsyncPolicy};
+
+/// The durability crate (snapshot persistence, write-ahead logging, crash
+/// recovery, fault injection) — the advanced statically-typed interface
+/// behind the durable session paths.
+pub use dbscan_durable as durable;
+
 /// The engine crate (snapshots, explicit cache control) — the advanced
 /// statically-typed interface behind [`ClusterSession`]'s query and sweep
 /// paths.

@@ -24,11 +24,13 @@
 use crate::cloud::PointCloud;
 use crate::error::Error;
 use crate::labels::Labels;
+use dbscan_durable::{DurableClusterer, DurableOptions, RealStorage, Storage};
 use dbscan_engine::{CacheStats, Engine, QueryStats, Snapshot};
 use dbscan_stream::{IntoStreaming, StreamingClusterer, UpdateBatch, UpdateStats};
 use geom::{points_from_flat, Point};
 use pardbscan::{DbscanParams, VariantConfig};
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Configures and opens [`ClusterSession`]s.
 ///
@@ -39,6 +41,7 @@ use std::sync::Mutex;
 #[derive(Debug, Clone, Default)]
 pub struct SessionBuilder {
     engine: Engine,
+    durable: Option<(PathBuf, DurableOptions)>,
 }
 
 impl SessionBuilder {
@@ -59,12 +62,43 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches durability: the session's point set is persisted under
+    /// `dir` (a snapshot at ingest and after every streaming episode), and
+    /// every [`ClusterSession::updates`] episode write-ahead logs its
+    /// batches per `options` before applying them. Reopen later with
+    /// [`ClusterSession::open_durable`].
+    pub fn durable(mut self, dir: impl AsRef<Path>, options: DurableOptions) -> Self {
+        self.durable = Some((dir.as_ref().to_path_buf(), options));
+        self
+    }
+
     /// Ingests a validated point cloud and opens the session. Fails with
     /// [`Error::UnsupportedDimension`] when the cloud's dimensionality is
-    /// outside 2..=8.
+    /// outside 2..=8. With [`SessionBuilder::durable`] configured, also
+    /// (re)initializes the store directory with a snapshot of the cloud.
     pub fn ingest(self, cloud: PointCloud) -> Result<ClusterSession, Error> {
         let dim = cloud.dim();
-        let inner = open_session(self.engine, &cloud)?;
+        let inner = open_session(self.engine, &cloud, self.durable)?;
+        Ok(ClusterSession {
+            dim,
+            inner,
+            last_explain: Mutex::new(None),
+        })
+    }
+
+    /// Opens the session persisted in the durable store at `dir`: recovers
+    /// the live point set (newest snapshot plus WAL replay), checkpoints so
+    /// the next open needs no replay, and serves it in indexed mode. The
+    /// dimensionality is read from the store's headers.
+    pub fn open_durable(
+        self,
+        dir: impl AsRef<Path>,
+        options: DurableOptions,
+    ) -> Result<ClusterSession, Error> {
+        let dir = dir.as_ref();
+        let storage = RealStorage::shared();
+        let dim = dbscan_durable::store_dim(&storage, dir)? as usize;
+        let inner = open_durable_session(self.engine, storage, dir, options, dim)?;
         Ok(ClusterSession {
             dim,
             inner,
@@ -133,12 +167,32 @@ fn phases_from_sweep(cells: &[SweepCell]) -> Vec<obs::PhaseExecution> {
 
 /// The EXPLAIN phase list of one streaming apply: the two maintenance
 /// phases that dominate an update's cost (overlay bookkeeping and
-/// component/adjacency repair are part of the wall total).
+/// component/adjacency repair are part of the wall total). A durable
+/// session's applies additionally report the write-ahead logging cost —
+/// the WAL phases appear exactly when the batch was logged
+/// (`stats.wal_bytes > 0`), so non-durable sessions' reports are
+/// unchanged.
 fn phases_from_update(stats: &UpdateStats) -> Vec<obs::PhaseExecution> {
-    vec![
-        obs::PhaseExecution::ran(obs::phase::MARK_CORE_REGION, stats.mark_core_region_time),
-        obs::PhaseExecution::ran(obs::phase::CONNECT_REGION, stats.connect_region_time),
-    ]
+    let mut phases = Vec::with_capacity(4);
+    if stats.wal_bytes > 0 {
+        phases.push(obs::PhaseExecution::ran(
+            obs::phase::WAL_APPEND,
+            stats.wal_append_time,
+        ));
+        phases.push(obs::PhaseExecution::ran(
+            obs::phase::WAL_FSYNC,
+            stats.wal_fsync_time,
+        ));
+    }
+    phases.push(obs::PhaseExecution::ran(
+        obs::phase::MARK_CORE_REGION,
+        stats.mark_core_region_time,
+    ));
+    phases.push(obs::PhaseExecution::ran(
+        obs::phase::CONNECT_REGION,
+        stats.connect_region_time,
+    ));
+    phases
 }
 
 /// One clustering result grid cell of a [`ClusterSession::sweep`].
@@ -252,6 +306,45 @@ impl ClusterSession {
     /// Opens a session over `cloud` with default cache capacities.
     pub fn ingest(cloud: PointCloud) -> Result<Self, Error> {
         SessionBuilder::new().ingest(cloud)
+    }
+
+    /// Opens a session over `cloud` persisted in the durable store at
+    /// `dir` (see [`SessionBuilder::durable`]). Any prior store at `dir`
+    /// is reinitialized.
+    pub fn ingest_durable(
+        cloud: PointCloud,
+        dir: impl AsRef<Path>,
+        options: DurableOptions,
+    ) -> Result<Self, Error> {
+        SessionBuilder::new().durable(dir, options).ingest(cloud)
+    }
+
+    /// Reopens the session persisted in the durable store at `dir`:
+    /// recovers the live point set from the newest snapshot plus the WAL
+    /// suffix, checkpoints, and serves it in indexed mode. The recovered
+    /// points (ascending stable id) become the new session's ingest order,
+    /// so labels computed before the crash and after recovery line up
+    /// point for point.
+    ///
+    /// ```no_run
+    /// use dbscan::{ClusterSession, DurableOptions, Params, PointCloud};
+    ///
+    /// let dir = "/var/lib/myapp/clusters";
+    /// let opts = DurableOptions::default();
+    /// {
+    ///     let rows: Vec<[f64; 2]> = (0..10).map(|i| [0.1 * i as f64, 0.0]).collect();
+    ///     let mut session =
+    ///         ClusterSession::ingest_durable(PointCloud::from_rows(&rows)?, dir, opts)?;
+    ///     let mut updates = session.updates(Params::new(0.5, 3))?;
+    ///     updates.insert(&[0.15, 0.0])?; // WAL'd before it is applied
+    ///     // process crashes here — the insert survives
+    /// }
+    /// let recovered = ClusterSession::open_durable(dir, opts)?;
+    /// assert_eq!(recovered.num_points(), 11);
+    /// # Ok::<(), dbscan::Error>(())
+    /// ```
+    pub fn open_durable(dir: impl AsRef<Path>, options: DurableOptions) -> Result<Self, Error> {
+        SessionBuilder::new().open_durable(dir, options)
     }
 
     /// The dimensionality of the session's points.
@@ -561,13 +654,15 @@ trait ErasedSession: Send + Sync {
 }
 
 /// The session's mode: an engine snapshot (query/sweep service) or a
-/// streaming clusterer (update service). `Transitioning` exists only
-/// inside mode changes (the enum must be takeable by value). The variants
-/// are boxed: exactly one `Mode` exists per session, so the indirection is
-/// irrelevant, and it keeps the enum pointer-sized.
+/// streaming clusterer (update service) — write-ahead logged when the
+/// session is durable. `Transitioning` exists only inside mode changes
+/// (the enum must be takeable by value). The variants are boxed: exactly
+/// one `Mode` exists per session, so the indirection is irrelevant, and it
+/// keeps the enum pointer-sized.
 enum Mode<const D: usize> {
     Indexed(Box<Snapshot<D>>),
     Streaming(Box<StreamingClusterer<D>>),
+    DurableStreaming(Box<DurableClusterer<D>>),
     Transitioning,
 }
 
@@ -575,15 +670,28 @@ enum Mode<const D: usize> {
 struct SessionState<const D: usize> {
     engine: Engine,
     mode: Mode<D>,
+    /// Present on durable sessions: the store directory and the WAL
+    /// policy every streaming episode runs under.
+    durable: Option<(PathBuf, DurableOptions)>,
 }
 
 impl<const D: usize> SessionState<D> {
-    fn new(engine: Engine, points: Vec<Point<D>>) -> Self {
+    fn new(
+        engine: Engine,
+        points: Vec<Point<D>>,
+        durable: Option<(PathBuf, DurableOptions)>,
+    ) -> Result<Self, Error> {
+        if let Some((dir, _)) = &durable {
+            // Persist the ingested cloud before serving anything: a durable
+            // session recovers to at least its ingest state.
+            dbscan_durable::init_store(&RealStorage::shared(), dir, points.clone(), None)?;
+        }
         let snapshot = engine.index(points);
-        SessionState {
+        Ok(SessionState {
             engine,
             mode: Mode::Indexed(Box::new(snapshot)),
-        }
+            durable,
+        })
     }
 
     fn snapshot(&self) -> &Snapshot<D> {
@@ -595,16 +703,12 @@ impl<const D: usize> SessionState<D> {
         }
     }
 
-    fn clusterer_mut(&mut self) -> &mut StreamingClusterer<D> {
-        match &mut self.mode {
-            Mode::Streaming(clusterer) => clusterer,
-            _ => unreachable!("update paths require an UpdateHandle"),
-        }
-    }
-
-    fn clusterer(&self) -> &StreamingClusterer<D> {
+    /// The live `(stable id, point)` pairs of whichever streaming mode is
+    /// active.
+    fn streaming_live_points(&self) -> Vec<(usize, Point<D>)> {
         match &self.mode {
-            Mode::Streaming(clusterer) => clusterer,
+            Mode::Streaming(clusterer) => clusterer.live_points(),
+            Mode::DurableStreaming(durable) => durable.live_points(),
             _ => unreachable!("update paths require an UpdateHandle"),
         }
     }
@@ -615,6 +719,7 @@ impl<const D: usize> ErasedSession for SessionState<D> {
         match &self.mode {
             Mode::Indexed(snapshot) => snapshot.num_points(),
             Mode::Streaming(clusterer) => clusterer.num_live(),
+            Mode::DurableStreaming(durable) => durable.num_live(),
             Mode::Transitioning => unreachable!("mode transitions are not observable"),
         }
     }
@@ -656,15 +761,42 @@ impl<const D: usize> ErasedSession for SessionState<D> {
         // grid-backed conversion below cannot fail, so the session is never
         // left without a mode.
         params.validate().map_err(Error::from)?;
-        match std::mem::replace(&mut self.mode, Mode::Transitioning) {
-            Mode::Indexed(snapshot) => {
-                let clusterer = (*snapshot).into_streaming(params)?;
-                self.mode = Mode::Streaming(Box::new(clusterer));
-                Ok(())
+        if let Some((dir, options)) = self.durable.clone() {
+            // Durable episode: re-found the store on the current live set
+            // (stable ids are per-episode, so the store's external ids — a
+            // fresh `0..n` — coincide with the episode's ids) and log every
+            // batch from here on.
+            let snapshot = match std::mem::replace(&mut self.mode, Mode::Transitioning) {
+                Mode::Indexed(snapshot) => snapshot,
+                other => {
+                    self.mode = other;
+                    unreachable!("begin_updates requires the indexed mode")
+                }
+            };
+            let points = snapshot.points().to_vec();
+            match DurableClusterer::create(RealStorage::shared(), &dir, points, params, options) {
+                Ok(durable) => {
+                    self.mode = Mode::DurableStreaming(Box::new(durable));
+                    Ok(())
+                }
+                Err(err) => {
+                    // Leave the session serviceable: the snapshot is
+                    // untouched by the failed store initialization.
+                    self.mode = Mode::Indexed(snapshot);
+                    Err(err.into())
+                }
             }
-            other => {
-                self.mode = other;
-                unreachable!("begin_updates requires the indexed mode")
+        } else {
+            match std::mem::replace(&mut self.mode, Mode::Transitioning) {
+                Mode::Indexed(snapshot) => {
+                    let clusterer = (*snapshot).into_streaming(params)?;
+                    self.mode = Mode::Streaming(Box::new(clusterer));
+                    Ok(())
+                }
+                other => {
+                    self.mode = other;
+                    unreachable!("begin_updates requires the indexed mode")
+                }
             }
         }
     }
@@ -674,40 +806,58 @@ impl<const D: usize> ErasedSession for SessionState<D> {
             inserts: points_from_flat::<D>(insert_coords),
             deletes: deletes.to_vec(),
         };
-        Ok(self.clusterer_mut().apply(batch)?)
+        match &mut self.mode {
+            Mode::Streaming(clusterer) => Ok(clusterer.apply(batch)?),
+            Mode::DurableStreaming(durable) => Ok(durable.apply(batch)?),
+            _ => unreachable!("update paths require an UpdateHandle"),
+        }
     }
 
     fn stream_labels(&self) -> Labels {
-        Labels::from(self.clusterer().clustering())
+        match &self.mode {
+            Mode::Streaming(clusterer) => Labels::from(clusterer.clustering()),
+            Mode::DurableStreaming(durable) => Labels::from(durable.clustering()),
+            _ => unreachable!("update paths require an UpdateHandle"),
+        }
     }
 
     fn live_ids(&self) -> Vec<usize> {
-        self.clusterer()
-            .live_points()
+        self.streaming_live_points()
             .into_iter()
             .map(|(id, _)| id)
             .collect()
     }
 
     fn live_coords(&self) -> Vec<f64> {
-        let clusterer = self.clusterer();
-        let mut out = Vec::with_capacity(clusterer.num_live() * D);
-        for (_, p) in clusterer.live_points() {
+        let live = self.streaming_live_points();
+        let mut out = Vec::with_capacity(live.len() * D);
+        for (_, p) in live {
             out.extend_from_slice(&p.coords);
         }
         out
     }
 
     fn freeze(&mut self) {
-        if let Mode::Streaming(clusterer) = std::mem::replace(&mut self.mode, Mode::Transitioning) {
-            let points: Vec<Point<D>> = clusterer
-                .live_points()
-                .into_iter()
-                .map(|(_, p)| p)
-                .collect();
-            self.mode = Mode::Indexed(Box::new(self.engine.index(points)));
-        } else {
-            unreachable!("freeze requires the streaming mode")
+        match std::mem::replace(&mut self.mode, Mode::Transitioning) {
+            Mode::Streaming(clusterer) => {
+                let points: Vec<Point<D>> = clusterer
+                    .live_points()
+                    .into_iter()
+                    .map(|(_, p)| p)
+                    .collect();
+                self.mode = Mode::Indexed(Box::new(self.engine.index(points)));
+            }
+            Mode::DurableStreaming(mut durable) => {
+                // Best-effort final checkpoint (freeze runs from Drop, so
+                // the error cannot propagate): if it fails, the WAL still
+                // holds every logged batch and recovery replays them — only
+                // the log compaction is lost.
+                let _ = durable.checkpoint();
+                let points: Vec<Point<D>> =
+                    durable.live_points().into_iter().map(|(_, p)| p).collect();
+                self.mode = Mode::Indexed(Box::new(self.engine.index(points)));
+            }
+            _ => unreachable!("freeze requires a streaming mode"),
         }
     }
 }
@@ -723,16 +873,75 @@ impl<const D: usize> ErasedSession for SessionState<D> {
 /// [`crate::cluster`] path dispatches through (and which the error message
 /// quotes). The `session_range_equals_erased_pipeline_range` test pins the
 /// two tables together.
-fn open_session(engine: Engine, cloud: &PointCloud) -> Result<Box<dyn ErasedSession>, Error> {
+fn open_session(
+    engine: Engine,
+    cloud: &PointCloud,
+    durable: Option<(PathBuf, DurableOptions)>,
+) -> Result<Box<dyn ErasedSession>, Error> {
     macro_rules! open_dim {
         ($d:literal) => {
             Box::new(SessionState::<$d>::new(
                 engine,
                 points_from_flat::<$d>(cloud.coords()),
-            )) as Box<dyn ErasedSession>
+                durable,
+            )?) as Box<dyn ErasedSession>
         };
     }
     Ok(match cloud.dim() {
+        2 => open_dim!(2),
+        3 => open_dim!(3),
+        4 => open_dim!(4),
+        5 => open_dim!(5),
+        6 => open_dim!(6),
+        7 => open_dim!(7),
+        8 => open_dim!(8),
+        dim => return Err(Error::UnsupportedDimension(dim)),
+    })
+}
+
+/// The durable twin of [`open_session`]: recovers the store at `dir` for
+/// the store's own dimensionality (read from its file headers) and serves
+/// the recovered points in indexed mode.
+fn open_durable_session(
+    engine: Engine,
+    storage: Arc<dyn Storage>,
+    dir: &Path,
+    options: DurableOptions,
+    dim: usize,
+) -> Result<Box<dyn ErasedSession>, Error> {
+    fn recover<const D: usize>(
+        engine: Engine,
+        storage: Arc<dyn Storage>,
+        dir: &Path,
+        options: DurableOptions,
+    ) -> Result<SessionState<D>, Error> {
+        let has_wal = storage.exists(&dir.join(dbscan_durable::wal::WAL_FILE));
+        let snapshot = dbscan_durable::read_store_snapshot::<D>(&storage, dir)?;
+        let points: Vec<Point<D>> = match (&snapshot, has_wal) {
+            // An idle store (ingested or frozen, never streamed since):
+            // nothing to replay.
+            (Some(s), false) if s.params.is_none() => s.points.clone(),
+            // Anything else goes through full recovery; the checkpoint
+            // afterwards means the *next* open takes the idle path or a
+            // replay-free one.
+            _ => {
+                let mut durable = DurableClusterer::<D>::open(storage, dir, options)?;
+                durable.checkpoint()?;
+                durable.live_points().into_iter().map(|(_, p)| p).collect()
+            }
+        };
+        Ok(SessionState {
+            mode: Mode::Indexed(Box::new(engine.index(points))),
+            engine,
+            durable: Some((dir.to_path_buf(), options)),
+        })
+    }
+    macro_rules! open_dim {
+        ($d:literal) => {
+            Box::new(recover::<$d>(engine, storage, dir, options)?) as Box<dyn ErasedSession>
+        };
+    }
+    Ok(match dim {
         2 => open_dim!(2),
         3 => open_dim!(3),
         4 => open_dim!(4),

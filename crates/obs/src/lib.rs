@@ -177,6 +177,14 @@ pub mod phase {
     pub const MARK_CORE_REGION: &str = "mark_core_region";
     /// Streaming step 3: BCP re-connection of surviving cell pairs.
     pub const CONNECT_REGION: &str = "connect_region";
+    /// Encoding + appending one update batch's write-ahead-log record
+    /// (`dbscan-durable`).
+    pub const WAL_APPEND: &str = "wal_append";
+    /// Fsyncing the write-ahead log for one update batch (absent under a
+    /// deferring group-commit policy).
+    pub const WAL_FSYNC: &str = "wal_fsync";
+    /// Opening a durable store: snapshot load + WAL replay.
+    pub const RECOVERY: &str = "recovery";
 }
 
 /// A monotonically assigned per-thread id, used in span records. Stable for

@@ -1,0 +1,280 @@
+//! The corruption matrix: flip bits in each region of the two on-disk
+//! formats — WAL header, WAL record payload, WAL record CRC trailer,
+//! snapshot header, snapshot body sections, snapshot CRC trailers — and
+//! assert the open path reports the right *typed* error for each region
+//! (never a panic, never silently wrong data). The one deliberate
+//! exception: a damaged final WAL record is indistinguishable from a torn
+//! tail, so it truncates cleanly instead of failing.
+
+use dbscan_durable::format::crc32;
+use dbscan_durable::{DurableClusterer, DurableError, DurableOptions, FaultStorage, FsyncPolicy};
+use dbscan_stream::UpdateBatch;
+use geom::Point2;
+use pardbscan::DbscanParams;
+use std::path::Path;
+
+const DIR: &str = "/store";
+
+fn params() -> DbscanParams {
+    DbscanParams::new(0.5, 3)
+}
+
+fn options() -> DurableOptions {
+    DurableOptions {
+        fsync: FsyncPolicy::PerBatch,
+        checkpoint_every: 0,
+    }
+}
+
+fn cloud(n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|i| Point2::new([(i % 6) as f64 * 0.3, (i / 6) as f64 * 0.3]))
+        .collect()
+}
+
+/// Builds a store with three WAL records past its initial snapshot and
+/// returns the rebooted (durable-only) storage image.
+fn build_store() -> FaultStorage {
+    let storage = FaultStorage::new();
+    let mut durable = DurableClusterer::create(
+        storage.shared(),
+        Path::new(DIR),
+        cloud(18),
+        params(),
+        options(),
+    )
+    .unwrap();
+    for step in 0..3usize {
+        durable
+            .apply(UpdateBatch {
+                inserts: vec![Point2::new([step as f64 * 0.3, 1.4])],
+                deletes: vec![step],
+            })
+            .unwrap();
+    }
+    storage.durable_clone()
+}
+
+/// The `(start, end)` byte range of each length-prefixed frame
+/// (`[len u32][payload][crc u32]`) in `buf`.
+fn frames(buf: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at + 8 <= buf.len() {
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
+        let end = at + 8 + len;
+        assert!(end <= buf.len(), "frame at {at} overruns the file");
+        out.push((at, end));
+        at = end;
+    }
+    assert_eq!(at, buf.len(), "trailing garbage after the last frame");
+    out
+}
+
+/// A copy of `image` whose file at `path` has bit `bit` of byte `offset`
+/// flipped.
+fn with_flipped_bit(image: &FaultStorage, path: &Path, offset: usize, bit: u8) -> FaultStorage {
+    let copy = image.durable_clone();
+    let storage = copy.shared();
+    let mut bytes = storage.read(path).unwrap();
+    bytes[offset] ^= 1 << bit;
+    let mut f = storage.create(path).unwrap();
+    f.write_all(&bytes).unwrap();
+    f.sync().unwrap();
+    copy
+}
+
+fn open_store(storage: &FaultStorage) -> Result<DurableClusterer<2>, DurableError> {
+    DurableClusterer::<2>::open(storage.shared(), Path::new(DIR), options())
+}
+
+#[test]
+fn wal_header_flips_are_typed_corruption() {
+    let image = build_store();
+    let wal_path = Path::new(DIR).join("wal.log");
+    let bytes = image.shared().read(&wal_path).unwrap();
+    let (start, end) = frames(&bytes)[0];
+    // Every region of the header frame: length prefix, magic, version,
+    // dim/base/params payload, CRC trailer.
+    for offset in [start, start + 4, start + 9, start + 14, end - 4, end - 1] {
+        for bit in [0u8, 7] {
+            let corrupted = with_flipped_bit(&image, &wal_path, offset, bit);
+            match open_store(&corrupted) {
+                Err(DurableError::Corrupt { .. }) | Err(DurableError::VersionMismatch { .. }) => {}
+                other => panic!(
+                    "wal header byte {offset} bit {bit}: expected typed corruption, got {}",
+                    describe(&other)
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn wal_mid_file_record_flips_name_the_damaged_lsn() {
+    let image = build_store();
+    let wal_path = Path::new(DIR).join("wal.log");
+    let bytes = image.shared().read(&wal_path).unwrap();
+    let all = frames(&bytes);
+    assert_eq!(all.len(), 4, "header + three records");
+    // Record 1 (the first after the header) is mid-file: records 2 and 3
+    // follow it, so damage here is *not* a torn tail and must be reported
+    // as corruption at that LSN — payload and CRC trailer alike.
+    let (start, end) = all[1];
+    for offset in [start + 8, (start + end) / 2, end - 4, end - 1] {
+        let corrupted = with_flipped_bit(&image, &wal_path, offset, 3);
+        match open_store(&corrupted) {
+            Err(DurableError::Corrupt { lsn: Some(1), .. }) => {}
+            other => panic!(
+                "wal record byte {offset}: expected Corrupt at lsn 1, got {}",
+                describe(&other)
+            ),
+        }
+    }
+}
+
+#[test]
+fn wal_tail_record_flips_truncate_instead_of_failing() {
+    let image = build_store();
+    let wal_path = Path::new(DIR).join("wal.log");
+    let bytes = image.shared().read(&wal_path).unwrap();
+    let all = frames(&bytes);
+    let (start, end) = *all.last().unwrap();
+
+    // Reference states after two and after three batches.
+    let full = open_store(&image.durable_clone()).unwrap();
+    assert_eq!(full.last_lsn(), 3);
+    let prefix_image = {
+        let copy = image.durable_clone();
+        // Truncate the last record outright to obtain the 2-batch oracle.
+        let storage = copy.shared();
+        let mut f = storage.create(&wal_path).unwrap();
+        f.write_all(&bytes[..start]).unwrap();
+        f.sync().unwrap();
+        copy
+    };
+    let prefix = open_store(&prefix_image).unwrap();
+    assert_eq!(prefix.last_lsn(), 2);
+
+    // A flipped bit anywhere in the final record looks like a torn tail:
+    // recovery truncates it and lands on the 2-batch prefix.
+    for offset in [start, start + 8, end - 1] {
+        let corrupted = with_flipped_bit(&image, &wal_path, offset, 5);
+        let recovered = open_store(&corrupted).unwrap();
+        assert_eq!(recovered.last_lsn(), 2, "tail byte {offset}");
+        assert_eq!(
+            recovered.clustering(),
+            prefix.clustering(),
+            "tail byte {offset}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_flips_are_typed_corruption_in_every_region() {
+    let image = build_store();
+    let dir = Path::new(DIR);
+    // Make the snapshot the only source of truth: checkpoint folds the WAL
+    // into snapshot.3.bin, then drop the older snapshot so corruption
+    // cannot be masked by fallback.
+    let checkpointed = {
+        let mut durable = open_store(&image).unwrap();
+        durable.checkpoint().unwrap();
+        drop(durable);
+        image.durable_clone()
+    };
+    checkpointed
+        .shared()
+        .remove(&dir.join("snapshot.0.bin"))
+        .unwrap();
+    let snap_path = dir.join("snapshot.3.bin");
+    let bytes = checkpointed.shared().read(&snap_path).unwrap();
+    let all = frames(&bytes);
+    assert!(all.len() >= 2, "snapshot = header frame + body frames");
+
+    // One probe per region of every frame: length prefix, payload start,
+    // payload middle, CRC trailer.
+    for (i, &(start, end)) in all.iter().enumerate() {
+        for offset in [start, start + 8, (start + end) / 2, end - 4, end - 1] {
+            let corrupted = with_flipped_bit(&checkpointed, &snap_path, offset, 2);
+            match open_store(&corrupted) {
+                Err(DurableError::Corrupt { .. }) | Err(DurableError::VersionMismatch { .. }) => {}
+                other => panic!(
+                    "snapshot frame {i} byte {offset}: expected typed corruption, got {}",
+                    describe(&other)
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn version_bumps_with_valid_checksums_are_version_mismatches() {
+    let image = build_store();
+    let wal_path = Path::new(DIR).join("wal.log");
+
+    // A future format version with an *intact* CRC must be reported as a
+    // version mismatch, not corruption: the bytes are fine, the reader is
+    // too old. Bump the version field and recompute the frame checksum.
+    let storage = image.shared();
+    let mut bytes = storage.read(&wal_path).unwrap();
+    let (start, end) = frames(&bytes)[0];
+    bytes[start + 4 + 5] = 9; // version u32 LE lives right after the magic
+    let crc = crc32(&bytes[start + 4..end - 4]).to_le_bytes();
+    bytes[end - 4..end].copy_from_slice(&crc);
+    let mut f = storage.create(&wal_path).unwrap();
+    f.write_all(&bytes).unwrap();
+    f.sync().unwrap();
+
+    match open_store(&image) {
+        Err(DurableError::VersionMismatch { found: 9, expected }) => {
+            assert_eq!(expected, dbscan_durable::wal::WAL_VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {}", describe(&other)),
+    }
+}
+
+/// Facade-level: a corrupted real on-disk store surfaces the same typed
+/// errors through `dbscan::Error`.
+#[test]
+fn facade_reports_typed_errors_for_on_disk_corruption() {
+    use dbscan::{ClusterSession, Error, Params, PointCloud};
+
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("facade_corruption");
+    let _ = std::fs::remove_dir_all(&dir);
+    let rows: Vec<[f64; 2]> = (0..12)
+        .map(|i| [0.25 * (i % 4) as f64, 0.25 * (i / 4) as f64])
+        .collect();
+    let opts = DurableOptions::default();
+    {
+        let mut session =
+            ClusterSession::ingest_durable(PointCloud::from_rows(&rows).unwrap(), &dir, opts)
+                .unwrap();
+        let mut updates = session.updates(Params::new(0.4, 3)).unwrap();
+        updates.insert(&[0.1, 0.1]).unwrap();
+        updates.finish();
+    }
+
+    // Flip a bit in the WAL magic on the real filesystem.
+    let wal_path = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes[4] ^= 0x40;
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    match ClusterSession::open_durable(&dir, opts) {
+        Err(Error::Corrupt { .. }) => {}
+        other => panic!("expected Error::Corrupt, got {other:?}"),
+    }
+
+    // Remove the broken WAL: the checkpointed snapshot alone still opens.
+    std::fs::remove_file(&wal_path).unwrap();
+    let recovered = ClusterSession::open_durable(&dir, opts).unwrap();
+    assert_eq!(recovered.num_points(), 13);
+}
+
+fn describe<T>(result: &Result<T, DurableError>) -> String {
+    match result {
+        Ok(_) => "Ok(..)".to_string(),
+        Err(e) => format!("{e}"),
+    }
+}

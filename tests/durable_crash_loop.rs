@@ -1,0 +1,269 @@
+//! The crash-injection loop: every mutating storage operation the durable
+//! store issues over a full create → apply × N → checkpoint lifecycle is a
+//! crash site. For each site (and again with silently-dropped append
+//! fsyncs layered on top) the store is crashed exactly there, rebooted
+//! from its durable bytes, and recovered — and the recovered clustering
+//! must be **byte-identical** to a from-scratch batch `Dbscan` run over
+//! the corresponding prefix's live set (the stream ≡ batch oracle). Under
+//! the per-batch fsync policy every acknowledged batch must survive;
+//! after recovery the remaining batches replay to the same final state an
+//! uninterrupted run reaches.
+
+use dbscan_durable::{DurableClusterer, DurableOptions, FaultPlan, FaultStorage, FsyncPolicy};
+use dbscan_stream::UpdateBatch;
+use geom::Point2;
+use pardbscan::{Clustering, Dbscan, DbscanParams};
+use std::path::Path;
+
+const DIR: &str = "/store";
+const N_BATCHES: usize = 10;
+
+fn params() -> DbscanParams {
+    DbscanParams::new(0.45, 3)
+}
+
+fn options() -> DurableOptions {
+    DurableOptions {
+        fsync: FsyncPolicy::PerBatch,
+        checkpoint_every: 3,
+    }
+}
+
+fn initial_points() -> Vec<Point2> {
+    // Two blobs plus strays, so inserts and deletes move cluster borders.
+    let mut pts = Vec::new();
+    for i in 0..12 {
+        pts.push(Point2::new([0.25 * (i % 4) as f64, 0.25 * (i / 4) as f64]));
+    }
+    for i in 0..8 {
+        pts.push(Point2::new([
+            3.0 + 0.3 * (i % 3) as f64,
+            0.3 * (i / 3) as f64,
+        ]));
+    }
+    pts.push(Point2::new([1.6, 1.6]));
+    pts.push(Point2::new([-1.4, 0.8]));
+    pts
+}
+
+/// The uninterrupted history the durable store should preserve: the live
+/// set (external id → point) after each batch prefix.
+struct Model {
+    live: Vec<(u64, Point2)>, // ascending external id
+    next_ext: u64,
+}
+
+impl Model {
+    fn new(points: &[Point2]) -> Self {
+        Model {
+            live: points
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p))
+                .collect(),
+            next_ext: points.len() as u64,
+        }
+    }
+
+    fn apply(&mut self, batch: &UpdateBatch<2>) {
+        self.live
+            .retain(|&(id, _)| !batch.deletes.contains(&(id as usize)));
+        for &p in &batch.inserts {
+            self.live.push((self.next_ext, p));
+            self.next_ext += 1;
+        }
+    }
+
+    /// The batch oracle: a from-scratch run over the live set in ascending
+    /// external-id order — the order recovered clusterings are emitted in.
+    fn batch_clustering(&self) -> Clustering {
+        let pts: Vec<Point2> = self.live.iter().map(|&(_, p)| p).collect();
+        Dbscan::new(&pts, params()).run().unwrap()
+    }
+}
+
+/// The scripted update sequence (deletes are external ids, chosen to stay
+/// valid for the prefix they apply to) plus the oracle clustering after
+/// each prefix 0..=N_BATCHES.
+fn scenario() -> (Vec<UpdateBatch<2>>, Vec<Clustering>) {
+    let initial = initial_points();
+    let mut model = Model::new(&initial);
+    let mut batches = Vec::new();
+    let mut oracle = vec![model.batch_clustering()];
+    for step in 0..N_BATCHES {
+        let inserts: Vec<Point2> = (0..=(step % 3))
+            .map(|j| {
+                Point2::new([
+                    0.25 * ((step + j) % 5) as f64 + 0.05,
+                    0.25 * (step % 4) as f64 + 1.5,
+                ])
+            })
+            .collect();
+        // Delete two live points picked at a stride — ids shift as
+        // history grows, so deletes exercise the external-id translation.
+        let deletes: Vec<usize> = model
+            .live
+            .iter()
+            .skip(step)
+            .step_by(7)
+            .take(2)
+            .map(|&(id, _)| id as usize)
+            .collect();
+        let batch = UpdateBatch { inserts, deletes };
+        model.apply(&batch);
+        oracle.push(model.batch_clustering());
+        batches.push(batch);
+    }
+    (batches, oracle)
+}
+
+/// Runs the full lifecycle against `storage`, swallowing injected faults.
+/// Returns how many applies were acknowledged (`Ok`).
+fn run_scenario(storage: &FaultStorage, batches: &[UpdateBatch<2>]) -> (bool, usize) {
+    let dir = Path::new(DIR);
+    let mut durable = match DurableClusterer::create(
+        storage.shared(),
+        dir,
+        initial_points(),
+        params(),
+        options(),
+    ) {
+        Ok(d) => d,
+        Err(_) => return (false, 0),
+    };
+    let mut acked = 0;
+    for batch in batches {
+        if durable.apply(batch.clone()).is_ok() {
+            acked += 1;
+        }
+    }
+    (true, acked)
+}
+
+/// Crashes the lifecycle at operation `op`, reboots, recovers, and checks
+/// the recovered state against the prefix oracle; then finishes the
+/// remaining batches and checks the final state. `dropped_fsyncs` layers
+/// the lying-storage failure mode on top.
+fn crash_at(op: u64, batches: &[UpdateBatch<2>], oracle: &[Clustering], dropped_fsyncs: bool) {
+    let dir = Path::new(DIR);
+    let storage = FaultStorage::with_plan(FaultPlan {
+        crash_at_op: Some(op),
+        drop_append_fsyncs: dropped_fsyncs,
+        seed: 0x5EED_F00D ^ op.wrapping_mul(0x9E37_79B9),
+    });
+    let (created, acked) = run_scenario(&storage, batches);
+    let rebooted = storage.durable_clone();
+    let context = format!("crash at op {op}, dropped_fsyncs={dropped_fsyncs}");
+
+    let mut recovered = match DurableClusterer::<2>::open(rebooted.shared(), dir, options()) {
+        Ok(r) => r,
+        Err(err) => {
+            // The only state with nothing to recover is a store whose
+            // creation never committed its initial snapshot.
+            assert!(
+                !created,
+                "{context}: open failed after a successful create: {err}"
+            );
+            return;
+        }
+    };
+
+    // The recovered state must be exactly some batch prefix: no torn
+    // half-applied record, no reordering, no silent data loss past a
+    // record the WAL retained. The WAL position says which prefix.
+    let j = recovered.last_lsn() as usize;
+    assert!(j <= batches.len(), "{context}: impossible lsn {j}");
+    assert_eq!(
+        recovered.clustering(),
+        oracle[j],
+        "{context}: recovered clustering is not the batch oracle of prefix {j}"
+    );
+    if created && !dropped_fsyncs {
+        // Per-batch fsync: a batch whose apply returned Ok is durable.
+        // (Honest storage only — dropped fsyncs are exactly the violation.)
+        assert!(
+            j >= acked,
+            "{context}: {acked} batches were acknowledged but only {j} survived"
+        );
+    }
+
+    // The recovered handle is a full citizen: the rest of the history
+    // applies cleanly and lands on the uninterrupted final state.
+    for batch in &batches[j..] {
+        recovered.apply(batch.clone()).unwrap();
+    }
+    assert_eq!(
+        recovered.clustering(),
+        oracle[batches.len()],
+        "{context}: resumed history diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn every_storage_operation_is_a_recoverable_crash_site() {
+    let (batches, oracle) = scenario();
+
+    // Probe pass: count the lifecycle's mutating storage operations — each
+    // one is a distinct crash site (and each is exercised twice below,
+    // with honest and with fsync-dropping storage).
+    let probe = FaultStorage::new();
+    let (created, acked) = run_scenario(&probe, &batches);
+    assert!(created);
+    assert_eq!(acked, N_BATCHES);
+    let total_ops = probe.op_count();
+    assert!(
+        total_ops >= 50,
+        "crash-injection coverage shrank: only {total_ops} distinct sites"
+    );
+
+    // Sanity: the fault-free run recovers to the full history.
+    let rebooted = probe.durable_clone();
+    let full = DurableClusterer::<2>::open(rebooted.shared(), Path::new(DIR), options()).unwrap();
+    assert_eq!(full.clustering(), oracle[N_BATCHES]);
+
+    for op in 1..=total_ops {
+        crash_at(op, &batches, &oracle, false);
+    }
+}
+
+#[test]
+fn dropped_append_fsyncs_still_recover_to_a_consistent_prefix() {
+    let (batches, oracle) = scenario();
+    let probe = FaultStorage::new();
+    run_scenario(&probe, &batches);
+    let total_ops = probe.op_count();
+
+    // Every crash site again, now on storage that acknowledges WAL fsyncs
+    // it never performed: acknowledged batches may be lost (that is the
+    // modelled lie), but recovery must still land on a clean prefix.
+    for op in 1..=total_ops {
+        crash_at(op, &batches, &oracle, true);
+    }
+}
+
+#[test]
+fn lying_storage_without_a_crash_recovers_the_last_checkpoint() {
+    let (batches, oracle) = scenario();
+    let storage = FaultStorage::with_plan(FaultPlan {
+        crash_at_op: None,
+        drop_append_fsyncs: true,
+        seed: 7,
+    });
+    let (created, acked) = run_scenario(&storage, &batches);
+    assert!(created);
+    assert_eq!(acked, N_BATCHES);
+
+    // WAL records never reached durable media, so a reboot falls back to
+    // the last checkpoint (every 3rd batch): prefix 9 of 10.
+    let rebooted = storage.durable_clone();
+    let recovered =
+        DurableClusterer::<2>::open(rebooted.shared(), Path::new(DIR), options()).unwrap();
+    let j = recovered.last_lsn() as usize;
+    assert_eq!(j, 9, "expected recovery at the last auto-checkpoint");
+    assert!(
+        j < N_BATCHES,
+        "the dropped-fsync lie should have lost the tail"
+    );
+    assert_eq!(recovered.clustering(), oracle[j]);
+}

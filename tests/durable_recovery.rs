@@ -1,0 +1,247 @@
+//! Recovery edge cases for the durable store: shapes a crash (or an
+//! operator) can leave behind that the open path must handle exactly —
+//! an empty WAL, a snapshot with no WAL, a WAL with no snapshot, a
+//! checkpoint that landed exactly on the last record, and recovering the
+//! same store twice. Each recovered state is checked against an
+//! uninterrupted in-memory reference, and the facade-level open path is
+//! exercised on a real on-disk store.
+
+use dbscan::{ClusterSession, DurableOptions, Params, PointCloud};
+use dbscan_durable::{init_store, DurableClusterer, FaultStorage, FsyncPolicy};
+use dbscan_stream::{StreamingClusterer, UpdateBatch};
+use geom::Point2;
+use pardbscan::DbscanParams;
+use std::path::Path;
+
+fn params() -> DbscanParams {
+    DbscanParams::new(0.5, 3)
+}
+
+fn cloud(n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|i| Point2::new([(i % 8) as f64 * 0.3, (i / 8) as f64 * 0.3]))
+        .collect()
+}
+
+fn no_auto_checkpoint() -> DurableOptions {
+    DurableOptions {
+        fsync: FsyncPolicy::PerBatch,
+        checkpoint_every: 0,
+    }
+}
+
+#[test]
+fn empty_wal_reopens_to_the_initial_state() {
+    let storage = FaultStorage::new();
+    let dir = Path::new("/store");
+    let durable = DurableClusterer::create(
+        storage.shared(),
+        dir,
+        cloud(20),
+        params(),
+        no_auto_checkpoint(),
+    )
+    .unwrap();
+    let reference = StreamingClusterer::new(cloud(20), params()).unwrap();
+    drop(durable);
+
+    // Crash immediately after create: the WAL exists but holds no records.
+    let rebooted = storage.durable_clone();
+    let mut recovered =
+        DurableClusterer::<2>::open(rebooted.shared(), dir, no_auto_checkpoint()).unwrap();
+    assert_eq!(recovered.last_lsn(), 0);
+    assert_eq!(recovered.num_live(), 20);
+    assert_eq!(recovered.clustering(), reference.clustering());
+
+    // The recovered handle accepts new updates, continuing the LSN sequence.
+    let stats = recovered
+        .apply(UpdateBatch::inserts(vec![Point2::new([0.15, 0.15])]))
+        .unwrap();
+    assert_eq!(stats.inserted_ids, vec![20]);
+    assert_eq!(recovered.last_lsn(), 1);
+}
+
+#[test]
+fn snapshot_only_store_opens_without_a_wal() {
+    let storage = FaultStorage::new();
+    let dir = Path::new("/store");
+    // A store that is just one snapshot (what `init_store` leaves behind):
+    // no wal.log at all.
+    init_store::<2>(&storage.shared(), dir, cloud(16), Some(params())).unwrap();
+
+    let mut recovered =
+        DurableClusterer::<2>::open(storage.shared(), dir, no_auto_checkpoint()).unwrap();
+    assert_eq!(recovered.num_live(), 16);
+    assert_eq!(recovered.last_lsn(), 0);
+    let reference = StreamingClusterer::new(cloud(16), params()).unwrap();
+    assert_eq!(recovered.clustering(), reference.clustering());
+
+    // Opening started a fresh log at the snapshot's LSN; appends work.
+    recovered.apply(UpdateBatch::deletes(vec![0])).unwrap();
+    assert_eq!(recovered.num_live(), 15);
+}
+
+#[test]
+fn wal_only_store_replays_from_the_empty_set() {
+    let storage = FaultStorage::new();
+    let dir = Path::new("/store");
+    let mut durable = DurableClusterer::create(
+        storage.shared(),
+        dir,
+        Vec::new(),
+        params(),
+        no_auto_checkpoint(),
+    )
+    .unwrap();
+    let mut reference = StreamingClusterer::new(Vec::new(), params()).unwrap();
+    for step in 0..4 {
+        let batch = UpdateBatch::inserts(vec![
+            Point2::new([step as f64 * 0.2, 0.0]),
+            Point2::new([step as f64 * 0.2, 0.3]),
+        ]);
+        durable.apply(batch.clone()).unwrap();
+        reference.apply(batch).unwrap();
+    }
+    drop(durable);
+
+    // Lose the snapshot: the WAL alone (base LSN 0) must reconstruct the
+    // whole history from the empty set.
+    let rebooted = storage.durable_clone();
+    rebooted
+        .shared()
+        .remove(&dir.join("snapshot.0.bin"))
+        .unwrap();
+    let recovered =
+        DurableClusterer::<2>::open(rebooted.shared(), dir, no_auto_checkpoint()).unwrap();
+    assert_eq!(recovered.last_lsn(), 4);
+    assert_eq!(recovered.num_live(), 8);
+    assert_eq!(recovered.clustering(), reference.clustering());
+}
+
+#[test]
+fn checkpoint_exactly_at_the_last_record_recovers_without_replay() {
+    let storage = FaultStorage::new();
+    let dir = Path::new("/store");
+    let mut durable = DurableClusterer::create(
+        storage.shared(),
+        dir,
+        cloud(12),
+        params(),
+        no_auto_checkpoint(),
+    )
+    .unwrap();
+    let mut reference = StreamingClusterer::new(cloud(12), params()).unwrap();
+    for step in 0..4usize {
+        let batch = UpdateBatch {
+            inserts: vec![Point2::new([step as f64 * 0.25, 1.7])],
+            deletes: vec![step],
+        };
+        durable.apply(batch.clone()).unwrap();
+        reference.apply(batch).unwrap();
+    }
+    // Checkpoint lands exactly on the last record: the snapshot covers the
+    // full history and the fresh WAL holds nothing to replay.
+    durable.checkpoint().unwrap();
+    drop(durable);
+
+    let rebooted = storage.durable_clone();
+    assert!(rebooted.shared().exists(&dir.join("snapshot.4.bin")));
+    let mut recovered =
+        DurableClusterer::<2>::open(rebooted.shared(), dir, no_auto_checkpoint()).unwrap();
+    assert_eq!(recovered.last_lsn(), 4);
+    assert_eq!(recovered.clustering(), reference.clustering());
+
+    // The next batch continues the LSN sequence past the checkpoint.
+    recovered
+        .apply(UpdateBatch::inserts(vec![Point2::new([2.0, 2.0])]))
+        .unwrap();
+    assert_eq!(recovered.last_lsn(), 5);
+}
+
+#[test]
+fn double_recovery_is_idempotent() {
+    let storage = FaultStorage::new();
+    let dir = Path::new("/store");
+    let mut durable = DurableClusterer::create(
+        storage.shared(),
+        dir,
+        cloud(18),
+        params(),
+        DurableOptions {
+            fsync: FsyncPolicy::PerBatch,
+            checkpoint_every: 2,
+        },
+    )
+    .unwrap();
+    for step in 0..5usize {
+        durable
+            .apply(UpdateBatch {
+                inserts: vec![Point2::new([step as f64 * 0.3, 2.4])],
+                deletes: vec![step * 2],
+            })
+            .unwrap();
+    }
+    drop(durable);
+
+    // Recover the same durable image twice: both recoveries must agree in
+    // labels, live ids, and position (recovery itself must not corrupt or
+    // advance the store).
+    let rebooted = storage.durable_clone();
+    let first = DurableClusterer::<2>::open(rebooted.shared(), dir, no_auto_checkpoint()).unwrap();
+    let (labels, live, lsn) = (first.clustering(), first.live_points(), first.last_lsn());
+    drop(first);
+    let second = DurableClusterer::<2>::open(rebooted.shared(), dir, no_auto_checkpoint()).unwrap();
+    assert_eq!(second.clustering(), labels);
+    assert_eq!(second.live_points(), live);
+    assert_eq!(second.last_lsn(), lsn);
+}
+
+/// Facade-level recovery on a real on-disk store: a durable session's
+/// update episode is WAL'd as it runs, so a copy of the store directory
+/// taken mid-episode (a crash image) reopens to exactly the labels the
+/// session was serving at that moment.
+#[test]
+fn facade_open_durable_recovers_a_mid_episode_crash_image() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("facade_recovery");
+    let live_dir = base.join("live");
+    let crash_dir = base.join("crash-image");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    let rows: Vec<[f64; 2]> = (0..14)
+        .map(|i| [0.2 * (i % 7) as f64, 0.2 * (i / 7) as f64])
+        .collect();
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::PerBatch,
+        checkpoint_every: 0,
+    };
+    let query = Params::new(0.45, 3);
+
+    let mut session =
+        ClusterSession::ingest_durable(PointCloud::from_rows(&rows).unwrap(), &live_dir, opts)
+            .unwrap();
+    let mut updates = session.updates(query).unwrap();
+    updates.insert(&[0.2, 0.1]).unwrap();
+    updates.insert(&[0.2, 0.3]).unwrap();
+    updates.delete(0).unwrap();
+    let labels_before = updates.labels();
+
+    // "Crash": snapshot the store directory while the session still holds
+    // it open — only what the WAL already fsync'd is in the image.
+    std::fs::create_dir_all(&crash_dir).unwrap();
+    for entry in std::fs::read_dir(&live_dir).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), crash_dir.join(entry.file_name())).unwrap();
+    }
+    updates.finish();
+    drop(session);
+
+    let recovered = ClusterSession::open_durable(&crash_dir, opts).unwrap();
+    assert_eq!(recovered.dim(), 2);
+    assert_eq!(recovered.num_points(), 15); // 14 + 2 inserts − 1 delete
+    assert_eq!(recovered.cluster(query).unwrap(), labels_before);
+
+    // The post-episode store (checkpointed on finish) reopens identically.
+    let reopened = ClusterSession::open_durable(&live_dir, opts).unwrap();
+    assert_eq!(reopened.cluster(query).unwrap(), labels_before);
+}

@@ -1,0 +1,162 @@
+//! Engine snapshot persistence on the real filesystem: `persist` writes a
+//! versioned, checksummed image of the points *and* every cached spatial
+//! index; `load` rehydrates it into a snapshot whose queries are
+//! label-identical and whose warmed (ε, cell-method) pairs are served
+//! entirely from the persisted indexes — zero partition rebuilds after a
+//! process restart.
+
+use dbscan_durable::{LoadSnapshot, PersistSnapshot};
+use dbscan_engine::Engine;
+use geom::Point;
+use pardbscan::{CellMethod, DbscanParams, VariantConfig};
+use rand::prelude::*;
+use std::path::PathBuf;
+
+fn random_points<const D: usize>(n: usize, extent: f64, rng: &mut StdRng) -> Vec<Point<D>> {
+    (0..n)
+        .map(|_| {
+            let mut coords = [0.0; D];
+            for c in coords.iter_mut() {
+                *c = rng.gen_range(0.0..extent);
+            }
+            Point::new(coords)
+        })
+        .collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("engine_snapshots");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn check_round_trip<const D: usize>(seed: u64, n: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = random_points::<D>(n, 3.0, &mut rng);
+    let grid = [
+        DbscanParams::new(0.4, 3),
+        DbscanParams::new(0.7, 4),
+        DbscanParams::new(0.4, 6), // same ε as the first: shares its index
+    ];
+
+    // Warm the engine: three queries populate the partition cache with the
+    // two distinct ε values.
+    let snapshot = Engine::new().index(points.clone());
+    let originals: Vec<_> = grid
+        .iter()
+        .map(|&p| snapshot.query(p).unwrap().clustering)
+        .collect();
+
+    let path = tmp(&format!("round_trip_{D}d_{seed}.bin"));
+    snapshot.persist(&path).unwrap();
+
+    // A fresh engine — a restarted process — rehydrates the image.
+    let engine = Engine::new();
+    let loaded = engine.load::<D>(&path).unwrap();
+    assert_eq!(loaded.points(), points.as_slice());
+    for (&p, original) in grid.iter().zip(&originals) {
+        let result = loaded.query(p).unwrap();
+        assert_eq!(
+            &result.clustering, original,
+            "D={D} seed={seed} eps={} minPts={}: loaded labels diverged",
+            p.eps, p.min_pts
+        );
+        assert!(
+            result.stats.partition_cache_hit,
+            "D={D} seed={seed} eps={}: warmed index was not rehydrated",
+            p.eps
+        );
+    }
+    // Every queried ε was served from the persisted indexes: the loaded
+    // snapshot never rebuilt a partition.
+    assert_eq!(loaded.cache_stats().partition_misses, 0);
+}
+
+#[test]
+fn persisted_snapshots_round_trip_across_dimensions() {
+    check_round_trip::<2>(11, 160);
+    check_round_trip::<3>(12, 120);
+    check_round_trip::<5>(13, 90);
+}
+
+#[test]
+fn both_2d_cell_methods_survive_persistence() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let points = random_points::<2>(140, 3.0, &mut rng);
+    let params = DbscanParams::new(0.5, 4);
+    let snapshot = Engine::new().index(points);
+    // Grid and Box partitions of the same ε are distinct cache entries;
+    // both must persist and rehydrate.
+    let grid = snapshot
+        .query_variant(params, VariantConfig::exact())
+        .unwrap()
+        .clustering;
+    let boxed = snapshot
+        .query_variant(
+            params,
+            VariantConfig::two_d(CellMethod::Box, pardbscan::CellGraphMethod::Bcp),
+        )
+        .unwrap()
+        .clustering;
+
+    let path = tmp("cell_methods.bin");
+    snapshot.persist(&path).unwrap();
+    let loaded = Engine::new().load::<2>(&path).unwrap();
+    assert_eq!(
+        loaded
+            .query_variant(params, VariantConfig::exact())
+            .unwrap()
+            .clustering,
+        grid
+    );
+    assert_eq!(
+        loaded
+            .query_variant(
+                params,
+                VariantConfig::two_d(CellMethod::Box, pardbscan::CellGraphMethod::Bcp),
+            )
+            .unwrap()
+            .clustering,
+        boxed
+    );
+    assert_eq!(loaded.cache_stats().partition_misses, 0);
+}
+
+#[test]
+fn persist_overwrites_atomically_and_missing_files_are_io_errors() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let path = tmp("overwrite.bin");
+
+    // First image: 60 points.
+    let first = Engine::new().index(random_points::<2>(60, 3.0, &mut rng));
+    first.persist(&path).unwrap();
+    // Second image over the same path: 90 points. The replace is atomic
+    // (write to a temporary, rename over), so the path always holds one
+    // complete image.
+    let second = Engine::new().index(random_points::<2>(90, 3.0, &mut rng));
+    second.persist(&path).unwrap();
+
+    let loaded = Engine::new().load::<2>(&path).unwrap();
+    assert_eq!(loaded.num_points(), 90);
+    assert_eq!(loaded.points(), second.points());
+
+    let missing = tmp("does_not_exist.bin");
+    assert!(matches!(
+        Engine::new().load::<2>(&missing),
+        Err(dbscan_durable::DurableError::Io(_))
+    ));
+}
+
+#[test]
+fn wrong_dimension_load_is_a_typed_error() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let path = tmp("dim_mismatch.bin");
+    let snapshot = Engine::new().index(random_points::<3>(50, 3.0, &mut rng));
+    snapshot.persist(&path).unwrap();
+    // Loading a 3-dimensional image as 2-dimensional must fail with a
+    // typed corruption error naming the mismatch, not misread the floats.
+    assert!(matches!(
+        Engine::new().load::<2>(&path),
+        Err(dbscan_durable::DurableError::Corrupt { .. })
+    ));
+}
