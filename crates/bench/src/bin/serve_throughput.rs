@@ -1,0 +1,375 @@
+//! Read throughput of `dbscan-serve` under generational snapshot isolation.
+//!
+//! The service's concurrency contract is that readers never block on the
+//! writer: every read resolves against the immutable published generation
+//! while update batches build the next one off to the side. This binary
+//! prices that contract end to end — through the real HTTP stack, not a
+//! function call — by hammering `GET /datasets/{name}/labels` from
+//! keep-alive reader connections in two legs:
+//!
+//! * `idle` — no writer; the pure read-path baseline;
+//! * `churn` — the same readers while a paced writer applies 1%-of-n
+//!   update batches through `POST .../updates`, publishing a new
+//!   generation per batch.
+//!
+//! If snapshot isolation holds, the churn leg's read latency stays close
+//! to idle (the committed `BENCH_serve.json` is expected to show churn
+//! p50 within 2× of idle p50); if readers ever waited on the writer's
+//! lock, the gap would be the writer's full publish latency instead.
+//!
+//! Output: a CSV block plus `BENCH_serve.json` (override with `--json
+//! PATH`; CI's smoke leg writes `BENCH_serve_smoke.json` via the explicit
+//! flag).
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve_throughput -- \
+//!     [--scale S] [--readers R] [--duration SECS] [--smoke] [--json PATH]
+//! ```
+
+use bench::*;
+use dbscan_serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A keep-alive HTTP/1.1 client pinned to one connection.
+struct Client {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            addr: addr.to_string(),
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// One request/response exchange on the persistent connection.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(std::io::Error::other("connection closed"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other("unparseable status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::other("connection closed mid-headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| std::io::Error::other("bad content-length"))?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
+/// One measured leg: a reader workload with or without a live writer.
+struct Row {
+    dataset: String,
+    n: usize,
+    mode: &'static str,
+    read: &'static str,
+    requests: u64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    updates_applied: u64,
+    generations: u64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one leg: `readers` keep-alive connections issuing `GET .../labels`
+/// for `duration`, optionally with a paced writer applying `batch`-point
+/// insert/delete batches.
+fn run_leg(
+    addr: &str,
+    dataset: &str,
+    readers: usize,
+    duration: Duration,
+    writer_feed: Option<(Vec<f64>, usize)>,
+) -> (u64, Vec<f64>, u64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let updates_applied = Arc::new(AtomicU64::new(0));
+
+    let writer = writer_feed.map(|(pool, batch)| {
+        let addr = addr.to_string();
+        let dataset = dataset.to_string();
+        let stop = Arc::clone(&stop);
+        let updates_applied = Arc::clone(&updates_applied);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("writer connects");
+            let mut cursor = 0usize;
+            let mut last_ids: Vec<u64> = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                // 1% churn: insert `batch` pool points, delete the
+                // previous round's inserts so n stays roughly constant.
+                let mut insert = Vec::with_capacity(batch * 2);
+                for _ in 0..batch {
+                    insert.push(pool[cursor % pool.len()]);
+                    insert.push(pool[(cursor + 1) % pool.len()]);
+                    cursor = (cursor + 2) % pool.len();
+                }
+                let deletes = std::mem::take(&mut last_ids);
+                let body = format!(
+                    "{{\"insert\": [{}], \"delete\": [{}]}}",
+                    insert
+                        .iter()
+                        .map(|c| json_f64(*c))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    deletes
+                        .iter()
+                        .map(|id| id.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                );
+                let (status, response) = client
+                    .request("POST", &format!("/datasets/{dataset}/updates"), &body)
+                    .expect("writer request");
+                assert_eq!(status, 200, "update rejected: {response}");
+                updates_applied.fetch_add(1, Ordering::SeqCst);
+                if let Ok(doc) = jsonv::parse(&response) {
+                    if let Some(ids) = doc.get("inserted_ids").and_then(jsonv::Value::as_array) {
+                        last_ids = ids
+                            .iter()
+                            .filter_map(jsonv::Value::as_f64)
+                            .map(|f| f as u64)
+                            .collect();
+                    }
+                }
+                // Pace the feed: a continuous stream of publishes, not a
+                // tight loop that saturates every core the readers need.
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    });
+
+    let mut handles = Vec::new();
+    for _ in 0..readers {
+        let addr = addr.to_string();
+        let path = format!("/datasets/{dataset}/labels");
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("reader connects");
+            let mut latencies = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                let start = Instant::now();
+                let (status, body) = client.request("GET", &path, "").expect("reader request");
+                latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(status, 200, "read rejected: {body}");
+            }
+            latencies
+        }));
+    }
+
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::SeqCst);
+    let mut latencies = Vec::new();
+    for handle in handles {
+        latencies.extend(handle.join().expect("reader thread"));
+    }
+    if let Some(writer) = writer {
+        writer.join().expect("writer thread");
+    }
+
+    let mut probe = Client::connect(addr).expect("probe connects");
+    let (status, body) = probe
+        .request("GET", &format!("/datasets/{dataset}"), "")
+        .expect("probe request");
+    assert_eq!(status, 200, "dataset probe failed: {body}");
+    let generations = jsonv::parse(&body)
+        .ok()
+        .and_then(|doc| doc.get("generation").and_then(jsonv::Value::as_f64))
+        .unwrap_or(0.0) as u64;
+
+    let requests = latencies.len() as u64;
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    (
+        requests,
+        latencies,
+        updates_applied.load(Ordering::SeqCst),
+        generations,
+    )
+}
+
+fn report_json(rows: &[Row], smoke: bool, readers: usize, duration_s: f64) -> String {
+    let churn_over_idle = {
+        let p50_of = |mode: &str| {
+            rows.iter()
+                .find(|r| r.mode == mode)
+                .map(|r| r.p50_ms)
+                .unwrap_or(0.0)
+        };
+        let idle = p50_of("idle").max(1e-9);
+        p50_of("churn") / idle
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"serve\",\n  \"smoke\": {},\n  \"machine_cores\": {},\n  \
+         \"readers\": {},\n  \"duration_s\": {},\n  \"churn_over_idle_p50\": {},\n  \
+         \"series\": [\n",
+        smoke,
+        num_cpus::get(),
+        readers,
+        json_f64(duration_s),
+        json_f64(churn_over_idle),
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"read\": \"{}\", \
+             \"requests\": {}, \"qps\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"updates_applied\": {}, \"generations\": {}}}{}\n",
+            json_escape(&r.dataset),
+            r.n,
+            r.mode,
+            r.read,
+            r.requests,
+            json_f64(r.qps),
+            json_f64(r.p50_ms),
+            json_f64(r.p99_ms),
+            r.updates_applied,
+            r.generations,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let readers = arg_value("--readers")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(if smoke { 2 } else { 4 })
+        .max(1);
+    let duration_s = arg_value("--duration")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(if smoke { 1.0 } else { 6.0 })
+        .max(0.1);
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    print_header(
+        "serve throughput",
+        "read QPS and latency through dbscan-serve, idle vs concurrent 1% churn",
+    );
+
+    // Half the workload seeds the dataset, half is the writer's insert
+    // pool (the stream_updates convention).
+    let workload = ss_simden::<2>(if smoke { 2_000 } else { scaled(20_000, scale) });
+    let n = workload.points.len() / 2;
+    let (initial, pool_points) = workload.points.split_at(n);
+    let pool: Vec<f64> = pool_points.iter().flat_map(|p| p.coords).collect();
+    let batch = (n / 100).max(2); // 1% churn per update batch
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: None,
+    })
+    .expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr().to_string();
+
+    let coords = initial
+        .iter()
+        .flat_map(|p| p.coords)
+        .map(json_f64)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut setup = Client::connect(&addr).expect("setup connects");
+    let (status, body) = setup
+        .request(
+            "PUT",
+            &format!(
+                "/datasets/bench?dim=2&eps={}&min_pts={}",
+                workload.eps, workload.min_pts
+            ),
+            &format!("[{coords}]"),
+        )
+        .expect("create request");
+    assert_eq!(status, 201, "dataset create failed: {body}");
+    drop(setup);
+
+    println!(
+        "\n## dataset {} (n = {}, readers = {}, batch = {}, {}s per leg)",
+        workload.name, n, readers, batch, duration_s
+    );
+    println!("mode,requests,qps,p50_ms,p99_ms,updates_applied,generations");
+
+    let mut rows = Vec::new();
+    for (mode, feed) in [("idle", None), ("churn", Some((pool.clone(), batch)))] {
+        let (requests, latencies, updates_applied, generations) = run_leg(
+            &addr,
+            "bench",
+            readers,
+            Duration::from_secs_f64(duration_s),
+            feed,
+        );
+        let qps = requests as f64 / duration_s;
+        let p50_ms = percentile(&latencies, 0.50);
+        let p99_ms = percentile(&latencies, 0.99);
+        println!(
+            "{mode},{requests},{qps:.0},{p50_ms:.3},{p99_ms:.3},{updates_applied},{generations}"
+        );
+        rows.push(Row {
+            dataset: workload.name.clone(),
+            n,
+            mode,
+            read: "labels",
+            requests,
+            qps,
+            p50_ms,
+            p99_ms,
+            updates_applied,
+            generations,
+        });
+    }
+
+    handle.stop().expect("graceful stop");
+
+    let json = report_json(&rows, smoke, readers, duration_s);
+    println!("\n# JSON\n{json}");
+    if json_path != "-" {
+        match std::fs::write(&json_path, &json) {
+            Ok(()) => println!("# wrote {json_path}"),
+            Err(err) => eprintln!("# failed to write {json_path}: {err}"),
+        }
+    }
+}

@@ -15,7 +15,7 @@
 
 #![forbid(unsafe_code)]
 
-pub mod jsonv;
+pub use jsonv;
 pub mod regress;
 pub mod schema;
 pub mod trend;

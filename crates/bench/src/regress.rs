@@ -185,6 +185,25 @@ pub const GATES: &[FigureGate] = &[
         nested: None,
     },
     FigureGate {
+        // HTTP round-trip latency through the loopback stack is noisy on
+        // shared runners (scheduler jitter dominates sub-millisecond
+        // reads), so the bands are wide like the WAL gate's: the target is
+        // "readers started blocking on the writer" (a publish-latency-sized
+        // jump), not single-digit percentages.
+        figure: "serve",
+        context: &["smoke", "machine_cores", "readers"],
+        keys: &["dataset", "n", "mode", "read"],
+        metrics: &[
+            MetricGate::higher("qps", 0.60, 5.0, (0.1, 1e9)),
+            MetricGate::lower("p50_ms", 1.00, 0.50),
+            MetricGate::lower("p99_ms", 1.50, 2.00),
+            MetricGate::sanity_only("requests", (1.0, f64::INFINITY)),
+            MetricGate::sanity_only("updates_applied", (0.0, f64::INFINITY)),
+            MetricGate::sanity_only("generations", (0.0, f64::INFINITY)),
+        ],
+        nested: None,
+    },
+    FigureGate {
         figure: "fig6_eps_sweep",
         context: &["scale"],
         keys: &["name", "n", "min_pts"],

@@ -131,6 +131,30 @@ pub const SCHEMAS: &[DocSchema] = &[
         nested: None,
     },
     DocSchema {
+        figure: "serve",
+        top: &[
+            ("smoke", Kind::Bool),
+            ("machine_cores", Kind::Num),
+            ("readers", Kind::Num),
+            ("duration_s", Kind::Num),
+            ("churn_over_idle_p50", Kind::Num),
+        ],
+        rows: "series",
+        row_fields: &[
+            ("dataset", Kind::Str),
+            ("n", Kind::Num),
+            ("mode", Kind::Str),
+            ("read", Kind::Str),
+            ("requests", Kind::Num),
+            ("qps", Kind::Num),
+            ("p50_ms", Kind::Num),
+            ("p99_ms", Kind::Num),
+            ("updates_applied", Kind::Num),
+            ("generations", Kind::Num),
+        ],
+        nested: None,
+    },
+    DocSchema {
         figure: "fig6_eps_sweep",
         top: &[("scale", Kind::Num)],
         rows: "datasets",

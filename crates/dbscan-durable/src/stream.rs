@@ -571,6 +571,15 @@ impl<const D: usize> DurableClusterer<D> {
         self.checkpoint()?;
         Ok(self.inner)
     }
+
+    /// Read access to the wrapped in-memory clusterer — for non-consuming
+    /// reads that need more than [`DurableClusterer::clustering`] (e.g. the
+    /// generational publish path snapshots the live set through
+    /// [`StreamingClusterer::snapshot_live`] while the durable handle keeps
+    /// logging batches).
+    pub fn clusterer(&self) -> &StreamingClusterer<D> {
+        &self.inner
+    }
 }
 
 #[cfg(test)]

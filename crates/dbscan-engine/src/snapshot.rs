@@ -81,8 +81,26 @@ impl Engine {
         points: Vec<Point<D>>,
         prebuilt: Vec<(u64, SpatialIndex<D>)>,
     ) -> Snapshot<D> {
+        self.index_from_generation(points, prebuilt, 0)
+    }
+
+    /// [`Engine::index_with_prebuilt`] with an explicit floor for the
+    /// snapshot's generation counter — the publish half of generational
+    /// concurrency (`dbscan`'s `ConcurrentSession` stamps each published
+    /// snapshot's first index generation at the session generation it
+    /// belongs to, so a query's reported `index_generation` identifies the
+    /// published version that answered it).
+    ///
+    /// The counter starts at `max(first_generation, max seeded generation
+    /// + 1)`; seeded entries keep their own stamps.
+    pub fn index_from_generation<const D: usize>(
+        &self,
+        points: Vec<Point<D>>,
+        prebuilt: Vec<(u64, SpatialIndex<D>)>,
+        first_generation: u64,
+    ) -> Snapshot<D> {
         let mut partitions = LruCache::new(self.partition_cache_capacity);
-        let mut next_generation = 0u64;
+        let mut next_generation = first_generation;
         for (generation, index) in prebuilt {
             next_generation = next_generation.max(generation + 1);
             let key = IndexKey {

@@ -1,0 +1,435 @@
+//! A minimal HTTP/1.1 request parser and response writer over
+//! `std::net::TcpStream`.
+//!
+//! Supports exactly what the service needs: request line + headers +
+//! `Content-Length` bodies (no chunked encoding, no TLS), keep-alive
+//! connections, `Expect: 100-continue`, and bounded sizes so a misbehaving
+//! client cannot balloon memory. Sockets carry a short read timeout; a
+//! timeout *between* requests surfaces as [`ReadOutcome::NotYet`] so the
+//! connection loop can poll the shutdown flag, while a timeout *inside* a
+//! partially-read request keeps retrying up to a deadline.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+/// Largest accepted request body, in bytes (a 64 MiB flat-coords ingest is
+/// ~4M 2D points — far past what the service is sized for).
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+/// How long a partially-received request may keep trickling in before the
+/// connection is dropped.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `PUT`, ...), as sent.
+    pub method: String,
+    /// The path, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when the request had none).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// What one attempt to read a request produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Eof,
+    /// Nothing arrived before the socket's read timeout; the connection is
+    /// idle and still healthy. Poll the shutdown flag and try again.
+    NotYet,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes were not a well-formed request; the connection should
+    /// answer 400 and close.
+    BadRequest(String),
+    /// The declared body exceeds [`MAX_BODY`]; answer 413 and close.
+    TooLarge(usize),
+    /// The transport failed mid-request (including the retry deadline
+    /// expiring); nothing can be answered.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::TooLarge(n) => write!(f, "body of {n} bytes exceeds the limit"),
+            HttpError::Io(err) => write!(f, "transport error: {err}"),
+        }
+    }
+}
+
+/// Whether an I/O error is the socket's read timeout expiring.
+fn is_timeout(err: &std::io::Error) -> bool {
+    matches!(
+        err.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, retrying timeouts until
+/// `deadline` once any byte of it has arrived. Returns `None` on clean EOF
+/// with an empty buffer.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Instant,
+    first: bool,
+) -> Result<Option<String>, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("truncated line".into()));
+            }
+            Ok(_) => {
+                while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+                    buf.pop();
+                }
+                if buf.len() > MAX_LINE {
+                    return Err(HttpError::BadRequest("line too long".into()));
+                }
+                return String::from_utf8(buf)
+                    .map(Some)
+                    .map_err(|_| HttpError::BadRequest("non-UTF-8 header bytes".into()));
+            }
+            Err(err) if is_timeout(&err) => {
+                if first && buf.is_empty() {
+                    // Idle between requests: not an error, just no request.
+                    return Err(HttpError::Io(err));
+                }
+                if Instant::now() >= deadline {
+                    return Err(HttpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "request stalled past the deadline",
+                    )));
+                }
+                // Mid-line timeout: keep the partial bytes, keep reading.
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(HttpError::Io(err)),
+        }
+        if buf.len() > MAX_LINE {
+            return Err(HttpError::BadRequest("line too long".into()));
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+` in a query component.
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a raw query string into decoded pairs.
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (url_decode(k), url_decode(v)),
+            None => (url_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one request from a keep-alive connection. See [`ReadOutcome`] for
+/// the idle/EOF cases; `Err` means the connection is unusable (or should
+/// be answered with the error's status and closed).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<ReadOutcome, HttpError> {
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    let request_line = match read_line(reader, deadline, true) {
+        Ok(None) => return Ok(ReadOutcome::Eof),
+        Ok(Some(line)) => line,
+        Err(HttpError::Io(err)) if is_timeout(&err) => return Ok(ReadOutcome::NotYet),
+        Err(err) => return Err(err),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => return Err(HttpError::BadRequest("malformed request line".into())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, deadline, false)?
+            .ok_or_else(|| HttpError::BadRequest("connection closed inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::BadRequest("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(HttpError::BadRequest(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    let content_length = match header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("unreadable content-length".into()))?,
+    };
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge(content_length));
+    }
+    if header("expect").is_some_and(|v| v.eq_ignore_ascii_case("100-continue")) {
+        // The client waits for permission before sending the body.
+        let _ = reader.get_ref().write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    let mut body = vec![0u8; content_length];
+    let mut read = 0;
+    while read < content_length {
+        match reader.read(&mut body[read..]) {
+            Ok(0) => {
+                return Err(HttpError::BadRequest(
+                    "connection closed inside body".into(),
+                ))
+            }
+            Ok(n) => read += n,
+            Err(err) if is_timeout(&err) => {
+                if Instant::now() >= deadline {
+                    return Err(HttpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "body stalled past the deadline",
+                    )));
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(HttpError::Io(err)),
+        }
+    }
+
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// One response to write back.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// Whether the server will close the connection after this response
+    /// (mirrored in the `Connection` header).
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A JSON error response: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, format!("{{\"error\": {}}}", json_string(message)))
+    }
+}
+
+/// The standard reason phrase of the status codes this service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes `response` to `stream` (headers + body, `Content-Length` always
+/// set).
+pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if response.close {
+            "close"
+        } else {
+            "keep-alive"
+        },
+    );
+    // One write per response: a separate head write would let Nagle hold
+    // the body back against the peer's delayed ACK (~40ms per request on
+    // loopback keep-alive connections).
+    let mut frame = Vec::with_capacity(head.len() + response.body.len());
+    frame.extend_from_slice(head.as_bytes());
+    frame.extend_from_slice(&response.body);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+/// Quotes `s` as a JSON string (the few escapes the service ever needs to
+/// produce, matching the emit convention of the bench harness).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite `f64` as a JSON number (`NaN`/infinity cannot occur:
+/// every coordinate and statistic the service emits passed finiteness
+/// validation or is a measured duration).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_decode() {
+        let pairs = parse_query("eps=0.5&min_pts=4&name=a%2Fb+c&flag");
+        assert_eq!(pairs[0], ("eps".into(), "0.5".into()));
+        assert_eq!(pairs[2], ("name".into(), "a/b c".into()));
+        assert_eq!(pairs[3], ("flag".into(), String::new()));
+    }
+
+    #[test]
+    fn json_strings_escape() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_codes() {
+        for status in [200, 201, 202, 204, 400, 404, 405, 409, 413, 500, 501, 503] {
+            assert!(!reason(status).is_empty(), "status {status}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # dbscan-serve — the network front door
+//!
+//! A standalone HTTP/1.1 service over [`dbscan::ConcurrentSession`]: named
+//! datasets, each a generationally-versioned clustering session, served
+//! from a hand-rolled `std::net` server (the container this workspace
+//! builds in has no registry access, so the HTTP layer is written against
+//! the standard library alone — the same constraint that produced
+//! `crates/compat`).
+//!
+//! ## Consistency contract
+//!
+//! Every read (query, sweep, label fetch, dataset info) is answered from
+//! one immutable published [`dbscan::Generation`] and carries its
+//! `"generation"` id in the response. Updates go through the single
+//! writer, are WAL'd first when the dataset is durable, and atomically
+//! publish the next generation — readers never block on a writer, and a
+//! response is never torn across versions. Generation ids are monotonic
+//! per dataset (within a process lifetime; they restart at 0 on reopen).
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Purpose |
+//! |---|---|
+//! | `PUT /datasets/{name}?dim=&eps=&min_pts=[&durable=1]` | create + ingest (flat-coords body) |
+//! | `GET /datasets/{name}` | dataset info (n, dim, generation, params) |
+//! | `DELETE /datasets/{name}` | drop the dataset (durable files remain) |
+//! | `POST /datasets/{name}/updates` | apply `{"insert": [...], "delete": [...]}`, publish |
+//! | `GET /datasets/{name}/query?eps=&min_pts=[&variant=]` | cluster at arbitrary parameters |
+//! | `GET /datasets/{name}/sweep?eps=a,b&min_pts=x,y` | parameter-grid sweep (per-cell summaries) |
+//! | `GET /datasets/{name}/labels` | maintained-params labels of the current generation |
+//! | `GET /healthz` | liveness + build/backend info |
+//! | `GET /metrics` | Prometheus exposition of the obs registry |
+//! | `POST /admin/shutdown` | begin graceful shutdown (drain, checkpoint, exit) |
+//!
+//! See the README's "Serving" section for a curl quick-start.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod server;
+pub mod signal;
+pub mod state;
+
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use state::AppState;

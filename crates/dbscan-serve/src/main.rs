@@ -1,0 +1,77 @@
+//! The `dbscan-serve` binary: parse flags, install signal handlers, serve
+//! until drained.
+
+use dbscan_serve::{signal, Server, ServerConfig};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dbscan-serve [--addr HOST:PORT] [--data-dir DIR]\n\
+         \n\
+         --addr      address to bind (default 127.0.0.1:7474; use port 0\n\
+         \x20           for an ephemeral port, printed on startup)\n\
+         --data-dir  directory durable datasets persist under (omitting it\n\
+         \x20           disables `durable=1` dataset creation)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7474".to_string();
+    let mut data_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => usage(),
+            },
+            "--data-dir" => match args.next() {
+                Some(v) => data_dir = Some(std::path::PathBuf::from(v)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    // Surface the runtime dispatch decisions on /metrics before the first
+    // scrape, and let SIGTERM/ctrl-c start the graceful drain.
+    dbscan::register_runtime_info();
+    signal::install();
+
+    let server = match Server::bind(ServerConfig { addr, data_dir }) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("dbscan-serve: bind failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // The tests and the quick-start scrape this line for the
+            // ephemeral port; keep its shape stable.
+            println!("dbscan-serve listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(err) => {
+            eprintln!("dbscan-serve: local_addr failed: {err}");
+            std::process::exit(1);
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            // `writeln!` + ignore: a supervisor that already closed our
+            // stdout (as the crash tests do) must not turn a clean drain
+            // into a broken-pipe panic.
+            let _ = writeln!(
+                std::io::stdout(),
+                "dbscan-serve: drained and checkpointed, exiting"
+            );
+        }
+        Err(err) => {
+            eprintln!("dbscan-serve: serve loop failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! SIGTERM / SIGINT → a process-wide flag, without a libc dependency.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! there is no `libc` or `signal-hook` to lean on; the binary declares the
+//! one POSIX entry point it needs (`signal(2)`) itself. The handler does
+//! the only async-signal-safe thing there is to do: store into a static
+//! atomic that the accept loop polls between `accept` attempts.
+//!
+//! On non-Unix targets [`install`] is a no-op and shutdown is reachable
+//! through `POST /admin/shutdown` only.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler when SIGTERM or SIGINT is delivered.
+static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been delivered since [`install`].
+pub fn received() -> bool {
+    RECEIVED.load(Ordering::SeqCst)
+}
+
+/// Test/shutdown hook: behaves as if a signal had been delivered.
+pub fn simulate() {
+    RECEIVED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{AtomicBool, Ordering, RECEIVED};
+
+    /// `SIGINT` on every Unix this builds on.
+    const SIGINT: i32 = 2;
+    /// `SIGTERM` on every Unix this builds on.
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`. The handler argument and return value are
+        /// `sighandler_t` — a function pointer, carried as `usize` here so
+        /// no libc types are needed.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// The handler: one atomic store, nothing else (the only operations
+    /// POSIX allows in a signal context are async-signal-safe ones).
+    extern "C" fn on_signal(_signum: i32) {
+        // A static can be named from a signal handler; AtomicBool::store
+        // is a single uninterruptible instruction on every supported
+        // target.
+        let flag: &AtomicBool = &RECEIVED;
+        flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Registers the handler for SIGTERM and SIGINT.
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signals to install on this target.
+    pub fn install() {}
+}
+
+/// Registers the process's termination-signal handlers (Unix: SIGTERM and
+/// SIGINT; elsewhere a no-op). Called once from the binary's `main`;
+/// in-process servers embedded in tests skip it and drive the shutdown
+/// flag directly.
+pub fn install() {
+    imp::install();
+}

@@ -1,0 +1,89 @@
+//! The service's shared state: the named-dataset table and the shutdown
+//! flag.
+
+use dbscan::ConcurrentSession;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+/// One named dataset: a concurrent session plus its serving metadata.
+pub struct Dataset {
+    /// The dataset's name (the `{name}` path segment).
+    pub name: String,
+    /// The generational session answering its reads and writes.
+    pub session: ConcurrentSession,
+    /// Whether updates are write-ahead logged to disk.
+    pub durable: bool,
+}
+
+/// Shared service state, one per server, behind an `Arc`.
+pub struct AppState {
+    datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    /// Directory durable datasets live under (`<data_dir>/<name>`); `None`
+    /// disables durable datasets.
+    pub data_dir: Option<PathBuf>,
+    /// When the server started, for `/healthz` uptime.
+    pub started: Instant,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl AppState {
+    /// Fresh state with no datasets.
+    pub fn new(data_dir: Option<PathBuf>) -> AppState {
+        AppState {
+            datasets: RwLock::new(HashMap::new()),
+            data_dir,
+            started: Instant::now(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The dataset named `name`, if it exists.
+    pub fn dataset(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.read_datasets().get(name).cloned()
+    }
+
+    /// Read access to the dataset table.
+    pub fn read_datasets(&self) -> RwLockReadGuard<'_, HashMap<String, Arc<Dataset>>> {
+        self.datasets.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write access to the dataset table.
+    pub fn write_datasets(&self) -> RwLockWriteGuard<'_, HashMap<String, Arc<Dataset>>> {
+        self.datasets.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The flag that initiates graceful shutdown. Shared with the accept
+    /// loop and `/admin/shutdown`.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Requests graceful shutdown.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested — by `/admin/shutdown`, by a
+    /// test, or by a delivered SIGTERM/SIGINT.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || crate::signal::received()
+    }
+
+    /// Checkpoints every durable dataset (the drain step of graceful
+    /// shutdown), returning the names that failed with their errors.
+    pub fn checkpoint_all(&self) -> Vec<(String, dbscan::Error)> {
+        let datasets: Vec<Arc<Dataset>> = self.read_datasets().values().cloned().collect();
+        let mut failures = Vec::new();
+        for dataset in datasets {
+            if dataset.durable {
+                if let Err(err) = dataset.session.checkpoint() {
+                    failures.push((dataset.name.clone(), err));
+                }
+            }
+        }
+        failures
+    }
+}

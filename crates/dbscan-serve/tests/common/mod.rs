@@ -1,0 +1,42 @@
+//! A minimal blocking HTTP client for the service tests: one connection
+//! per request, `Connection: close`, raw `std::net`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Sends one request and returns `(status, body)`.
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP response into `(status, body)`.
+pub fn parse_response(raw: &str) -> (u16, String) {
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Reads a numeric field out of a JSON response body.
+pub fn json_num(body: &str, key: &str) -> f64 {
+    jsonv::parse(body)
+        .unwrap_or_else(|e| panic!("unparseable JSON body {body:?}: {e}"))
+        .get(key)
+        .and_then(jsonv::Value::as_f64)
+        .unwrap_or_else(|| panic!("no numeric `{key}` in {body}"))
+}

@@ -1,0 +1,249 @@
+//! Kill a live server mid-feed and prove no acknowledged batch is lost.
+//!
+//! Two scenarios over the real binary (spawned via `CARGO_BIN_EXE`):
+//!
+//! * SIGKILL mid-feed — the process gets no chance to clean up; recovery
+//!   must still contain every batch the server acknowledged (the WAL is
+//!   fsynced per batch before the 200 goes out).
+//! * SIGTERM mid-feed — graceful drain: the process must exit 0 after
+//!   checkpointing, and recovery must again reflect every ack.
+//!
+//! Both reopen the store directly with [`dbscan::ClusterSession::open_durable`]
+//! and compare recovered coordinates and labels against a from-scratch
+//! oracle over the acknowledged prefix — the same oracle discipline as the
+//! durable crash-loop test at the workspace root.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const EPS: f64 = 0.45;
+const MIN_PTS: usize = 3;
+
+/// The initial ingest: a six-point cluster around the origin.
+fn initial_coords() -> Vec<f64> {
+    (0..6).flat_map(|i| [0.1 * i as f64, 0.0]).collect()
+}
+
+/// The i-th feed point: a chain near (10, 10) that flips from noise to a
+/// cluster as batches accumulate, so labels actually churn.
+fn feed_point(i: usize) -> [f64; 2] {
+    [10.0 + 0.05 * i as f64, 10.0]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dbscan_serve_{tag}_{}", std::process::id()))
+}
+
+/// Spawns the service binary on an ephemeral port and scrapes the bound
+/// address from its startup line.
+fn spawn_server(data_dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dbscan-serve"))
+        .args(["--addr", "127.0.0.1:0", "--data-dir"])
+        .arg(data_dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn dbscan-serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("dbscan-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// One request with a read timeout; errors are expected once the server
+/// is dying, so this returns them instead of panicking.
+fn try_request(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("unparseable response: {raw:?}")))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Creates the durable dataset and returns its name.
+fn create_dataset(addr: &str, name: &str) {
+    let coords = initial_coords()
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let (status, body) = try_request(
+        addr,
+        "PUT",
+        &format!("/datasets/{name}?dim=2&eps={EPS}&min_pts={MIN_PTS}&durable=1"),
+        &format!("[{coords}]"),
+    )
+    .expect("create request");
+    assert_eq!(status, 201, "durable create failed: {body}");
+}
+
+/// Feeds single-insert batches until `stop_after` acks or the server goes
+/// away; returns how many batches were acknowledged.
+fn feed(addr: &str, name: &str, stop_after: usize) -> usize {
+    let mut acked = 0;
+    while acked < stop_after {
+        let p = feed_point(acked);
+        let body = format!("{{\"insert\": [{}, {}]}}", p[0], p[1]);
+        match try_request(addr, "POST", &format!("/datasets/{name}/updates"), &body) {
+            Ok((200, _)) => acked += 1,
+            Ok((status, body)) => panic!("update rejected with {status}: {body}"),
+            // Connection refused/reset/timeout: the server is gone.
+            Err(_) => break,
+        }
+    }
+    acked
+}
+
+/// The expected live coordinates after `acked` feed batches.
+fn expected_coords(acked: usize) -> Vec<f64> {
+    let mut coords = initial_coords();
+    for i in 0..acked {
+        coords.extend_from_slice(&feed_point(i));
+    }
+    coords
+}
+
+/// Reopens the store and checks recovered points and labels against the
+/// oracle for the acknowledged prefix. The recovered batch count may
+/// exceed `acked` by in-flight batches that were applied but whose ack
+/// never reached the client; it can never be below it.
+fn check_recovery(dir: &Path, acked: usize, attempted: usize) {
+    let params = dbscan::Params::new(EPS, MIN_PTS);
+    let session =
+        dbscan::ConcurrentSession::open_durable(dir, dbscan::DurableOptions::default(), params)
+            .expect("reopen durable store");
+    let generation = session.current();
+    let n0 = initial_coords().len() / 2;
+    let recovered_batches = generation.num_points().checked_sub(n0).unwrap_or_else(|| {
+        panic!(
+            "recovered fewer points ({}) than the ingest",
+            generation.num_points()
+        )
+    });
+    assert!(
+        recovered_batches >= acked,
+        "acked batch lost: {recovered_batches} recovered of {acked} acked"
+    );
+    assert!(
+        recovered_batches <= attempted,
+        "recovered {recovered_batches} batches but only {attempted} were sent"
+    );
+    let expected = expected_coords(recovered_batches);
+    assert_eq!(
+        generation.cloud().coords(),
+        &expected[..],
+        "recovered coordinates diverge from the acknowledged feed"
+    );
+    let oracle = dbscan::cluster(&dbscan::PointCloud::new(2, expected).unwrap(), params).unwrap();
+    assert_eq!(
+        generation.labels().to_json(),
+        oracle.to_json(),
+        "recovered labels diverge from the batch oracle"
+    );
+}
+
+/// Waits for the child to exit, up to `deadline`.
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if start.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("server did not exit within {deadline:?}");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigkill_mid_feed_loses_no_acked_batch() {
+    let dir = temp_dir("sigkill");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create data dir");
+
+    let (mut child, addr) = spawn_server(&dir);
+    create_dataset(&addr, "feed");
+    let acked = feed(&addr, "feed", 7);
+    assert_eq!(acked, 7, "feed died before the kill");
+
+    // No warning, no cleanup: the WAL alone must carry the acked batches.
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    check_recovery(&dir.join("feed"), acked, acked);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_mid_feed_drains_checkpoints_and_exits_zero() {
+    let dir = temp_dir("sigterm");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create data dir");
+
+    let (mut child, addr) = spawn_server(&dir);
+    create_dataset(&addr, "feed");
+
+    // Feed continuously from a second thread while the signal lands.
+    let feed_addr = addr.clone();
+    let feeder = std::thread::spawn(move || feed(&feed_addr, "feed", 1_000));
+
+    // Let a few batches through, then deliver SIGTERM mid-feed.
+    let warmup = Instant::now();
+    while warmup.elapsed() < Duration::from_secs(5) {
+        if let Ok((200, body)) = try_request(&addr, "GET", "/datasets/feed", "") {
+            if let Ok(doc) = jsonv::parse(&body) {
+                if doc.get("generation").and_then(jsonv::Value::as_f64) >= Some(3.0) {
+                    break;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let kill = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", child.id())])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success(), "kill -TERM failed");
+
+    let status = wait_with_deadline(&mut child, Duration::from_secs(20));
+    assert!(
+        status.success(),
+        "graceful shutdown exited with {status:?} instead of 0"
+    );
+
+    // The feeder stops once its requests start failing; everything it got
+    // an ack for must be in the store.
+    let acked = feeder.join().expect("feeder thread");
+    assert!(acked >= 3, "signal landed before any batches went through");
+    check_recovery(&dir.join("feed"), acked, acked + 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,347 @@
+//! End-to-end exercise of the HTTP surface against an in-process server:
+//! dataset lifecycle, generation bumps under updates, label/oracle
+//! agreement, error paths, keep-alive, and metrics exposure.
+
+mod common;
+
+use common::{json_num, parse_response, request};
+use dbscan_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Two well-separated 2-D clusters of five points each.
+fn two_cluster_coords() -> Vec<f64> {
+    let mut coords = Vec::new();
+    for i in 0..5 {
+        coords.extend_from_slice(&[0.1 * i as f64, 0.0]);
+    }
+    for i in 0..5 {
+        coords.extend_from_slice(&[10.0 + 0.1 * i as f64, 10.0]);
+    }
+    coords
+}
+
+fn coords_json(coords: &[f64]) -> String {
+    let items = coords
+        .iter()
+        .map(|c| format!("{c}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{items}]")
+}
+
+fn spawn_server() -> (String, dbscan_serve::ServerHandle) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: None,
+    })
+    .expect("bind");
+    let handle = server.spawn().expect("spawn");
+    (handle.addr().to_string(), handle)
+}
+
+#[test]
+fn dataset_lifecycle_round_trips_over_http() {
+    dbscan::register_runtime_info();
+    let (addr, handle) = spawn_server();
+    let coords = two_cluster_coords();
+
+    // Create: two clusters at eps 0.5 / min_pts 3.
+    let (status, body) = request(
+        &addr,
+        "PUT",
+        "/datasets/demo?dim=2&eps=0.5&min_pts=3",
+        &coords_json(&coords),
+    );
+    assert_eq!(status, 201, "create failed: {body}");
+    assert_eq!(json_num(&body, "n") as usize, 10);
+    assert_eq!(json_num(&body, "generation") as u64, 0);
+
+    // Info reflects the published generation.
+    let (status, body) = request(&addr, "GET", "/datasets/demo", "");
+    assert_eq!(status, 200);
+    assert_eq!(json_num(&body, "n") as usize, 10);
+    assert_eq!(json_num(&body, "generation") as u64, 0);
+
+    // Listing contains the dataset.
+    let (status, body) = request(&addr, "GET", "/datasets", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"demo\""), "listing missed demo: {body}");
+
+    // Query at the ingest parameters: two clusters, generation 0, and an
+    // index stamp at least as new as the generation.
+    let (status, body) = request(&addr, "GET", "/datasets/demo/query?eps=0.5&min_pts=3", "");
+    assert_eq!(status, 200, "query failed: {body}");
+    assert_eq!(json_num(&body, "generation") as u64, 0);
+    assert!(json_num(&body, "index_generation") >= json_num(&body, "generation"));
+    let doc = jsonv::parse(&body).expect("query body parses");
+    let labels = doc.get("labels").expect("labels object");
+    assert_eq!(
+        labels.get("num_clusters").and_then(jsonv::Value::as_f64),
+        Some(2.0)
+    );
+    assert_eq!(
+        labels
+            .get("primary")
+            .and_then(jsonv::Value::as_array)
+            .map(|a| a.len()),
+        Some(10)
+    );
+
+    // Labels on the published generation agree with an offline run over
+    // the same coordinates.
+    let (status, body) = request(&addr, "GET", "/datasets/demo/labels", "");
+    assert_eq!(status, 200);
+    let oracle = dbscan::cluster(
+        &dbscan::PointCloud::new(2, coords.clone()).unwrap(),
+        dbscan::Params::new(0.5, 3),
+    )
+    .unwrap();
+    let doc = jsonv::parse(&body).expect("labels body parses");
+    assert_eq!(
+        doc.get("labels"),
+        Some(&jsonv::parse(&oracle.to_json()).unwrap()),
+        "served labels diverge from the offline oracle"
+    );
+
+    // An update batch bumps the generation and changes the labels.
+    let (status, body) = request(
+        &addr,
+        "POST",
+        "/datasets/demo/updates",
+        "{\"insert\": [20.0, 20.0, 20.1, 20.0, 20.05, 20.1], \"delete\": [0]}",
+    );
+    assert_eq!(status, 200, "update failed: {body}");
+    assert_eq!(json_num(&body, "generation") as u64, 1);
+    let doc = jsonv::parse(&body).expect("update body parses");
+    assert_eq!(
+        doc.get("inserted_ids")
+            .and_then(jsonv::Value::as_array)
+            .map(|a| a.len()),
+        Some(3)
+    );
+    assert_eq!(json_num(&body, "deleted") as usize, 1);
+
+    let (status, body) = request(&addr, "GET", "/datasets/demo/query?eps=0.5&min_pts=3", "");
+    assert_eq!(status, 200);
+    assert_eq!(json_num(&body, "generation") as u64, 1);
+    let doc = jsonv::parse(&body).expect("query body parses");
+    let labels = doc.get("labels").expect("labels object");
+    // 10 - 1 deleted + 3 inserted = 12 points, third cluster at (20, 20).
+    assert_eq!(labels.get("len").and_then(jsonv::Value::as_f64), Some(12.0));
+    assert_eq!(
+        labels.get("num_clusters").and_then(jsonv::Value::as_f64),
+        Some(3.0)
+    );
+
+    // Sweep over a small grid on the current generation.
+    let (status, body) = request(
+        &addr,
+        "GET",
+        "/datasets/demo/sweep?eps=0.3,0.5&min_pts=2,3",
+        "",
+    );
+    assert_eq!(status, 200, "sweep failed: {body}");
+    assert_eq!(json_num(&body, "generation") as u64, 1);
+    let doc = jsonv::parse(&body).expect("sweep body parses");
+    assert_eq!(
+        doc.get("cells")
+            .and_then(jsonv::Value::as_array)
+            .map(|a| a.len()),
+        Some(4)
+    );
+
+    // A variant query resolves and reports its variant string.
+    let (status, body) = request(
+        &addr,
+        "GET",
+        "/datasets/demo/query?eps=0.5&min_pts=3&variant=exact-qt",
+        "",
+    );
+    assert_eq!(status, 200, "variant query failed: {body}");
+
+    // Metrics expose the serve counters and the runtime info gauges.
+    let (status, body) = request(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for metric in [
+        "dbscan_serve_requests_total",
+        "dbscan_serve_request_duration_seconds",
+        "dbscan_generations_published_total",
+        "dbscan_backend_info",
+        "dbscan_obs_mode_info",
+    ] {
+        assert!(body.contains(metric), "metrics missing {metric}:\n{body}");
+    }
+
+    // Health reports the active backend and no draining.
+    let (status, body) = request(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"backend\""),
+        "healthz missing backend: {body}"
+    );
+    assert!(
+        body.contains("\"draining\": false"),
+        "unexpected drain: {body}"
+    );
+
+    // Delete, then the dataset is gone.
+    let (status, _) = request(&addr, "DELETE", "/datasets/demo", "");
+    assert_eq!(status, 204);
+    let (status, _) = request(&addr, "GET", "/datasets/demo", "");
+    assert_eq!(status, 404);
+
+    handle.stop().expect("graceful stop");
+}
+
+#[test]
+fn error_paths_answer_with_the_documented_statuses() {
+    let (addr, handle) = spawn_server();
+
+    // Unknown dataset and route.
+    let (status, _) = request(&addr, "GET", "/datasets/ghost/query?eps=0.5&min_pts=3", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(&addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // Wrong method on a known path.
+    let (status, _) = request(&addr, "PATCH", "/datasets", "");
+    assert_eq!(status, 405);
+
+    // Bad dataset names and parameters.
+    let (status, _) = request(
+        &addr,
+        "PUT",
+        "/datasets/bad.name?dim=2&eps=0.5&min_pts=3",
+        "[]",
+    );
+    assert_eq!(status, 400);
+    let (status, _) = request(&addr, "PUT", "/datasets/demo?dim=2&min_pts=3", "[]");
+    assert_eq!(status, 400, "missing eps must be rejected");
+
+    // Create one dataset, then conflict on re-create.
+    let (status, _) = request(
+        &addr,
+        "PUT",
+        "/datasets/demo?dim=2&eps=0.5&min_pts=3",
+        &coords_json(&two_cluster_coords()),
+    );
+    assert_eq!(status, 201);
+    let (status, _) = request(&addr, "PUT", "/datasets/demo?dim=2&eps=0.5&min_pts=3", "[]");
+    assert_eq!(status, 409);
+
+    // Durable creation without --data-dir is a client error.
+    let (status, body) = request(
+        &addr,
+        "PUT",
+        "/datasets/durable?dim=2&eps=0.5&min_pts=3&durable=1",
+        "[]",
+    );
+    assert_eq!(status, 400, "durable without data dir: {body}");
+
+    // Malformed update bodies and coordinates.
+    let (status, _) = request(&addr, "POST", "/datasets/demo/updates", "not json");
+    assert_eq!(status, 400);
+    let (status, _) = request(
+        &addr,
+        "POST",
+        "/datasets/demo/updates",
+        "{\"delete\": [-1]}",
+    );
+    assert_eq!(status, 400);
+    let (status, _) = request(
+        &addr,
+        "POST",
+        "/datasets/demo/updates",
+        "{\"insert\": [1.0]}",
+    );
+    assert_eq!(status, 400, "ragged coordinates must be rejected");
+
+    // Unknown variant spec.
+    let (status, _) = request(
+        &addr,
+        "GET",
+        "/datasets/demo/query?eps=0.5&min_pts=3&variant=magic",
+        "",
+    );
+    assert_eq!(status, 400);
+
+    handle.stop().expect("graceful stop");
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let (addr, handle) = spawn_server();
+    let (status, _) = request(
+        &addr,
+        "PUT",
+        "/datasets/ka?dim=2&eps=0.5&min_pts=3",
+        &coords_json(&two_cluster_coords()),
+    );
+    assert_eq!(status, 201);
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    for _ in 0..3 {
+        stream
+            .write_all(
+                format!(
+                    "GET /datasets/ka/labels HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .expect("write");
+        // Read exactly one response: headers, then Content-Length bytes.
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            match stream.read(&mut byte) {
+                Ok(1) => raw.push(byte[0]),
+                Ok(_) => panic!("connection closed mid-headers"),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+        let head = String::from_utf8_lossy(&raw).to_string();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::trim)
+                    .map(str::to_string)
+            })
+            .and_then(|v| v.parse().ok())
+            .expect("content-length header");
+        let mut body = vec![0u8; content_length];
+        let mut read = 0;
+        while read < content_length {
+            match stream.read(&mut body[read..]) {
+                Ok(0) => panic!("connection closed mid-body"),
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+        let (status, body) = parse_response(&format!("{head}{}", String::from_utf8_lossy(&body)));
+        assert_eq!(status, 200);
+        assert_eq!(json_num(&body, "generation") as u64, 0);
+    }
+
+    handle.stop().expect("graceful stop");
+}
+
+#[test]
+fn admin_shutdown_drains_the_server() {
+    let (addr, handle) = spawn_server();
+    let (status, body) = request(&addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 202, "shutdown not acknowledged: {body}");
+    assert!(body.contains("draining"));
+    // The accept loop notices the flag and run() returns cleanly.
+    handle.stop().expect("graceful stop");
+    // New connections are refused (or reset) once the listener is gone.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    assert!(
+        TcpStream::connect(&addr).is_err(),
+        "listener still accepting after drain"
+    );
+}

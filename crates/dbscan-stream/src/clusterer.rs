@@ -573,13 +573,24 @@ impl<const D: usize> StreamingClusterer<D> {
     /// point order is the ascending-id order of
     /// [`StreamingClusterer::live_points`].
     pub fn freeze(self) -> Snapshot<D> {
+        self.snapshot_live(&Engine::new(), 0)
+    }
+
+    /// Non-consuming [`StreamingClusterer::freeze`]: clones the live point
+    /// set (ascending-id order) into a fresh engine [`Snapshot`] whose
+    /// generation counter starts at `first_generation`, leaving the
+    /// clusterer free to keep applying updates. This is the publish path of
+    /// generational concurrency — each published generation is an immutable
+    /// snapshot of the live set, stamped so its cache generations identify
+    /// the version that produced them.
+    pub fn snapshot_live(&self, engine: &Engine, first_generation: u64) -> Snapshot<D> {
         let points: Vec<Point<D>> = self
             .overlay
             .live_ids()
             .into_iter()
             .map(|id| self.overlay.point(id))
             .collect();
-        Engine::new().index(points)
+        engine.index_from_generation(points, Vec::new(), first_generation)
     }
 
     /// The slot of the cell with `key`, allocating one (with an empty

@@ -75,6 +75,45 @@ impl Labels {
         self.clustering.primary_labels()
     }
 
+    /// Compact JSON serialization of the label array, the shape the
+    /// `dbscan-serve` responses embed:
+    ///
+    /// ```json
+    /// {"len": 3, "num_clusters": 1, "num_noise": 1,
+    ///  "primary": [0, 0, -1], "core": [1, 0, 0]}
+    /// ```
+    ///
+    /// `primary` is [`Labels::primary`] (smallest cluster id per point, −1
+    /// for noise); `core` is the per-point core flag as `0`/`1`. Border
+    /// points in several clusters are flattened to their smallest id —
+    /// the full multi-membership stays available in-process through
+    /// [`Labels::clusters_of`]. The summary counts come first so a reader
+    /// can size buffers before scanning the arrays.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.len() * 4);
+        out.push_str(&format!(
+            "{{\"len\": {}, \"num_clusters\": {}, \"num_noise\": {}, \"primary\": [",
+            self.len(),
+            self.num_clusters(),
+            self.num_noise()
+        ));
+        for (i, label) in self.primary().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&label.to_string());
+        }
+        out.push_str("], \"core\": [");
+        for i in 0..self.len() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push(if self.is_core(i) { '1' } else { '0' });
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// The wrapped canonical clustering, for callers dropping down to the
     /// per-crate APIs.
     pub fn as_clustering(&self) -> &Clustering {
@@ -113,5 +152,48 @@ mod tests {
         assert_eq!(labels.primary(), vec![0, 0, -1]);
         assert_eq!(labels.as_clustering(), &clustering);
         assert_eq!(labels.into_clustering(), clustering);
+    }
+
+    #[test]
+    fn to_json_round_trips_through_the_workspace_reader() {
+        let clustering =
+            Clustering::from_raw(vec![true, false, false], vec![vec![5], vec![5], vec![]]);
+        let labels = Labels::from(clustering);
+        let doc = jsonv::parse(&labels.to_json()).expect("to_json emits valid JSON");
+        assert_eq!(doc.get("len").and_then(jsonv::Value::as_f64), Some(3.0));
+        assert_eq!(
+            doc.get("num_clusters").and_then(jsonv::Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            doc.get("num_noise").and_then(jsonv::Value::as_f64),
+            Some(1.0)
+        );
+        let primary: Vec<i64> = doc
+            .get("primary")
+            .and_then(jsonv::Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap() as i64)
+            .collect();
+        assert_eq!(primary, labels.primary());
+        let core: Vec<bool> = doc
+            .get("core")
+            .and_then(jsonv::Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap() != 0.0)
+            .collect();
+        assert_eq!(core, vec![true, false, false]);
+    }
+
+    #[test]
+    fn empty_labels_serialize_to_empty_arrays() {
+        let labels = Labels::from(Clustering::from_raw(vec![], vec![]));
+        assert_eq!(
+            labels.to_json(),
+            "{\"len\": 0, \"num_clusters\": 0, \"num_noise\": 0, \
+             \"primary\": [], \"core\": []}"
+        );
     }
 }

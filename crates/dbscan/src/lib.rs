@@ -61,11 +61,13 @@
 #![deny(missing_docs)]
 
 mod cloud;
+mod concurrent;
 mod error;
 mod labels;
 mod session;
 
 pub use cloud::PointCloud;
+pub use concurrent::{ConcurrentSession, Generation, UpdateOutcome};
 pub use error::Error;
 pub use labels::Labels;
 pub use session::{ClusterSession, QueryOutcome, SessionBuilder, SweepCell, UpdateHandle};
@@ -137,6 +139,18 @@ pub use obs;
 /// ```
 pub fn cluster(cloud: &PointCloud, params: Params) -> Result<Labels, Error> {
     cluster_variant(cloud, params, VariantConfig::exact())
+}
+
+/// Publishes the process's runtime dispatch decisions as registry `info`
+/// metrics: `dbscan_backend_info{value="…"}` (the distance-kernel backend
+/// [`pardbscan::active_backend`] resolved to on this machine) and
+/// `dbscan_obs_mode_info{value="…"}` (the `DBSCAN_OBS` observability
+/// mode). Both are otherwise only queryable in-process; calling this at
+/// startup makes them visible to every `/metrics` scrape. Idempotent;
+/// no-op under `DBSCAN_OBS=off` like every other registry write.
+pub fn register_runtime_info() {
+    obs::set_info("dbscan_backend_info", pardbscan::active_backend().label());
+    obs::set_info("dbscan_obs_mode_info", obs::mode().label());
 }
 
 /// [`cluster`] with an explicit algorithm variant.

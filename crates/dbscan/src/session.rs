@@ -281,7 +281,7 @@ pub struct QueryOutcome {
 /// ```
 pub struct ClusterSession {
     dim: usize,
-    inner: Box<dyn ErasedSession>,
+    pub(crate) inner: Box<dyn ErasedSession>,
     /// EXPLAIN report of the most recent successful query/sweep/apply.
     /// Interior mutability because `query`/`sweep` take `&self`.
     last_explain: Mutex<Option<obs::ExplainReport>>,
@@ -345,6 +345,32 @@ impl ClusterSession {
     /// ```
     pub fn open_durable(dir: impl AsRef<Path>, options: DurableOptions) -> Result<Self, Error> {
         SessionBuilder::new().open_durable(dir, options)
+    }
+
+    /// Wraps an already-dispatched session state — the constructor the
+    /// generational publish path uses for each immutable published
+    /// generation.
+    pub(crate) fn from_parts(dim: usize, inner: Box<dyn ErasedSession>) -> Self {
+        ClusterSession {
+            dim,
+            inner,
+            last_explain: Mutex::new(None),
+        }
+    }
+
+    /// Converts this session into a concurrently shareable one: a single
+    /// writer applies update batches while any number of readers resolve
+    /// queries against immutable published generations. See
+    /// [`crate::ConcurrentSession`] for the full contract.
+    ///
+    /// `params` selects the maintained clustering (the streaming layer
+    /// maintains one (ε, minPts) incrementally; published generations still
+    /// answer arbitrary-parameter queries through their own caches). For a
+    /// durable session the conversion starts a WAL'd streaming episode, so
+    /// every batch applied through the concurrent writer is logged before
+    /// it is acknowledged.
+    pub fn share(self, params: DbscanParams) -> Result<crate::ConcurrentSession, Error> {
+        crate::ConcurrentSession::from_session(self, params)
     }
 
     /// The dimensionality of the session's points.
@@ -632,10 +658,12 @@ impl Drop for UpdateHandle<'_> {
 }
 
 /// The object-safe surface each monomorphized session state implements.
-/// Private and implemented only by [`SessionState`]: the jump table in
-/// [`open_session`] is the sole constructor, so every trait object in a
-/// [`ClusterSession`] is backed by this crate's dispatch.
-trait ErasedSession: Send + Sync {
+/// Crate-private and implemented only by [`SessionState`]: the jump table
+/// in [`open_session`] is the sole constructor, so every trait object in a
+/// [`ClusterSession`] is backed by this crate's dispatch. (The
+/// `crate::concurrent` module drives it directly for the generational
+/// publish path.)
+pub(crate) trait ErasedSession: Send + Sync {
     fn num_points(&self) -> usize;
     fn query(&self, params: DbscanParams, variant: VariantConfig) -> Result<QueryOutcome, Error>;
     fn sweep(
@@ -651,6 +679,16 @@ trait ErasedSession: Send + Sync {
     fn live_ids(&self) -> Vec<usize>;
     fn live_coords(&self) -> Vec<f64>;
     fn freeze(&mut self);
+    /// A fresh indexed session state over the current live point set,
+    /// without leaving the current mode — the publish half of generational
+    /// concurrency. The new state's engine caches stamp generations
+    /// starting at `first_generation`. Works from every mode (streaming
+    /// modes snapshot the live overlay; indexed mode re-indexes a copy of
+    /// the snapshot's points).
+    fn publish_indexed(&self, first_generation: u64) -> Result<Box<dyn ErasedSession>, Error>;
+    /// Persists a durable session's current live set (snapshot + WAL
+    /// reset). A no-op `Ok(())` for non-durable modes.
+    fn checkpoint(&mut self) -> Result<(), Error>;
 }
 
 /// The session's mode: an engine snapshot (query/sweep service) or a
@@ -858,6 +896,38 @@ impl<const D: usize> ErasedSession for SessionState<D> {
                 self.mode = Mode::Indexed(Box::new(self.engine.index(points)));
             }
             _ => unreachable!("freeze requires a streaming mode"),
+        }
+    }
+
+    fn publish_indexed(&self, first_generation: u64) -> Result<Box<dyn ErasedSession>, Error> {
+        let snapshot = match &self.mode {
+            Mode::Indexed(snapshot) => self.engine.index_from_generation(
+                snapshot.points().to_vec(),
+                Vec::new(),
+                first_generation,
+            ),
+            Mode::Streaming(clusterer) => clusterer.snapshot_live(&self.engine, first_generation),
+            Mode::DurableStreaming(durable) => durable
+                .clusterer()
+                .snapshot_live(&self.engine, first_generation),
+            Mode::Transitioning => unreachable!("mode transitions are not observable"),
+        };
+        Ok(Box::new(SessionState {
+            engine: self.engine.clone(),
+            mode: Mode::Indexed(Box::new(snapshot)),
+            // Published generations are immutable read replicas; the store
+            // stays owned by the writer they were published from.
+            durable: None,
+        }))
+    }
+
+    fn checkpoint(&mut self) -> Result<(), Error> {
+        match &mut self.mode {
+            Mode::DurableStreaming(durable) => {
+                durable.checkpoint()?;
+                Ok(())
+            }
+            _ => Ok(()),
         }
     }
 }

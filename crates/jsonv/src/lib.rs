@@ -1,10 +1,14 @@
-//! A minimal JSON reader for the `BENCH_*.json` documents.
+//! A minimal JSON reader shared by the bench gates and the service.
 //!
-//! The bench binaries *emit* JSON by string formatting (no serde in the
-//! container); this module is the matching *reader* used by the
-//! `check_schema` CI gate and the `trend_append` helper. It supports the
-//! full JSON value grammar the emitters produce: objects, arrays, strings
-//! with escapes, `f64` numbers, booleans and `null`.
+//! The workspace *emits* JSON by string formatting (no serde in the
+//! container); this crate is the matching *reader* used by the
+//! `check_schema` CI gate, the `trend_append` helper, and the
+//! `dbscan-serve` request parser. It supports the full JSON value grammar
+//! those emitters and clients produce: objects, arrays, strings with
+//! escapes, `f64` numbers, booleans and `null`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::collections::BTreeMap;
 

@@ -185,6 +185,11 @@ pub mod phase {
     pub const WAL_FSYNC: &str = "wal_fsync";
     /// Opening a durable store: snapshot load + WAL replay.
     pub const RECOVERY: &str = "recovery";
+    /// Publishing one immutable generation of a concurrent session
+    /// (`dbscan::ConcurrentSession`): live-set snapshot + label resolve.
+    pub const PUBLISH: &str = "publish";
+    /// Serving one HTTP request (`dbscan-serve`), parse to flush.
+    pub const REQUEST: &str = "request";
 }
 
 /// A monotonically assigned per-thread id, used in span records. Stable for

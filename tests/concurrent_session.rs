@@ -1,0 +1,162 @@
+//! Read-under-write stress: reader threads hammer a [`dbscan::ConcurrentSession`]
+//! while a writer publishes generations, then every observed generation is
+//! replayed offline.
+//!
+//! The contract pinned down here:
+//!
+//! * readers never see a half-published state — every `current()` is a
+//!   complete generation whose labels are byte-identical to a from-scratch
+//!   batch run over that generation's own point set;
+//! * generation ids are monotonic from any single reader's perspective;
+//! * a pinned old generation stays queryable (and unchanged) after the
+//!   writer has moved on.
+
+use dbscan::{ConcurrentSession, Params, PointCloud};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const PARAMS: Params = Params {
+    eps: 0.45,
+    min_pts: 3,
+};
+const N_READERS: usize = 4;
+const N_GENERATIONS: usize = 25;
+
+/// Deterministic coordinate stream: clusters drift along a diagonal, so
+/// inserts keep changing the clustering.
+struct Feed {
+    state: u64,
+}
+
+impl Feed {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: deterministic, no external crates needed.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_point(&mut self, batch: usize) -> [f64; 2] {
+        let jitter = |v: u64| (v % 1000) as f64 / 1000.0 * 0.6;
+        let center = batch as f64 * 0.8;
+        [
+            center + jitter(self.next_u64()),
+            center + jitter(self.next_u64()),
+        ]
+    }
+}
+
+#[test]
+fn readers_see_only_complete_generations_under_concurrent_updates() {
+    let mut feed = Feed { state: 7 };
+    let mut coords = Vec::new();
+    for _ in 0..40 {
+        coords.extend_from_slice(&feed.next_point(0));
+    }
+    let session =
+        ConcurrentSession::ingest(PointCloud::new(2, coords).unwrap(), PARAMS).expect("ingest");
+
+    let pinned = session.current();
+    assert_eq!(pinned.id(), 0);
+    let pinned_labels = pinned.labels().to_json();
+
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Readers: capture every generation they observe, checking per-reader
+    // monotonicity as they go.
+    let mut readers = Vec::new();
+    for _ in 0..N_READERS {
+        let session = session.clone();
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let mut seen: BTreeMap<u64, Arc<dbscan::Generation>> = BTreeMap::new();
+            let mut last_id = 0u64;
+            let mut observations = 0u64;
+            while !done.load(Ordering::SeqCst) {
+                let generation = session.current();
+                assert!(
+                    generation.id() >= last_id,
+                    "generation went backwards: {} after {last_id}",
+                    generation.id()
+                );
+                last_id = generation.id();
+                observations += 1;
+                // The published labels must always be complete: one label
+                // slot per point of the generation's own cloud.
+                assert_eq!(generation.labels().len(), generation.num_points());
+                seen.entry(generation.id())
+                    .or_insert_with(|| Arc::clone(&generation));
+                if observations.is_multiple_of(64) {
+                    std::thread::yield_now();
+                }
+            }
+            seen
+        }));
+    }
+
+    // Writer: drifting inserts plus deletes of previously-live points.
+    let mut live_ids: Vec<usize> = (0..40).collect();
+    let mut published = vec![session.current()];
+    for batch in 1..=N_GENERATIONS {
+        let mut insert = Vec::new();
+        for _ in 0..3 {
+            insert.extend_from_slice(&feed.next_point(batch));
+        }
+        let deletes: Vec<usize> = if live_ids.len() > 8 && batch % 3 == 0 {
+            let victim = feed.next_u64() as usize % live_ids.len();
+            vec![live_ids.swap_remove(victim)]
+        } else {
+            Vec::new()
+        };
+        let outcome = session
+            .update(&PointCloud::new(2, insert).unwrap(), &deletes)
+            .expect("update");
+        assert_eq!(outcome.generation, batch as u64, "publish out of order");
+        live_ids.extend_from_slice(&outcome.stats.inserted_ids);
+        published.push(session.current());
+        // Give readers a chance to observe this generation.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    done.store(true, Ordering::SeqCst);
+
+    let mut seen_by_readers: BTreeMap<u64, Arc<dbscan::Generation>> = BTreeMap::new();
+    for reader in readers {
+        for (id, generation) in reader.join().expect("reader thread") {
+            seen_by_readers.entry(id).or_insert(generation);
+        }
+    }
+    // The writer's own captures guarantee every generation is checked even
+    // if the readers were too slow to observe some of them.
+    for generation in &published {
+        seen_by_readers
+            .entry(generation.id())
+            .or_insert_with(|| Arc::clone(generation));
+    }
+
+    // Offline replay: each observed generation's labels must be
+    // byte-identical to a from-scratch batch run over its own cloud.
+    for (id, generation) in &seen_by_readers {
+        let oracle = dbscan::cluster(generation.cloud(), PARAMS).expect("offline oracle");
+        assert_eq!(
+            generation.labels().to_json(),
+            oracle.to_json(),
+            "generation {id} labels diverge from the offline oracle"
+        );
+    }
+    assert!(
+        seen_by_readers.len() > N_GENERATIONS,
+        "not every generation was captured: {}",
+        seen_by_readers.len()
+    );
+
+    // The pinned ingest generation is untouched by 25 publishes and still
+    // answers arbitrary-parameter queries.
+    assert_eq!(pinned.labels().to_json(), pinned_labels);
+    let requeried = pinned
+        .cluster(Params::new(PARAMS.eps, PARAMS.min_pts))
+        .expect("pinned generation queryable");
+    assert_eq!(requeried.to_json(), pinned_labels);
+}
