@@ -70,9 +70,18 @@ fn route(state: &AppState, request: &Request) -> Response {
         ("GET", ["datasets", name, "query"]) => with_dataset(state, name, |d| query(d, request)),
         ("GET", ["datasets", name, "sweep"]) => with_dataset(state, name, |d| sweep(d, request)),
         ("GET", ["datasets", name, "labels"]) => with_dataset(state, name, labels),
-        (_, ["healthz" | "metrics" | "datasets", ..]) => {
-            Response::error(405, "method not allowed for this path")
-        }
+        // Wrong method on a path shape that exists in the route table
+        // above is 405; anything else (e.g. /datasets/foo/bogus) is a
+        // route that exists for no method, so it falls through to 404.
+        (
+            _,
+            ["healthz"]
+            | ["metrics"]
+            | ["admin", "shutdown"]
+            | ["datasets"]
+            | ["datasets", _]
+            | ["datasets", _, "updates" | "query" | "sweep" | "labels"],
+        ) => Response::error(405, "method not allowed for this path"),
         _ => Response::error(404, "no such route"),
     }
 }
@@ -207,9 +216,14 @@ fn create_dataset(state: &AppState, name: &str, request: &Request) -> Response {
     if !valid_name(name) {
         return Response::error(400, "dataset names are 1-64 characters of [A-Za-z0-9_-]");
     }
-    if state.dataset(name).is_some() {
+    // Claim the name before any ingest work. Without this, two concurrent
+    // creates of the same durable dataset would both pass an existence
+    // check and interleave writes into the same on-disk directory; the
+    // reservation turns the loser away up front. Dropping the guard on the
+    // error returns below releases the claim.
+    let Some(reservation) = state.reserve_name(name) else {
         return Response::error(409, &format!("dataset `{name}` already exists"));
-    }
+    };
     let eps = match parse_f64(request, "eps") {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -276,13 +290,7 @@ fn create_dataset(state: &AppState, name: &str, request: &Request) -> Response {
         session,
         durable,
     });
-    let mut table = state.write_datasets();
-    if table.contains_key(name) {
-        return Response::error(409, &format!("dataset `{name}` already exists"));
-    }
-    table.insert(name.to_string(), dataset);
-    DATASETS.set(table.len() as i64);
-    drop(table);
+    DATASETS.set(reservation.publish(dataset) as i64);
     Response::json(
         201,
         format!(

@@ -110,30 +110,32 @@ fn is_timeout(err: &std::io::Error) -> bool {
 /// Reads one `\r\n`- (or `\n`-) terminated line, retrying timeouts until
 /// `deadline` once any byte of it has arrived. Returns `None` on clean EOF
 /// with an empty buffer.
+///
+/// Reads through `fill_buf`/`consume` in bounded chunks (never
+/// `read_until`, which would buffer a newline-free stream without bound)
+/// and fails as soon as the accumulated line exceeds [`MAX_LINE`], so a
+/// client that streams bytes without ever sending a newline is cut off at
+/// the limit instead of ballooning memory.
 fn read_line(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut impl BufRead,
     deadline: Instant,
     first: bool,
 ) -> Result<Option<String>, HttpError> {
     let mut buf: Vec<u8> = Vec::new();
     loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => {
+        let complete = match reader.fill_buf() {
+            Ok([]) => {
                 if buf.is_empty() {
                     return Ok(None);
                 }
                 return Err(HttpError::BadRequest("truncated line".into()));
             }
-            Ok(_) => {
-                while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
-                    buf.pop();
-                }
-                if buf.len() > MAX_LINE {
-                    return Err(HttpError::BadRequest("line too long".into()));
-                }
-                return String::from_utf8(buf)
-                    .map(Some)
-                    .map_err(|_| HttpError::BadRequest("non-UTF-8 header bytes".into()));
+            Ok(available) => {
+                let newline = available.iter().position(|&b| b == b'\n');
+                let take = newline.map_or(available.len(), |idx| idx + 1);
+                buf.extend_from_slice(&available[..take]);
+                reader.consume(take);
+                newline.is_some()
             }
             Err(err) if is_timeout(&err) => {
                 if first && buf.is_empty() {
@@ -147,11 +149,24 @@ fn read_line(
                     )));
                 }
                 // Mid-line timeout: keep the partial bytes, keep reading.
+                false
             }
-            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => false,
             Err(err) => return Err(HttpError::Io(err)),
+        };
+        if complete {
+            while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+                buf.pop();
+            }
+            if buf.len() > MAX_LINE {
+                return Err(HttpError::BadRequest("line too long".into()));
+            }
+            return String::from_utf8(buf)
+                .map(Some)
+                .map_err(|_| HttpError::BadRequest("non-UTF-8 header bytes".into()));
         }
-        if buf.len() > MAX_LINE {
+        // `+ 2` leaves room for a still-unread trailing `\r\n`.
+        if buf.len() > MAX_LINE + 2 {
             return Err(HttpError::BadRequest("line too long".into()));
         }
     }
@@ -418,6 +433,31 @@ mod tests {
         assert_eq!(pairs[0], ("eps".into(), "0.5".into()));
         assert_eq!(pairs[2], ("name".into(), "a/b c".into()));
         assert_eq!(pairs[3], ("flag".into(), String::new()));
+    }
+
+    #[test]
+    fn newline_free_streams_are_cut_off_at_the_line_limit() {
+        // A client streaming bytes with no newline must be rejected as
+        // soon as the line limit is crossed, not buffered indefinitely.
+        let endless = vec![b'a'; 4 * MAX_LINE];
+        let mut reader = BufReader::with_capacity(512, std::io::Cursor::new(endless));
+        match read_line(&mut reader, Instant::now() + Duration::from_secs(1), true) {
+            Err(HttpError::BadRequest(msg)) => assert!(msg.contains("too long"), "{msg}"),
+            other => panic!("expected line-too-long, got {other:?}"),
+        }
+        // The reader stopped near the limit instead of draining the stream.
+        assert!(reader.get_ref().position() <= (MAX_LINE + 512 + 3) as u64);
+    }
+
+    #[test]
+    fn lines_at_the_limit_still_parse() {
+        let mut input = vec![b'a'; MAX_LINE];
+        input.extend_from_slice(b"\r\nnext");
+        let mut reader = BufReader::with_capacity(512, std::io::Cursor::new(input));
+        let line = read_line(&mut reader, Instant::now() + Duration::from_secs(1), true)
+            .expect("line at the limit")
+            .expect("not EOF");
+        assert_eq!(line.len(), MAX_LINE);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! flag.
 
 use dbscan::ConcurrentSession;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 /// One named dataset: a concurrent session plus its serving metadata.
@@ -21,6 +21,12 @@ pub struct Dataset {
 /// Shared service state, one per server, behind an `Arc`.
 pub struct AppState {
     datasets: RwLock<HashMap<String, Arc<Dataset>>>,
+    /// Names currently being created but not yet in `datasets`. Claiming a
+    /// name here *before* any ingest work (filesystem writes for durable
+    /// datasets) means two concurrent creates of the same name cannot both
+    /// pass the existence check and interleave writes into the same
+    /// directory — the loser is turned away at reservation time.
+    creating: Mutex<HashSet<String>>,
     /// Directory durable datasets live under (`<data_dir>/<name>`); `None`
     /// disables durable datasets.
     pub data_dir: Option<PathBuf>,
@@ -34,6 +40,7 @@ impl AppState {
     pub fn new(data_dir: Option<PathBuf>) -> AppState {
         AppState {
             datasets: RwLock::new(HashMap::new()),
+            creating: Mutex::new(HashSet::new()),
             data_dir,
             started: Instant::now(),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -43,6 +50,26 @@ impl AppState {
     /// The dataset named `name`, if it exists.
     pub fn dataset(&self, name: &str) -> Option<Arc<Dataset>> {
         self.read_datasets().get(name).cloned()
+    }
+
+    /// Exclusively claims `name` for creation, or `None` if the dataset
+    /// already exists or another request is currently creating it. The
+    /// reservation is released when the guard drops — after the finished
+    /// dataset has been published via [`CreationGuard::publish`], or on any
+    /// ingest-failure return path.
+    pub fn reserve_name(&self, name: &str) -> Option<CreationGuard<'_>> {
+        // Hold the table lock across the reservation so a concurrent
+        // `publish` cannot slip a just-created dataset past the existence
+        // check.
+        let table = self.read_datasets();
+        let mut creating = self.creating.lock().unwrap_or_else(|e| e.into_inner());
+        if table.contains_key(name) || !creating.insert(name.to_string()) {
+            return None;
+        }
+        Some(CreationGuard {
+            state: self,
+            name: name.to_string(),
+        })
     }
 
     /// Read access to the dataset table.
@@ -85,5 +112,36 @@ impl AppState {
             }
         }
         failures
+    }
+}
+
+/// An exclusive claim on a dataset name while its ingest runs, from
+/// [`AppState::reserve_name`]. Dropping the guard (on any error path)
+/// releases the name; [`publish`](CreationGuard::publish) inserts the
+/// finished dataset and then releases it.
+pub struct CreationGuard<'a> {
+    state: &'a AppState,
+    name: String,
+}
+
+impl CreationGuard<'_> {
+    /// Publishes the finished dataset into the table, returning the new
+    /// number of served datasets. The reservation guarantees the slot is
+    /// still free.
+    pub fn publish(self, dataset: Arc<Dataset>) -> usize {
+        let mut table = self.state.write_datasets();
+        table.insert(self.name.clone(), dataset);
+        table.len()
+        // `self` drops here, releasing the reservation after the insert.
+    }
+}
+
+impl Drop for CreationGuard<'_> {
+    fn drop(&mut self) {
+        self.state
+            .creating
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.name);
     }
 }

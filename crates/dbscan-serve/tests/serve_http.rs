@@ -207,6 +207,14 @@ fn error_paths_answer_with_the_documented_statuses() {
     // Wrong method on a known path.
     let (status, _) = request(&addr, "PATCH", "/datasets", "");
     assert_eq!(status, 405);
+    let (status, _) = request(&addr, "PATCH", "/datasets/ghost/query", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(&addr, "GET", "/admin/shutdown", "");
+    assert_eq!(status, 405);
+
+    // A subpath that exists for no method is 404, not 405.
+    let (status, _) = request(&addr, "GET", "/datasets/ghost/bogus", "");
+    assert_eq!(status, 404);
 
     // Bad dataset names and parameters.
     let (status, _) = request(
@@ -267,6 +275,60 @@ fn error_paths_answer_with_the_documented_statuses() {
     assert_eq!(status, 400);
 
     handle.stop().expect("graceful stop");
+}
+
+#[test]
+fn racing_creates_of_one_durable_name_admit_exactly_one_writer() {
+    let data_dir = std::env::temp_dir().join(format!("dbscan_serve_race_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(&data_dir).expect("data dir");
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: Some(data_dir.clone()),
+    })
+    .expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr().to_string();
+
+    // Race two durable creates of the same name, repeatedly: the name
+    // reservation must admit exactly one of them to <data_dir>/<name>
+    // (one 201, one 409), and the winner's on-disk state must answer
+    // queries — a both-pass race would interleave snapshot/WAL writes.
+    for round in 0..8 {
+        let name = format!("race{round}");
+        let path = format!("/datasets/{name}?dim=2&eps=0.5&min_pts=3&durable=1");
+        let body = coords_json(&two_cluster_coords());
+        let statuses: Vec<u16> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (addr, path, body) = (addr.clone(), path.clone(), body.clone());
+                    scope.spawn(move || request(&addr, "PUT", &path, &body).0)
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("create thread"))
+                .collect()
+        });
+        let created = statuses.iter().filter(|s| **s == 201).count();
+        let conflicted = statuses.iter().filter(|s| **s == 409).count();
+        assert_eq!(
+            (created, conflicted),
+            (1, 1),
+            "round {round} statuses: {statuses:?}"
+        );
+        let (status, body) = request(
+            &addr,
+            "GET",
+            &format!("/datasets/{name}/query?eps=0.5&min_pts=3"),
+            "",
+        );
+        assert_eq!(status, 200, "round {round} query: {body}");
+        assert_eq!(json_num(&body, "generation") as u64, 0);
+    }
+
+    handle.stop().expect("graceful stop");
+    let _ = std::fs::remove_dir_all(&data_dir);
 }
 
 #[test]
