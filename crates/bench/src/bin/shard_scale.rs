@@ -1,0 +1,136 @@
+//! Shard-scaling benchmark: the cell-graph-sharded clustering path
+//! (`dbscan-shard`) at N ∈ {1, 2, 4, 8} shard workers on SS-simden and
+//! SS-varden, reporting per-N wall time and the merge-phase share.
+//!
+//! The interesting number is `merge_share`: the fraction of total wall time
+//! the coordinator spends on the boundary-only merge. The design's promise
+//! is that only boundary-cell edges cross shards, so the merge must stay a
+//! small slice of the run — a merge-share blowup means the partitioner or
+//! the boundary enumeration regressed, even when absolute times look fine
+//! on a different machine.
+//!
+//! ```text
+//! cargo run --release -p bench --bin shard_scale -- \
+//!     [--scale S] [--smoke] [--json PATH]
+//! ```
+//!
+//! `--smoke` shrinks the run to one tiny point count at N ∈ {1, 2} — the
+//! CI mode, schema- and regression-gated against
+//! `ci/baselines/BENCH_shard_smoke.json`.
+
+use bench::*;
+use dbscan_shard::{shard_cluster, ShardConfig};
+use pardbscan::DbscanParams;
+
+/// One measured row: a dataset at one point count and shard count.
+struct Row {
+    dataset: String,
+    n: usize,
+    shards: usize,
+    wall_s: f64,
+    merge_s: f64,
+    merge_share: f64,
+    boundary_cells: usize,
+    boundary_edges: usize,
+    clusters: usize,
+}
+
+fn measure(workload: &Workload<2>, shards: usize) -> Row {
+    let params = DbscanParams::new(workload.eps, workload.min_pts);
+    let (clustering, stats) =
+        shard_cluster(&workload.points, params, &ShardConfig::new(shards)).expect("valid run");
+    let row = Row {
+        dataset: workload.name.clone(),
+        n: workload.points.len(),
+        shards,
+        wall_s: stats.total_time.as_secs_f64(),
+        merge_s: stats.merge_time.as_secs_f64(),
+        merge_share: stats.merge_share(),
+        boundary_cells: stats.boundary_cells,
+        boundary_edges: stats.boundary_edges,
+        clusters: clustering.num_clusters(),
+    };
+    println!(
+        "{},{},{},{:.6},{:.6},{:.4},{},{},{}",
+        row.dataset,
+        row.n,
+        row.shards,
+        row.wall_s,
+        row.merge_s,
+        row.merge_share,
+        row.boundary_cells,
+        row.boundary_edges,
+        row.clusters,
+    );
+    row
+}
+
+fn report_json(rows: &[Row], smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"figure\": \"shard\",\n  \"smoke\": {},\n  \"machine_cores\": {},\n  \"series\": [\n",
+        smoke,
+        num_cpus::get()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"shards\": {}, \"wall_s\": {}, \
+             \"merge_s\": {}, \"merge_share\": {}, \"boundary_cells\": {}, \
+             \"boundary_edges\": {}, \"clusters\": {}}}{}\n",
+            json_escape(&r.dataset),
+            r.n,
+            r.shards,
+            json_f64(r.wall_s),
+            json_f64(r.merge_s),
+            json_f64(r.merge_share),
+            r.boundary_cells,
+            r.boundary_edges,
+            r.clusters,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_shard.json".to_string());
+
+    print_header(
+        "shard",
+        "cell-graph-sharded clustering: wall time and merge-phase share per shard count",
+    );
+    println!("dataset,n,shards,wall_s,merge_s,merge_share,boundary_cells,boundary_edges,clusters");
+
+    let (ns, shard_counts): (Vec<usize>, Vec<usize>) = if smoke {
+        (vec![2_000], vec![1, 2])
+    } else {
+        (
+            [100_000usize, 1_000_000]
+                .iter()
+                .map(|&n| scaled(n, scale))
+                .collect(),
+            vec![1, 2, 4, 8],
+        )
+    };
+
+    let mut rows = Vec::new();
+    for &n in &ns {
+        for workload in [ss_simden::<2>(n), ss_varden::<2>(n)] {
+            for &shards in &shard_counts {
+                rows.push(measure(&workload, shards));
+            }
+        }
+    }
+
+    let json = report_json(&rows, smoke);
+    println!("\n# JSON\n{json}");
+    if json_path != "-" {
+        match std::fs::write(&json_path, &json) {
+            Ok(()) => println!("# wrote {json_path}"),
+            Err(err) => eprintln!("# failed to write {json_path}: {err}"),
+        }
+    }
+}

@@ -37,6 +37,93 @@ impl DbscanParams {
     }
 }
 
+/// `(ε, minPts)` tuples convert directly, so call sites that used to pass
+/// two scalars migrate mechanically: `session.cluster((0.5, 3))`.
+impl From<(f64, usize)> for DbscanParams {
+    fn from((eps, min_pts): (f64, usize)) -> Self {
+        DbscanParams::new(eps, min_pts)
+    }
+}
+
+/// A parameter grid for batched sweeps: the ε values, the minPts values,
+/// and the algorithm variant to run over their cross-product.
+///
+/// This is the builder the sweep entry points
+/// (`dbscan::ClusterSession::sweep`, `dbscan_engine::Snapshot::sweep`) take
+/// via `impl Into<SweepGrid>`; pairs of slices or vectors convert directly,
+/// so tuple call sites stay one expression:
+///
+/// ```
+/// use pardbscan::{SweepGrid, VariantConfig};
+///
+/// let grid = SweepGrid::new([0.5, 0.7], [3, 4]).variant(VariantConfig::exact_qt());
+/// assert_eq!(grid.len(), 4);
+/// let from_tuple: SweepGrid = (&[0.5, 0.7][..], &[3usize, 4][..]).into();
+/// assert_eq!(from_tuple.eps, grid.eps);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// The ε values of the grid (one spatial index build per distinct ε).
+    pub eps: Vec<f64>,
+    /// The minPts values of the grid.
+    pub min_pts: Vec<usize>,
+    /// The algorithm variant each grid cell runs.
+    pub variant: VariantConfig,
+}
+
+impl SweepGrid {
+    /// A grid over the cross-product of `eps` and `min_pts`, running the
+    /// paper's default exact variant.
+    pub fn new(eps: impl Into<Vec<f64>>, min_pts: impl Into<Vec<usize>>) -> Self {
+        SweepGrid {
+            eps: eps.into(),
+            min_pts: min_pts.into(),
+            variant: VariantConfig::exact(),
+        }
+    }
+
+    /// Selects the algorithm variant the grid runs.
+    pub fn variant(mut self, variant: VariantConfig) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Number of grid cells (including duplicates, before the sweep
+    /// deduplicates repeated entries).
+    pub fn len(&self) -> usize {
+        self.eps.len() * self.min_pts.len()
+    }
+
+    /// Returns `true` if the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<(&[f64], &[usize])> for SweepGrid {
+    fn from((eps, min_pts): (&[f64], &[usize])) -> Self {
+        SweepGrid::new(eps, min_pts)
+    }
+}
+
+impl From<(Vec<f64>, Vec<usize>)> for SweepGrid {
+    fn from((eps, min_pts): (Vec<f64>, Vec<usize>)) -> Self {
+        SweepGrid::new(eps, min_pts)
+    }
+}
+
+impl<const E: usize, const M: usize> From<([f64; E], [usize; M])> for SweepGrid {
+    fn from((eps, min_pts): ([f64; E], [usize; M])) -> Self {
+        SweepGrid::new(eps, min_pts)
+    }
+}
+
+impl<const E: usize, const M: usize> From<(&[f64; E], &[usize; M])> for SweepGrid {
+    fn from((eps, min_pts): (&[f64; E], &[usize; M])) -> Self {
+        SweepGrid::new(eps.to_vec(), min_pts.to_vec())
+    }
+}
+
 /// How points are partitioned into cells (Algorithm 1, line 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellMethod {

@@ -89,7 +89,7 @@
 //! assert!(b.stats.partition_cache_hit);
 //!
 //! // Batched parameter sweep: 2 × 2 queries, one partition build per eps.
-//! let grid = snapshot.sweep(&[0.5, 0.7], &[3, 4]).unwrap();
+//! let grid = snapshot.sweep(([0.5, 0.7], [3, 4])).unwrap();
 //! assert_eq!(grid.len(), 4);
 //! assert_eq!(snapshot.cache_stats().partition_misses, 2);
 //! ```
@@ -108,5 +108,5 @@ pub use stats::{CacheStats, QueryStats};
 // basic use.
 pub use pardbscan::{
     CellGraphMethod, CellMethod, Clustering, DbscanError, DbscanParams, MarkCoreMethod, PointLabel,
-    VariantConfig,
+    SweepGrid, VariantConfig,
 };

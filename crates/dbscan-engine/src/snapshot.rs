@@ -6,7 +6,7 @@ use geom::Point;
 use pardbscan::pipeline::{CoreSet, SpatialIndex};
 use pardbscan::{
     cluster_border, cluster_core, mark_core, CellMethod, ClusterCoreOptions, Clustering,
-    DbscanError, DbscanParams, MarkCoreMethod, VariantConfig,
+    DbscanError, DbscanParams, MarkCoreMethod, SweepGrid, VariantConfig,
 };
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -213,11 +213,24 @@ impl<const D: usize> Snapshot<D> {
     /// clusterer from already-indexed phase-1 state instead of
     /// re-partitioning.
     pub fn cached_index(&self, eps: f64, cell_method: CellMethod) -> Option<Arc<SpatialIndex<D>>> {
+        self.cached_index_stamped(eps, cell_method)
+            .map(|(_, index)| index)
+    }
+
+    /// [`Snapshot::cached_index`] together with the cached index's
+    /// generation stamp, so callers serving work from the cached artifact
+    /// (the facade's sharded path) can attribute the reuse in EXPLAIN
+    /// output.
+    pub fn cached_index_stamped(
+        &self,
+        eps: f64,
+        cell_method: CellMethod,
+    ) -> Option<(u64, Arc<SpatialIndex<D>>)> {
         let key = IndexKey {
             eps_bits: eps.to_bits(),
             cell_method,
         };
-        lock(&self.partitions).get(&key).map(|(_, index)| index)
+        lock(&self.partitions).get(&key)
     }
 
     /// Every cached spatial index as `(generation, index)`, least recently
@@ -233,9 +246,11 @@ impl<const D: usize> Snapshot<D> {
     }
 
     /// Runs the paper's default exact variant (`our-exact`) for `params`,
-    /// reusing cached phase state where possible.
-    pub fn query(&self, params: DbscanParams) -> Result<QueryResult, DbscanError> {
-        self.query_variant(params, VariantConfig::exact())
+    /// reusing cached phase state where possible. Accepts anything
+    /// convertible into [`DbscanParams`], including an `(eps, min_pts)`
+    /// tuple.
+    pub fn query(&self, params: impl Into<DbscanParams>) -> Result<QueryResult, DbscanError> {
+        self.query_variant(params.into(), VariantConfig::exact())
     }
 
     /// Runs an explicit algorithm variant for `params`.
@@ -281,14 +296,14 @@ impl<const D: usize> Snapshot<D> {
         Ok(QueryResult { clustering, stats })
     }
 
-    /// Runs the default exact variant over the full `ε-grid × minPts-grid`
-    /// cross-product. See [`Snapshot::sweep_variant`].
-    pub fn sweep(
-        &self,
-        eps_grid: &[f64],
-        min_pts_grid: &[usize],
-    ) -> Result<Vec<SweepCell>, DbscanError> {
-        self.sweep_variant(eps_grid, min_pts_grid, VariantConfig::exact())
+    /// Runs a [`SweepGrid`] — the full `ε-grid × minPts-grid`
+    /// cross-product under the grid's variant. Accepts anything convertible
+    /// into a grid, e.g. a tuple of slices or arrays; see
+    /// [`Snapshot::sweep_variant`] for the slice-level form and the reuse
+    /// rules.
+    pub fn sweep(&self, grid: impl Into<SweepGrid>) -> Result<Vec<SweepCell>, DbscanError> {
+        let grid = grid.into();
+        self.sweep_variant(&grid.eps, &grid.min_pts, grid.variant)
     }
 
     /// Runs `variant` over the full `ε-grid × minPts-grid` cross-product in
@@ -589,7 +604,7 @@ mod tests {
         let snapshot = Engine::new().index(pts.clone());
         let eps_grid = [0.8, 1.2, 1.6, 2.0, 2.4];
         let min_pts_grid = [4, 9];
-        let grid = snapshot.sweep(&eps_grid, &min_pts_grid).unwrap();
+        let grid = snapshot.sweep((&eps_grid, &min_pts_grid)).unwrap();
         assert_eq!(grid.len(), 10);
 
         // Row-major order and label identity with one-shot runs.
@@ -660,7 +675,7 @@ mod tests {
             Err(DbscanError::RequiresTwoDimensions(_))
         ));
         // An invalid grid fails before any work.
-        assert!(snapshot.sweep(&[1.0, -1.0], &[3]).is_err());
+        assert!(snapshot.sweep(([1.0, -1.0], [3])).is_err());
         assert_eq!(snapshot.cache_stats().partition_misses, 0);
     }
 
@@ -699,7 +714,7 @@ mod tests {
         let snapshot = Engine::new().index(pts.clone());
         // Three distinct eps (one repeated twice), two distinct minPts (one
         // repeated): the sweep must cover the 3 × 2 distinct cross-product.
-        let grid = snapshot.sweep(&[1.0, 1.5, 1.0, 2.0], &[4, 4, 8]).unwrap();
+        let grid = snapshot.sweep(([1.0, 1.5, 1.0, 2.0], [4, 4, 8])).unwrap();
         assert_eq!(grid.len(), 6, "duplicates are merged before dispatch");
         let stats = snapshot.cache_stats();
         assert_eq!(stats.partition_misses, 3, "one build per distinct eps");

@@ -49,27 +49,78 @@ pub fn dispatch(state: &AppState, request: &Request) -> Response {
     response
 }
 
-/// The router proper.
+/// The versioned API lives under `/v1/...`. The original unversioned paths
+/// keep answering identically, but every such response carries a
+/// `Deprecation: true` header pointing migrations at the `/v1` aliases.
 fn route(state: &AppState, request: &Request) -> Response {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (versioned, routable) = match segments.split_first() {
+        Some((&"v1", rest)) => (true, rest),
+        _ => (false, segments.as_slice()),
+    };
+    let response = route_versioned(state, request, routable);
+    if versioned {
+        response
+    } else {
+        response.with_header("Deprecation", "true")
+    }
+}
+
+/// Rejects the request if it carries a query parameter outside `allowed`,
+/// then runs the handler. Without this, a typo'd parameter name (`minpts`
+/// for `min_pts`) would silently fall back to the default-parameter answer.
+fn strict(request: &Request, allowed: &[&str], handler: impl FnOnce() -> Response) -> Response {
+    for (name, _) in &request.query {
+        if !allowed.contains(&name.as_str()) {
+            let accepted = if allowed.is_empty() {
+                "this endpoint takes no query parameters".to_string()
+            } else {
+                format!("accepted parameters: {}", allowed.join(", "))
+            };
+            return Response::error_coded(
+                400,
+                "unknown_param",
+                &format!("unrecognized query parameter `{name}`; {accepted}"),
+            );
+        }
+    }
+    handler()
+}
+
+/// The router proper, over path segments with any `/v1` prefix stripped.
+fn route_versioned(state: &AppState, request: &Request, segments: &[&str]) -> Response {
     let method = request.method.as_str();
-    match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => healthz(state),
-        ("GET", ["metrics"]) => metrics(),
-        ("POST", ["admin", "shutdown"]) => {
+    match (method, segments) {
+        ("GET", ["healthz"]) => strict(request, &[], || healthz(state)),
+        ("GET", ["metrics"]) => strict(request, &[], metrics),
+        ("POST", ["admin", "shutdown"]) => strict(request, &[], || {
             state.request_shutdown();
             Response::json(202, "{\"status\": \"draining\"}".to_string())
+        }),
+        ("GET", ["datasets"]) => strict(request, &[], || list_datasets(state)),
+        ("PUT" | "POST", ["datasets", name]) => strict(
+            request,
+            &["eps", "min_pts", "dim", "durable", "open"],
+            || create_dataset(state, name, request),
+        ),
+        ("GET", ["datasets", name]) => {
+            strict(request, &[], || with_dataset(state, name, dataset_info))
         }
-        ("GET", ["datasets"]) => list_datasets(state),
-        ("PUT" | "POST", ["datasets", name]) => create_dataset(state, name, request),
-        ("GET", ["datasets", name]) => with_dataset(state, name, dataset_info),
-        ("DELETE", ["datasets", name]) => delete_dataset(state, name),
-        ("POST", ["datasets", name, "updates"]) => {
+        ("DELETE", ["datasets", name]) => strict(request, &[], || delete_dataset(state, name)),
+        ("POST", ["datasets", name, "updates"]) => strict(request, &[], || {
             with_dataset(state, name, |d| apply_updates(d, request))
+        }),
+        ("GET", ["datasets", name, "query"]) => {
+            strict(request, &["eps", "min_pts", "variant"], || {
+                with_dataset(state, name, |d| query(d, request))
+            })
         }
-        ("GET", ["datasets", name, "query"]) => with_dataset(state, name, |d| query(d, request)),
-        ("GET", ["datasets", name, "sweep"]) => with_dataset(state, name, |d| sweep(d, request)),
-        ("GET", ["datasets", name, "labels"]) => with_dataset(state, name, labels),
+        ("GET", ["datasets", name, "sweep"]) => strict(request, &["eps", "min_pts"], || {
+            with_dataset(state, name, |d| sweep(d, request))
+        }),
+        ("GET", ["datasets", name, "labels"]) => {
+            strict(request, &[], || with_dataset(state, name, labels))
+        }
         // Wrong method on a path shape that exists in the route table
         // above is 405; anything else (e.g. /datasets/foo/bogus) is a
         // route that exists for no method, so it falls through to 404.
@@ -312,6 +363,7 @@ fn delete_dataset(state: &AppState, name: &str) -> Response {
             Response {
                 status: 204,
                 content_type: "application/json",
+                headers: Vec::new(),
                 body: Vec::new(),
                 close: false,
             }
@@ -508,7 +560,7 @@ fn sweep(dataset: &Dataset, request: &Request) -> Response {
         Err(resp) => return resp,
     };
     let generation = dataset.session.current();
-    match generation.sweep(&eps_grid, &min_pts_grid) {
+    match generation.sweep((eps_grid.as_slice(), min_pts_grid.as_slice())) {
         Ok(cells) => {
             QUERIES.incr();
             let rows = cells

@@ -314,6 +314,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` of the body.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written verbatim after the
+    /// standard ones — the legacy-route `Deprecation` header travels here.
+    pub headers: Vec<(&'static str, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
     /// Whether the server will close the connection after this response
@@ -327,6 +330,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
             close: false,
         }
@@ -337,14 +341,52 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
             close: false,
         }
     }
 
-    /// A JSON error response: `{"error": "..."}`.
+    /// A JSON error response in the service's one unified shape:
+    /// `{"error": {"code": "...", "message": "..."}}`, with the machine
+    /// code derived from the status. Use [`Response::error_coded`] when a
+    /// more specific code than the status-default applies.
     pub fn error(status: u16, message: &str) -> Response {
-        Response::json(status, format!("{{\"error\": {}}}", json_string(message)))
+        Response::error_coded(status, default_error_code(status), message)
+    }
+
+    /// [`Response::error`] with an explicit machine-readable `code`.
+    pub fn error_coded(status: u16, code: &str, message: &str) -> Response {
+        Response::json(
+            status,
+            format!(
+                "{{\"error\": {{\"code\": {}, \"message\": {}}}}}",
+                json_string(code),
+                json_string(message)
+            ),
+        )
+    }
+
+    /// Adds one response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+}
+
+/// The default machine-readable error code of a status — the `code` field
+/// of the unified error shape when the caller doesn't supply a more
+/// specific one.
+fn default_error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        409 => "conflict",
+        413 => "too_large",
+        501 => "not_implemented",
+        503 => "unavailable",
+        _ => "internal",
     }
 }
 
@@ -370,8 +412,8 @@ fn reason(status: u16) -> &'static str {
 /// Writes `response` to `stream` (headers + body, `Content-Length` always
 /// set).
 pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
@@ -382,6 +424,13 @@ pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::
             "keep-alive"
         },
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     // One write per response: a separate head write would let Nagle hold
     // the body back against the peer's delayed ACK (~40ms per request on
     // loopback keep-alive connections).

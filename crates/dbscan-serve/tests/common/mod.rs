@@ -40,3 +40,38 @@ pub fn json_num(body: &str, key: &str) -> f64 {
         .and_then(jsonv::Value::as_f64)
         .unwrap_or_else(|| panic!("no numeric `{key}` in {body}"))
 }
+
+/// [`request`], but also returning the raw header block so tests can assert
+/// on response headers (the legacy-route `Deprecation` marker).
+pub fn request_with_head(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (status, body) = parse_response(&raw);
+    let head = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, _)| h.to_string())
+        .unwrap_or_default();
+    (status, head, body)
+}
+
+/// Reads the `error.code` field of a unified-shape error body.
+pub fn error_code(body: &str) -> String {
+    jsonv::parse(body)
+        .unwrap_or_else(|e| panic!("unparseable JSON body {body:?}: {e}"))
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(|c| c.as_str().map(str::to_string))
+        .unwrap_or_else(|| panic!("no error.code in {body}"))
+}

@@ -4,7 +4,7 @@
 
 mod common;
 
-use common::{json_num, parse_response, request};
+use common::{error_code, json_num, parse_response, request, request_with_head};
 use dbscan_serve::{Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -273,6 +273,121 @@ fn error_paths_answer_with_the_documented_statuses() {
         "",
     );
     assert_eq!(status, 400);
+
+    handle.stop().expect("graceful stop");
+}
+
+#[test]
+fn v1_paths_alias_the_legacy_routes_and_legacy_answers_deprecate() {
+    let (addr, handle) = spawn_server();
+    let coords = coords_json(&two_cluster_coords());
+
+    // The whole lifecycle works under /v1, and versioned responses carry
+    // no deprecation marker.
+    let (status, head, body) = request_with_head(
+        &addr,
+        "PUT",
+        "/v1/datasets/demo?dim=2&eps=0.5&min_pts=3",
+        &coords,
+    );
+    assert_eq!(status, 201, "v1 create failed: {body}");
+    assert!(
+        !head.to_ascii_lowercase().contains("deprecation"),
+        "v1 response flagged deprecated:\n{head}"
+    );
+    for path in [
+        "/v1/healthz",
+        "/v1/metrics",
+        "/v1/datasets",
+        "/v1/datasets/demo",
+        "/v1/datasets/demo/query?eps=0.5&min_pts=3",
+        "/v1/datasets/demo/sweep?eps=0.3,0.5&min_pts=3",
+        "/v1/datasets/demo/labels",
+    ] {
+        let (status, head, body) = request_with_head(&addr, "GET", path, "");
+        assert_eq!(status, 200, "GET {path}: {body}");
+        assert!(
+            !head.to_ascii_lowercase().contains("deprecation"),
+            "GET {path} flagged deprecated:\n{head}"
+        );
+    }
+
+    // The same routes answer identically on the unversioned paths, but
+    // every legacy response advertises the deprecation.
+    let (status, head, v1_body) = request_with_head(&addr, "GET", "/v1/datasets/demo/labels", "");
+    assert_eq!(status, 200);
+    let _ = head;
+    let (status, head, legacy_body) = request_with_head(&addr, "GET", "/datasets/demo/labels", "");
+    assert_eq!(status, 200);
+    assert_eq!(v1_body, legacy_body, "legacy and v1 answers diverge");
+    assert!(
+        head.lines()
+            .any(|l| l.to_ascii_lowercase().starts_with("deprecation:")),
+        "legacy response missing Deprecation header:\n{head}"
+    );
+
+    // v1 errors use the unified shape too.
+    let (status, body) = request(&addr, "GET", "/v1/datasets/ghost", "");
+    assert_eq!(status, 404);
+    assert_eq!(error_code(&body), "not_found");
+
+    handle.stop().expect("graceful stop");
+}
+
+#[test]
+fn errors_share_one_json_shape_and_unknown_params_are_rejected() {
+    let (addr, handle) = spawn_server();
+    let (status, _) = request(
+        &addr,
+        "PUT",
+        "/datasets/demo?dim=2&eps=0.5&min_pts=3",
+        &coords_json(&two_cluster_coords()),
+    );
+    assert_eq!(status, 201);
+
+    // Every error path answers `{"error": {"code", "message"}}`.
+    let (status, body) = request(&addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    assert_eq!(error_code(&body), "not_found");
+    let (status, body) = request(&addr, "PATCH", "/datasets", "");
+    assert_eq!(status, 405);
+    assert_eq!(error_code(&body), "method_not_allowed");
+    let (status, body) = request(&addr, "PUT", "/datasets/demo?dim=2&eps=0.5&min_pts=3", "[]");
+    assert_eq!(status, 409);
+    assert_eq!(error_code(&body), "conflict");
+    let (status, body) = request(&addr, "GET", "/datasets/demo/query?eps=nope&min_pts=3", "");
+    assert_eq!(status, 400);
+    assert_eq!(error_code(&body), "bad_request");
+
+    // A typo'd parameter name is a 400 with its own code — not a silent
+    // fall-back to default parameters.
+    let (status, body) = request(&addr, "GET", "/datasets/demo/query?eps=0.5&minpts=3", "");
+    assert_eq!(status, 400, "typo'd min_pts must be rejected: {body}");
+    assert_eq!(error_code(&body), "unknown_param");
+    assert!(
+        body.contains("minpts"),
+        "message should name the offender: {body}"
+    );
+    let (status, body) = request(
+        &addr,
+        "GET",
+        "/v1/datasets/demo/sweep?eps=0.5&min_pts=3&rho=0.1",
+        "",
+    );
+    assert_eq!(status, 400, "sweep must reject stray params: {body}");
+    assert_eq!(error_code(&body), "unknown_param");
+    let (status, body) = request(&addr, "GET", "/healthz?verbose=1", "");
+    assert_eq!(status, 400, "no-param endpoints reject any query: {body}");
+    assert_eq!(error_code(&body), "unknown_param");
+
+    // The allowed parameters still work, including optional ones.
+    let (status, body) = request(
+        &addr,
+        "GET",
+        "/datasets/demo/query?eps=0.5&min_pts=3&variant=exact-qt",
+        "",
+    );
+    assert_eq!(status, 200, "allowed params rejected: {body}");
 
     handle.stop().expect("graceful stop");
 }

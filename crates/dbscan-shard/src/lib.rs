@@ -1,0 +1,464 @@
+//! # dbscan-shard — cell-graph-sharded DBSCAN with a merge coordinator
+//!
+//! The paper's four-phase algorithm decomposes every step after the
+//! partition over grid cells: MarkCore reads a cell and its O(1)
+//! ε-neighbouring cells, and the cell graph connects ε-neighbouring core
+//! cells. Cells are therefore a natural *shard* boundary — a worker that
+//! owns a set of cells can flag its core points and evaluate the cell-graph
+//! edges between its own cells entirely locally, and only edges whose two
+//! cells live on different shards need cross-shard coordination.
+//!
+//! This crate is a single-binary shard **simulator**: shards run as threads
+//! over one shared [`SpatialIndex`], but every interface between a shard
+//! and the coordinator is *process-shaped* — plain owned data
+//! ([`ShardLocalOutput`]: core flags, locally connected cell components,
+//! owned cross-shard candidate pairs) that could be serialized across a
+//! process or network boundary without redesign.
+//!
+//! The run proceeds in three rounds:
+//!
+//! 1. **Local MarkCore** — each shard flags the points of its own cells
+//!    ([`pardbscan::mark_core_cells`]); the coordinator unions the flags
+//!    into the global core set.
+//! 2. **Local connect** — each shard evaluates BCP connectivity for the
+//!    candidate cell pairs it owns (a pair is owned by the higher cell id's
+//!    shard, mirroring the single-engine owner rule) where both cells are
+//!    its own, reduces them to shard-local components, and reports the
+//!    cross-shard pairs it owns as boundary candidates.
+//! 3. **Merge** — the coordinator runs the witnessed BCP of
+//!    [`pardbscan::connect_region`] over the boundary candidates only, then
+//!    stitches shard-local components and boundary edges in one
+//!    [`DynamicUnionFind`] and assigns global labels (border points via the
+//!    unchanged [`pardbscan::cluster_border`]).
+//!
+//! **Correctness contract:** the sharded labels are byte-identical to a
+//! single-engine run at the same parameters, for every shard count and any
+//! cell partition. The per-point core predicate is evaluated identically,
+//! and every adjacent core-cell pair is BCP-tested by exactly one owner
+//! (locally or at the merge), so the component partition of the core cells
+//! matches — and [`Clustering::from_sets`]' canonical renumbering depends
+//! on nothing else.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use geom::Point;
+use pardbscan::pipeline::{CoreSet, RegionEdge, SpatialIndex};
+use pardbscan::{
+    cluster_border, connect_region, mark_core_cells, CellMethod, Clustering, DbscanError,
+    DbscanParams, MarkCoreMethod,
+};
+use spatial::ShardAssignment;
+use std::time::{Duration, Instant};
+use unionfind::DynamicUnionFind;
+
+/// How a sharded clustering run is configured. Slots into the `dbscan`
+/// facade's session builder; the one knob is the shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shard workers cells are partitioned across. Zero is
+    /// treated as one (a single shard degenerates to the ordinary engine
+    /// with an empty merge phase).
+    pub num_shards: usize,
+}
+
+impl ShardConfig {
+    /// A configuration with `num_shards` workers.
+    pub fn new(num_shards: usize) -> Self {
+        ShardConfig {
+            num_shards: num_shards.max(1),
+        }
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::new(1)
+    }
+}
+
+/// The process-shaped output of one shard's local rounds: plain owned data,
+/// serializable across a process boundary without redesign.
+#[derive(Debug, Clone)]
+pub struct ShardLocalOutput {
+    /// The shard's id.
+    pub shard_id: usize,
+    /// Shard-local cell components of size ≥ 2 (global cell ids), from the
+    /// intra-shard BCP edges. Singleton components are implicit.
+    pub components: Vec<Vec<usize>>,
+    /// Intra-shard witnessed edges (kept for inspection; the components
+    /// above already encode their connectivity).
+    pub local_edges: usize,
+    /// Cross-shard candidate core-cell pairs this shard owns (the higher
+    /// cell id is this shard's). These are the only pairs the coordinator
+    /// BCP-tests.
+    pub boundary_pairs: Vec<(usize, usize)>,
+}
+
+/// Statistics of one sharded run: counts and per-phase wall times, the
+/// merge phase separated out (the quantity the `shard_scale` benchmark and
+/// the regression gate watch).
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard count of the run.
+    pub num_shards: usize,
+    /// Number of grid cells.
+    pub num_cells: usize,
+    /// Cells with at least one ε-neighbour on another shard.
+    pub boundary_cells: usize,
+    /// Cross-shard candidate core-cell pairs BCP-tested by the coordinator.
+    pub boundary_pairs: usize,
+    /// Boundary candidates that turned out connected (witnessed edges).
+    pub boundary_edges: usize,
+    /// Number of core points.
+    pub num_core_points: usize,
+    /// Spatial-index build time (zero when a prebuilt index was supplied).
+    pub partition_time: Duration,
+    /// Wall time of the shard-local MarkCore round.
+    pub mark_core_time: Duration,
+    /// Wall time of the shard-local connect round.
+    pub local_connect_time: Duration,
+    /// Wall time of the merge phase (boundary BCP + component stitching).
+    pub merge_time: Duration,
+    /// Wall time of the border-assignment phase.
+    pub border_time: Duration,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+}
+
+impl ShardStats {
+    /// The merge phase's share of the end-to-end wall time, in `[0, 1]`.
+    pub fn merge_share(&self) -> f64 {
+        let total = self.total_time.as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            (self.merge_time.as_secs_f64() / total).clamp(0.0, 1.0)
+        }
+    }
+}
+
+static SHARD_RUNS: obs::LazyCounter = obs::LazyCounter::with_help(
+    "dbscan_shard_runs_total",
+    "Sharded clustering runs completed",
+);
+static SHARD_BOUNDARY_CELLS: obs::LazyCounter = obs::LazyCounter::with_help(
+    "dbscan_shard_boundary_cells_total",
+    "Cells observed on a shard boundary across sharded runs",
+);
+static SHARD_BOUNDARY_EDGES: obs::LazyCounter = obs::LazyCounter::with_help(
+    "dbscan_shard_boundary_edges_total",
+    "Witnessed cross-shard cell-graph edges across sharded runs",
+);
+static SHARD_MERGE_SECONDS: obs::LazyHistogram = obs::LazyHistogram::with_help(
+    "dbscan_shard_merge_seconds",
+    "Wall time of the merge phase of sharded clustering runs",
+);
+
+/// Clusters `points` with `config.num_shards` shard workers, building the
+/// spatial index first. Labels are byte-identical to a single-engine run at
+/// the same parameters.
+pub fn shard_cluster<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: &ShardConfig,
+) -> Result<(Clustering, ShardStats), DbscanError> {
+    params.validate()?;
+    let start = Instant::now();
+    let index = SpatialIndex::build(points, params.eps, CellMethod::Grid)?;
+    let partition_time = start.elapsed();
+    let assignment =
+        ShardAssignment::build(&index.partition.cells, &index.neighbors, config.num_shards);
+    let (clustering, mut stats) = shard_cluster_on_index(&index, params.min_pts, &assignment);
+    stats.partition_time = partition_time;
+    stats.total_time += partition_time;
+    Ok((clustering, stats))
+}
+
+/// Runs the sharded phases 2–4 over a prebuilt index and an explicit shard
+/// assignment (the entry point the facade's cached-index path and the
+/// random-partition property tests use).
+pub fn shard_cluster_on_index<const D: usize>(
+    index: &SpatialIndex<D>,
+    min_pts: usize,
+    assignment: &ShardAssignment,
+) -> (Clustering, ShardStats) {
+    let run_start = Instant::now();
+    let num_cells = index.partition.num_cells();
+    assert_eq!(
+        assignment.num_cells(),
+        num_cells,
+        "shard assignment does not cover this index's cells"
+    );
+
+    // Round 1: shard-local MarkCore, one thread per shard, merged into the
+    // global core set. Each worker's output is plain `(pid, flag)` data.
+    let start = Instant::now();
+    let flag_batches: Vec<Vec<(usize, bool)>> = run_on_shard_threads(assignment, |shard| {
+        mark_core_cells(
+            index,
+            min_pts,
+            MarkCoreMethod::Scan,
+            &assignment.shard_cells[shard],
+        )
+    });
+    let mut core_flags = vec![false; index.partition.num_points()];
+    for batch in &flag_batches {
+        for &(pid, flag) in batch {
+            core_flags[pid] = flag;
+        }
+    }
+    let core = CoreSet::from_flags(min_pts, core_flags, &index.partition);
+    let mark_core_time = start.elapsed();
+
+    // Round 2: shard-local connect — intra-shard BCP reduced to local
+    // components, cross-shard candidates reported for the merge.
+    let start = Instant::now();
+    let locals: Vec<ShardLocalOutput> = run_on_shard_threads(assignment, |shard| {
+        connect_shard(index, &core, assignment, shard)
+    });
+    let local_connect_time = start.elapsed();
+
+    // Round 3: the merge — boundary BCP plus component stitching.
+    let start = Instant::now();
+    let boundary_pairs: Vec<(usize, usize)> = locals
+        .iter()
+        .flat_map(|l| l.boundary_pairs.iter().copied())
+        .collect();
+    let boundary_edges = {
+        let _span = obs::Span::enter("shard", obs::phase::SHARD_MERGE)
+            .eps(index.eps)
+            .min_pts(min_pts)
+            .n(boundary_pairs.len());
+        connect_region(
+            index.eps,
+            &boundary_pairs,
+            |c| core_cell_points(index, &core, c),
+            |c| index.partition.cells[c].bbox,
+        )
+    };
+    let mut uf = DynamicUnionFind::new(num_cells);
+    for local in &locals {
+        for component in &local.components {
+            for window in component.windows(2) {
+                uf.union(window[0], window[1]);
+            }
+        }
+    }
+    for edge in &boundary_edges {
+        uf.union(edge.cells.0, edge.cells.1);
+    }
+    // Raw cluster id of every core point: the union-find root of its cell.
+    // Any consistent raw ids canonicalize to the same labels.
+    let point_to_cell = index.partition.point_to_cell();
+    let core_clusters: Vec<Option<usize>> = (0..index.partition.num_points())
+        .map(|pid| core.core_flags[pid].then(|| uf.find(point_to_cell[pid])))
+        .collect();
+    let merge_time = start.elapsed();
+
+    // Phase 4 is unchanged: border points join the clusters of core points
+    // within ε, against the now-global core cluster ids.
+    let start = Instant::now();
+    let sets = cluster_border(index, &core, &core_clusters);
+    let clustering = Clustering::from_sets(core.core_flags.clone(), sets);
+    let border_time = start.elapsed();
+
+    let stats = ShardStats {
+        num_shards: assignment.num_shards,
+        num_cells,
+        boundary_cells: assignment.num_boundary_cells(),
+        boundary_pairs: boundary_pairs.len(),
+        boundary_edges: boundary_edges.len(),
+        num_core_points: core.num_core_points(),
+        partition_time: Duration::ZERO,
+        mark_core_time,
+        local_connect_time,
+        merge_time,
+        border_time,
+        total_time: run_start.elapsed(),
+    };
+    SHARD_RUNS.incr();
+    SHARD_BOUNDARY_CELLS.add(stats.boundary_cells as u64);
+    SHARD_BOUNDARY_EDGES.add(stats.boundary_edges as u64);
+    SHARD_MERGE_SECONDS.observe(merge_time);
+    (clustering, stats)
+}
+
+/// Runs `work` once per shard on dedicated OS threads (the thread-per-shard
+/// stand-in for one process per shard) and collects the outputs in shard
+/// order. Shards that own no cells still run (and return empty work).
+fn run_on_shard_threads<T: Send>(
+    assignment: &ShardAssignment,
+    work: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..assignment.num_shards)
+            .map(|shard| scope.spawn(move || work(shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+/// One shard's local connect round: BCP over the intra-shard candidate
+/// pairs it owns, reduced to local components, plus the cross-shard
+/// candidates it owns.
+fn connect_shard<const D: usize>(
+    index: &SpatialIndex<D>,
+    core: &CoreSet<D>,
+    assignment: &ShardAssignment,
+    shard: usize,
+) -> ShardLocalOutput {
+    let owned = &assignment.shard_cells[shard];
+    let _span = obs::Span::enter("shard", obs::phase::SHARD_LOCAL)
+        .eps(index.eps)
+        .n(owned.len());
+
+    // A candidate pair (g, h), h < g, both core cells, is owned by g's
+    // shard — the same higher-id owner rule the single-engine ClusterCore
+    // uses, so every adjacent core-cell pair is tested exactly once across
+    // all shards.
+    let mut local_pairs = Vec::new();
+    let mut boundary_pairs = Vec::new();
+    for &g in owned {
+        if !core.is_core_cell(g) {
+            continue;
+        }
+        for &h in index.neighbors.of(g) {
+            if h >= g || !core.is_core_cell(h) {
+                continue;
+            }
+            if assignment.cell_to_shard[h] == shard {
+                local_pairs.push((g, h));
+            } else {
+                boundary_pairs.push((g, h));
+            }
+        }
+    }
+
+    let edges: Vec<RegionEdge> = connect_region(
+        index.eps,
+        &local_pairs,
+        |c| core_cell_points(index, core, c),
+        |c| index.partition.cells[c].bbox,
+    );
+
+    // Reduce local edges to components over a shard-local id space so the
+    // output stays proportional to the shard, not the dataset.
+    let mut local_id = vec![usize::MAX; index.partition.num_cells()];
+    for (i, &c) in owned.iter().enumerate() {
+        local_id[c] = i;
+    }
+    let mut uf = DynamicUnionFind::new(owned.len());
+    for edge in &edges {
+        uf.union(local_id[edge.cells.0], local_id[edge.cells.1]);
+    }
+    let mut components = Vec::new();
+    for (i, &c) in owned.iter().enumerate() {
+        if uf.find(i) == i && uf.component_size(i) > 1 {
+            let mut cells: Vec<usize> = uf.members(i).iter().map(|&m| owned[m]).collect();
+            cells.sort_unstable();
+            components.push(cells);
+            let _ = c;
+        }
+    }
+
+    ShardLocalOutput {
+        shard_id: shard,
+        components,
+        local_edges: edges.len(),
+        boundary_pairs,
+    }
+}
+
+/// The `(point id, point)` pairs of cell `c`'s core points, the shape
+/// [`connect_region`]'s accessor wants.
+fn core_cell_points<const D: usize>(
+    index: &SpatialIndex<D>,
+    core: &CoreSet<D>,
+    c: usize,
+) -> Vec<(usize, Point<D>)> {
+    index
+        .partition
+        .cell_point_ids(c)
+        .iter()
+        .zip(index.partition.cell_points(c))
+        .filter(|&(&pid, _)| core.core_flags[pid])
+        .map(|(&pid, p)| (pid, *p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point2;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, extent: f64, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matches_oracle_on_random_points() {
+        let pts = random_points(1_500, 30.0, 9);
+        let params = DbscanParams::new(1.2, 6);
+        let oracle = pardbscan::dbscan(&pts, params.eps, params.min_pts).unwrap();
+        for shards in [1usize, 2, 4, 8] {
+            let (got, stats) = shard_cluster(&pts, params, &ShardConfig::new(shards)).unwrap();
+            assert_eq!(got, oracle, "{shards} shards");
+            assert_eq!(stats.num_shards, shards);
+            if shards == 1 {
+                assert_eq!(stats.boundary_pairs, 0, "one shard has no boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_actually_stitches_across_shards() {
+        // One long thin cluster spanning many cells: with several shards the
+        // chain necessarily crosses shard boundaries, so a broken merge
+        // would split the cluster.
+        let pts: Vec<Point2> = (0..400)
+            .map(|i| Point2::new([0.05 * i as f64, 0.0]))
+            .collect();
+        let params = DbscanParams::new(0.2, 3);
+        let oracle = pardbscan::dbscan(&pts, params.eps, params.min_pts).unwrap();
+        assert_eq!(oracle.num_clusters(), 1);
+        let (got, stats) = shard_cluster(&pts, params, &ShardConfig::new(8)).unwrap();
+        assert_eq!(got, oracle);
+        assert!(stats.boundary_edges > 0, "the chain must cross shards");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let params = DbscanParams::new(1.0, 3);
+        let (c, _) = shard_cluster::<2>(&[], params, &ShardConfig::new(4)).unwrap();
+        assert!(c.is_empty());
+        let one = vec![Point2::new([0.0, 0.0])];
+        let (c, _) = shard_cluster(&one, params, &ShardConfig::new(4)).unwrap();
+        assert_eq!(c.num_clusters(), 0);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let pts = random_points(10, 5.0, 1);
+        assert!(shard_cluster(&pts, DbscanParams::new(0.0, 3), &ShardConfig::new(2)).is_err());
+        assert!(shard_cluster(&pts, DbscanParams::new(1.0, 0), &ShardConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn stats_report_the_merge_share() {
+        let pts = random_points(2_000, 25.0, 3);
+        let (_, stats) =
+            shard_cluster(&pts, DbscanParams::new(1.0, 5), &ShardConfig::new(4)).unwrap();
+        let share = stats.merge_share();
+        assert!((0.0..=1.0).contains(&share));
+        assert!(stats.total_time >= stats.merge_time);
+    }
+}

@@ -93,7 +93,7 @@ fn main() {
     let session = ClusterSession::ingest(cloud).expect("dimension 2..=8");
     let start = Instant::now();
     let grid = session
-        .sweep(&eps_values, &min_pts_values)
+        .sweep((&eps_values, &min_pts_values))
         .expect("valid parameters");
     let sweep_time = start.elapsed();
 

@@ -59,7 +59,7 @@ use crate::error::Error;
 use crate::labels::Labels;
 use crate::session::{ClusterSession, QueryOutcome, SweepCell};
 use dbscan_stream::UpdateStats;
-use pardbscan::{DbscanParams, VariantConfig};
+use pardbscan::{DbscanParams, SweepGrid, VariantConfig};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 static GENERATIONS_PUBLISHED: obs::LazyCounter = obs::LazyCounter::with_help(
@@ -125,8 +125,9 @@ impl Generation {
     }
 
     /// Clusters this generation at arbitrary parameters (cached per
-    /// generation across readers).
-    pub fn cluster(&self, params: DbscanParams) -> Result<Labels, Error> {
+    /// generation across readers). Accepts anything convertible into
+    /// [`crate::Params`], including an `(eps, min_pts)` tuple.
+    pub fn cluster(&self, params: impl Into<DbscanParams>) -> Result<Labels, Error> {
         self.session.cluster(params)
     }
 
@@ -135,25 +136,16 @@ impl Generation {
     /// [`crate::QueryStats::index_generation`] is ≥ this generation's id.
     pub fn query(
         &self,
-        params: DbscanParams,
+        params: impl Into<DbscanParams>,
         variant: VariantConfig,
     ) -> Result<QueryOutcome, Error> {
         self.session.query(params, variant)
     }
 
-    /// Sweeps a parameter grid over this generation.
-    pub fn sweep(&self, eps_grid: &[f64], min_pts_grid: &[usize]) -> Result<Vec<SweepCell>, Error> {
-        self.session.sweep(eps_grid, min_pts_grid)
-    }
-
-    /// [`Generation::sweep`] with an explicit variant.
-    pub fn sweep_variant(
-        &self,
-        eps_grid: &[f64],
-        min_pts_grid: &[usize],
-        variant: VariantConfig,
-    ) -> Result<Vec<SweepCell>, Error> {
-        self.session.sweep_variant(eps_grid, min_pts_grid, variant)
+    /// Sweeps a parameter grid over this generation — anything convertible
+    /// into a [`SweepGrid`], e.g. `([0.5, 0.7], [3, 4])`.
+    pub fn sweep(&self, grid: impl Into<SweepGrid>) -> Result<Vec<SweepCell>, Error> {
+        self.session.sweep(grid)
     }
 
     /// The indexed session serving this generation, for the remaining

@@ -74,14 +74,34 @@ pub use session::{ClusterSession, QueryOutcome, SessionBuilder, SweepCell, Updat
 
 /// The DBSCAN parameters (ε, minPts) — the pipeline's
 /// [`pardbscan::DbscanParams`], re-exported as the facade's parameter type.
+/// Every parameter-taking entry point accepts `impl Into<Params>`, so a
+/// plain `(eps, min_pts)` tuple works wherever a `Params` does.
 pub use pardbscan::DbscanParams as Params;
+
+/// A parameter grid for [`ClusterSession::sweep`]: ε values × minPts
+/// values, plus the algorithm variant to run them under. Build one with
+/// [`SweepGrid::new`] or convert from a tuple of arrays/slices/vecs.
+pub use pardbscan::SweepGrid;
+
+/// Configuration of the cell-graph-sharded clustering path — see
+/// [`SessionBuilder::shard`] and [`ClusterSession::cluster_sharded`].
+pub use dbscan_shard::ShardConfig;
+
+/// Statistics of one sharded clustering run (boundary-cell/edge counts,
+/// per-phase wall times including the merge phase).
+pub use dbscan_shard::ShardStats;
+
+/// The cell-graph-sharded clustering crate (shard-local phases plus the
+/// boundary-edge merge coordinator) — the advanced statically-typed
+/// interface behind [`SessionBuilder::shard`].
+pub use dbscan_shard as shard;
 
 /// Per-point label detail (core / border / noise), re-exported from the
 /// pipeline.
 pub use pardbscan::PointLabel;
 
 /// Algorithm-variant selection for [`ClusterSession::query`] and
-/// [`ClusterSession::sweep_variant`], re-exported from the pipeline.
+/// [`SweepGrid::variant`], re-exported from the pipeline.
 pub use pardbscan::VariantConfig;
 
 /// Per-query statistics (phase timings, cache-reuse flags), re-exported
@@ -137,8 +157,8 @@ pub use obs;
 /// assert_eq!(labels.num_clusters(), 1);
 /// # Ok::<(), dbscan::Error>(())
 /// ```
-pub fn cluster(cloud: &PointCloud, params: Params) -> Result<Labels, Error> {
-    cluster_variant(cloud, params, VariantConfig::exact())
+pub fn cluster(cloud: &PointCloud, params: impl Into<Params>) -> Result<Labels, Error> {
+    cluster_variant(cloud, params.into(), VariantConfig::exact())
 }
 
 /// Publishes the process's runtime dispatch decisions as registry `info`

@@ -26,11 +26,15 @@ use crate::error::Error;
 use crate::labels::Labels;
 use dbscan_durable::{DurableClusterer, DurableOptions, RealStorage, Storage};
 use dbscan_engine::{CacheStats, Engine, QueryStats, Snapshot};
+use dbscan_shard::{shard_cluster_on_index, ShardConfig, ShardStats};
 use dbscan_stream::{IntoStreaming, StreamingClusterer, UpdateBatch, UpdateStats};
 use geom::{points_from_flat, Point};
-use pardbscan::{DbscanParams, VariantConfig};
+use pardbscan::pipeline::SpatialIndex;
+use pardbscan::{CellMethod, DbscanParams, SweepGrid, VariantConfig};
+use spatial::ShardAssignment;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Configures and opens [`ClusterSession`]s.
 ///
@@ -42,6 +46,7 @@ use std::sync::{Arc, Mutex};
 pub struct SessionBuilder {
     engine: Engine,
     durable: Option<(PathBuf, DurableOptions)>,
+    shard: Option<ShardConfig>,
 }
 
 impl SessionBuilder {
@@ -72,6 +77,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Runs [`ClusterSession::cluster`] through the cell-graph-sharded path
+    /// of the `dbscan-shard` crate: the grid cells are partitioned across
+    /// `config.num_shards` workers, MarkCore and the intra-shard cell graph
+    /// run locally per shard, and only boundary-cell edges are merged at a
+    /// coordinator. Labels are byte-identical to the unsharded engine; the
+    /// merge phase appears as its own phase in
+    /// [`ClusterSession::explain_last`].
+    ///
+    /// The sharded path covers the default exact variant;
+    /// [`ClusterSession::query`] with an explicit variant and sweeps keep
+    /// using the engine snapshot (and its caches) directly.
+    pub fn shard(mut self, config: ShardConfig) -> Self {
+        self.shard = Some(config);
+        self
+    }
+
     /// Ingests a validated point cloud and opens the session. Fails with
     /// [`Error::UnsupportedDimension`] when the cloud's dimensionality is
     /// outside 2..=8. With [`SessionBuilder::durable`] configured, also
@@ -82,6 +103,7 @@ impl SessionBuilder {
         Ok(ClusterSession {
             dim,
             inner,
+            shard: self.shard,
             last_explain: Mutex::new(None),
         })
     }
@@ -102,6 +124,7 @@ impl SessionBuilder {
         Ok(ClusterSession {
             dim,
             inner,
+            shard: self.shard,
             last_explain: Mutex::new(None),
         })
     }
@@ -127,6 +150,33 @@ fn phases_from_query(stats: &QueryStats) -> Vec<obs::PhaseExecution> {
         },
         obs::PhaseExecution::ran(obs::phase::CLUSTER_CORE, stats.cluster_core_time),
         obs::PhaseExecution::ran(obs::phase::CLUSTER_BORDER, stats.cluster_border_time),
+    ]
+}
+
+/// The EXPLAIN phase list of one sharded cluster run. MarkCore and the
+/// local connect report one run per shard; the merge phase appears under
+/// its own [`obs::phase::SHARD_MERGE`] name. A reused cached spatial index
+/// shows the partition as skipped by that index's generation.
+fn phases_from_shard(
+    stats: &ShardStats,
+    index_generation: Option<u64>,
+) -> Vec<obs::PhaseExecution> {
+    let per_shard = |phase: &'static str, duration: Duration| obs::PhaseExecution {
+        phase,
+        runs: stats.num_shards,
+        skips: 0,
+        skipped_by_generation: None,
+        duration,
+    };
+    vec![
+        match index_generation {
+            Some(generation) => obs::PhaseExecution::skipped(obs::phase::PARTITION, generation),
+            None => obs::PhaseExecution::ran(obs::phase::PARTITION, stats.partition_time),
+        },
+        per_shard(obs::phase::MARK_CORE, stats.mark_core_time),
+        per_shard(obs::phase::SHARD_LOCAL, stats.local_connect_time),
+        obs::PhaseExecution::ran(obs::phase::SHARD_MERGE, stats.merge_time),
+        obs::PhaseExecution::ran(obs::phase::CLUSTER_BORDER, stats.border_time),
     ]
 }
 
@@ -255,7 +305,7 @@ pub struct QueryOutcome {
 /// let session = ClusterSession::ingest(PointCloud::new(2, coords)?)?;
 ///
 /// // 2 × 2 parameter grid, one partition build per ε underneath.
-/// let grid = session.sweep(&[0.5, 0.7], &[3, 4])?;
+/// let grid = session.sweep(([0.5, 0.7], [3, 4]))?;
 /// assert_eq!(grid.len(), 4);
 /// assert_eq!(session.cache_stats().partition_misses, 2);
 /// # Ok::<(), dbscan::Error>(())
@@ -282,6 +332,9 @@ pub struct QueryOutcome {
 pub struct ClusterSession {
     dim: usize,
     pub(crate) inner: Box<dyn ErasedSession>,
+    /// Set by [`SessionBuilder::shard`]: routes [`ClusterSession::cluster`]
+    /// through the sharded path.
+    shard: Option<ShardConfig>,
     /// EXPLAIN report of the most recent successful query/sweep/apply.
     /// Interior mutability because `query`/`sweep` take `&self`.
     last_explain: Mutex<Option<obs::ExplainReport>>,
@@ -354,6 +407,7 @@ impl ClusterSession {
         ClusterSession {
             dim,
             inner,
+            shard: None,
             last_explain: Mutex::new(None),
         }
     }
@@ -369,8 +423,8 @@ impl ClusterSession {
     /// durable session the conversion starts a WAL'd streaming episode, so
     /// every batch applied through the concurrent writer is logged before
     /// it is acknowledged.
-    pub fn share(self, params: DbscanParams) -> Result<crate::ConcurrentSession, Error> {
-        crate::ConcurrentSession::from_session(self, params)
+    pub fn share(self, params: impl Into<DbscanParams>) -> Result<crate::ConcurrentSession, Error> {
+        crate::ConcurrentSession::from_session(self, params.into())
     }
 
     /// The dimensionality of the session's points.
@@ -385,18 +439,61 @@ impl ClusterSession {
     }
 
     /// Clusters the session's points with the paper's default exact
-    /// variant, reusing cached phase state where possible.
-    pub fn cluster(&self, params: DbscanParams) -> Result<Labels, Error> {
-        Ok(self.query(params, VariantConfig::exact())?.labels)
+    /// variant, reusing cached phase state where possible. Accepts anything
+    /// convertible into [`crate::Params`] — `Params::new(0.5, 3)` or the
+    /// tuple `(0.5, 3)`.
+    ///
+    /// With [`SessionBuilder::shard`] configured, the run goes through the
+    /// cell-graph-sharded path instead of the engine snapshot; the labels
+    /// are identical either way.
+    pub fn cluster(&self, params: impl Into<DbscanParams>) -> Result<Labels, Error> {
+        let params = params.into();
+        match self.shard {
+            Some(config) => Ok(self.cluster_sharded(params, config)?.0),
+            None => Ok(self.query(params, VariantConfig::exact())?.labels),
+        }
+    }
+
+    /// Runs the cell-graph-sharded clustering path explicitly (regardless
+    /// of whether the builder configured it), returning the labels together
+    /// with the run's [`ShardStats`] — shard count, boundary-cell and
+    /// boundary-edge counts, and per-phase wall times including the merge
+    /// phase. The session's cached spatial index for `params.eps` is reused
+    /// when one exists.
+    pub fn cluster_sharded(
+        &self,
+        params: impl Into<DbscanParams>,
+        config: ShardConfig,
+    ) -> Result<(Labels, ShardStats), Error> {
+        let params = params.into();
+        let scope = obs::OpScope::begin_with_pool("cluster_sharded", rayon::pool_busy_nanos());
+        let (labels, stats, index_generation) = {
+            let _span = obs::Span::enter("session", obs::phase::QUERY)
+                .eps(params.eps)
+                .min_pts(params.min_pts)
+                .n(self.num_points());
+            self.inner.cluster_sharded(params, config.num_shards)
+        }?;
+        let mut report = scope.finish_with_pool(rayon::pool_busy_nanos(), rayon::pool_threads());
+        report.variant = format!("exact, sharded over {} shards", stats.num_shards);
+        report.eps = params.eps;
+        report.min_pts = params.min_pts;
+        report.n = self.num_points();
+        report.cells_visited = stats.num_cells;
+        report.num_core_points = stats.num_core_points;
+        report.phases = phases_from_shard(&stats, index_generation);
+        self.store_explain(report);
+        Ok((labels, stats))
     }
 
     /// Runs an explicit algorithm variant and returns the labels together
     /// with the per-query statistics (phase timings, cache-reuse flags).
     pub fn query(
         &self,
-        params: DbscanParams,
+        params: impl Into<DbscanParams>,
         variant: VariantConfig,
     ) -> Result<QueryOutcome, Error> {
+        let params = params.into();
         let scope = obs::OpScope::begin_with_pool("query", rayon::pool_busy_nanos());
         let outcome = {
             let _span = obs::Span::enter("session", obs::phase::QUERY)
@@ -417,26 +514,23 @@ impl ClusterSession {
         Ok(outcome)
     }
 
-    /// Runs the default exact variant over the full `ε-grid × minPts-grid`
-    /// cross-product in parallel. Each ε's spatial index is built once and
-    /// shared across that ε's minPts values, and repeated grid entries are
-    /// deduplicated before dispatch.
-    pub fn sweep(&self, eps_grid: &[f64], min_pts_grid: &[usize]) -> Result<Vec<SweepCell>, Error> {
-        self.sweep_variant(eps_grid, min_pts_grid, VariantConfig::exact())
-    }
-
-    /// [`ClusterSession::sweep`] with an explicit algorithm variant.
-    pub fn sweep_variant(
-        &self,
-        eps_grid: &[f64],
-        min_pts_grid: &[usize],
-        variant: VariantConfig,
-    ) -> Result<Vec<SweepCell>, Error> {
+    /// Runs a full `ε-grid × minPts-grid` cross-product in parallel. Each
+    /// ε's spatial index is built once and shared across that ε's minPts
+    /// values, and repeated grid entries are deduplicated before dispatch.
+    ///
+    /// Accepts anything convertible into [`SweepGrid`]: the builder form
+    /// `SweepGrid::new([0.5, 0.7], [3, 4])` (with
+    /// [`SweepGrid::variant`] for a non-default algorithm variant), or
+    /// plain tuples of arrays/slices/vecs —
+    /// `session.sweep(([0.5, 0.7], [3, 4]))`.
+    pub fn sweep(&self, grid: impl Into<SweepGrid>) -> Result<Vec<SweepCell>, Error> {
+        let grid = grid.into();
+        let (eps_grid, min_pts_grid, variant) = (grid.eps, grid.min_pts, grid.variant);
         let scope = obs::OpScope::begin_with_pool("sweep", rayon::pool_busy_nanos());
         let grid = {
             let _span = obs::Span::enter("session", obs::phase::SWEEP)
                 .n(eps_grid.len() * min_pts_grid.len());
-            self.inner.sweep(eps_grid, min_pts_grid, variant)
+            self.inner.sweep(&eps_grid, &min_pts_grid, variant)
         }?;
         let mut report = scope.finish_with_pool(rayon::pool_busy_nanos(), rayon::pool_threads());
         report.variant = format!(
@@ -445,7 +539,7 @@ impl ClusterSession {
             eps_grid.len(),
             min_pts_grid.len()
         );
-        if let (&[eps], _) = (eps_grid, min_pts_grid) {
+        if let [eps] = *eps_grid {
             report.eps = eps;
         }
         if let [min_pts] = *min_pts_grid {
@@ -537,7 +631,8 @@ impl ClusterSession {
     /// engineered for the low-dimensional regime (d ≤ 3 is where the
     /// paper's grid constants are small). Higher-dimensional sessions can
     /// still stream, but per-update costs rise accordingly.
-    pub fn updates(&mut self, params: DbscanParams) -> Result<UpdateHandle<'_>, Error> {
+    pub fn updates(&mut self, params: impl Into<DbscanParams>) -> Result<UpdateHandle<'_>, Error> {
+        let params = params.into();
         self.inner.begin_updates(params)?;
         Ok(UpdateHandle {
             session: self,
@@ -666,6 +761,14 @@ impl Drop for UpdateHandle<'_> {
 pub(crate) trait ErasedSession: Send + Sync {
     fn num_points(&self) -> usize;
     fn query(&self, params: DbscanParams, variant: VariantConfig) -> Result<QueryOutcome, Error>;
+    /// The cell-graph-sharded cluster path (indexed mode only): labels,
+    /// the run's [`ShardStats`], and — when a cached spatial index served
+    /// the partition phase — that index's generation stamp.
+    fn cluster_sharded(
+        &self,
+        params: DbscanParams,
+        num_shards: usize,
+    ) -> Result<(Labels, ShardStats, Option<u64>), Error>;
     fn sweep(
         &self,
         eps_grid: &[f64],
@@ -768,6 +871,37 @@ impl<const D: usize> ErasedSession for SessionState<D> {
             labels: Labels::from(result.clustering),
             stats: result.stats,
         })
+    }
+
+    fn cluster_sharded(
+        &self,
+        params: DbscanParams,
+        num_shards: usize,
+    ) -> Result<(Labels, ShardStats, Option<u64>), Error> {
+        params.validate().map_err(Error::from)?;
+        let snapshot = self.snapshot();
+        // Reuse the snapshot's cached phase-1 state when a grid index for
+        // this ε exists; otherwise build one (without inserting it — cache
+        // admission stays the engine's decision, made on its own queries).
+        let (index, generation, partition_time) =
+            match snapshot.cached_index_stamped(params.eps, CellMethod::Grid) {
+                Some((generation, index)) => (index, Some(generation), Duration::ZERO),
+                None => {
+                    let start = Instant::now();
+                    let index = Arc::new(SpatialIndex::build(
+                        snapshot.points(),
+                        params.eps,
+                        CellMethod::Grid,
+                    )?);
+                    (index, None, start.elapsed())
+                }
+            };
+        let assignment =
+            ShardAssignment::build(&index.partition.cells, &index.neighbors, num_shards);
+        let (clustering, mut stats) = shard_cluster_on_index(&index, params.min_pts, &assignment);
+        stats.partition_time = partition_time;
+        stats.total_time += partition_time;
+        Ok((Labels::from(clustering), stats, generation))
     }
 
     fn sweep(
@@ -1111,7 +1245,7 @@ mod tests {
         let one_shot = session.cluster(params).unwrap();
         assert_eq!(one_shot.num_clusters(), 1);
 
-        let grid = session.sweep(&[0.2, 0.35], &[4, 8]).unwrap();
+        let grid = session.sweep(([0.2, 0.35], [4, 8])).unwrap();
         assert_eq!(grid.len(), 4);
         assert_eq!(grid[0].labels, one_shot, "sweep cell ≡ one-shot labels");
         assert!(session.cache_stats().partition_hits > 0);
@@ -1180,7 +1314,7 @@ mod tests {
             Err(Error::InvalidParams(_))
         ));
         assert!(matches!(
-            session.sweep(&[0.2, f64::NAN], &[3]),
+            session.sweep(([0.2, f64::NAN], [3])),
             Err(Error::InvalidParams(_))
         ));
         assert!(matches!(
@@ -1189,6 +1323,50 @@ mod tests {
         ));
         // A failed `updates` must leave the session serviceable.
         assert!(session.cluster(DbscanParams::new(0.2, 3)).is_ok());
+    }
+
+    #[test]
+    fn sharded_sessions_match_the_engine_and_explain_the_merge() {
+        let params = DbscanParams::new(0.2, 4);
+        let plain = ClusterSession::ingest(grid_cloud(10, 0.1)).unwrap();
+        let expected = plain.cluster(params).unwrap();
+
+        let sharded = ClusterSession::builder()
+            .shard(ShardConfig::new(4))
+            .ingest(grid_cloud(10, 0.1))
+            .unwrap();
+        // Tuple params convert on every entry point of the redesigned API.
+        assert_eq!(sharded.cluster((0.2, 4)).unwrap(), expected);
+        let explain = sharded.explain_last().unwrap();
+        assert!(
+            explain
+                .phases
+                .iter()
+                .any(|p| p.phase == obs::phase::SHARD_MERGE),
+            "the merge phase must be visible in EXPLAIN output"
+        );
+        let local = explain
+            .phases
+            .iter()
+            .find(|p| p.phase == obs::phase::SHARD_LOCAL)
+            .expect("shard-local phase present");
+        assert_eq!(local.runs, 4, "one local-connect run per shard");
+
+        // The explicit method works without builder configuration, and a
+        // cached index (from the plain cluster above) is attributed as a
+        // skipped partition phase.
+        let (labels, stats) = plain
+            .cluster_sharded((0.2, 4), ShardConfig::new(2))
+            .unwrap();
+        assert_eq!(labels, expected);
+        assert_eq!(stats.num_shards, 2);
+        let explain = plain.explain_last().unwrap();
+        let partition = explain
+            .phases
+            .iter()
+            .find(|p| p.phase == obs::phase::PARTITION)
+            .expect("partition phase present");
+        assert_eq!(partition.skips, 1, "cached index reused");
     }
 
     #[test]

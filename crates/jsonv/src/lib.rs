@@ -300,7 +300,11 @@ mod tests {
         // Nesting at the limit still parses.
         let deep = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
         assert!(parse(&deep).is_ok());
-        let too_deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
         assert!(too_deep.len() < 1024); // small enough that only the limit can reject it
         assert!(parse(&too_deep).is_err());
     }

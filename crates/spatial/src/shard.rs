@@ -1,0 +1,289 @@
+//! Cell-range sharding of a grid partition: contiguous key-range shard
+//! assignment plus boundary-cell enumeration.
+//!
+//! The paper's decomposition makes grid cells the natural unit of
+//! distribution: every phase after the partition reads a cell and its O(1)
+//! ε-neighbouring cells only, so a shard that owns a set of cells can run
+//! MarkCore and the intra-shard part of the cell graph locally, and only
+//! edges between cells of *different* shards need cross-shard attention.
+//!
+//! [`ShardAssignment`] maps each cell to one of N shards by splitting the
+//! cells — sorted lexicographically by integer grid key, so each shard owns
+//! a spatially coherent, contiguous key range — into N runs balanced by
+//! point count. It then enumerates the *boundary cells*: cells with at
+//! least one ε-neighbour owned by another shard. Everything else is
+//! interior, and interior cells never participate in the merge phase.
+
+use crate::neighbors::NeighborGraph;
+use crate::partition::CellInfo;
+
+/// A mapping of grid cells onto `num_shards` shard workers, with the
+/// shard-boundary cells enumerated.
+///
+/// Shards own contiguous runs of the key-sorted cell order (ties and
+/// keyless cells fall back to cell-id order), balanced by point count. The
+/// assignment is deterministic for a given partition and shard count.
+#[derive(Debug, Clone)]
+pub struct ShardAssignment {
+    /// The number of shards the assignment was built for. Some may own no
+    /// cells when there are fewer cells than shards.
+    pub num_shards: usize,
+    /// For every cell id, the shard that owns it.
+    pub cell_to_shard: Vec<usize>,
+    /// For every shard, the cells it owns, in key-sorted order.
+    pub shard_cells: Vec<Vec<usize>>,
+    /// For every cell id, `true` when at least one of its ε-neighbour cells
+    /// is owned by a different shard.
+    pub boundary: Vec<bool>,
+}
+
+impl ShardAssignment {
+    /// Builds the assignment for `cells` (with their ε-neighbour adjacency
+    /// in `neighbors`) over `num_shards` shards. A `num_shards` of zero is
+    /// treated as one.
+    pub fn build<const D: usize>(
+        cells: &[CellInfo<D>],
+        neighbors: &NeighborGraph,
+        num_shards: usize,
+    ) -> ShardAssignment {
+        let num_shards = num_shards.max(1);
+        let num_cells = cells.len();
+
+        // The grid construction groups cells with a semisort, whose order is
+        // not the key order; sort cell ids lexicographically by key so the
+        // contiguous runs below are contiguous *key ranges*. Cells without a
+        // key (the 2D box construction) keep their id order, which for box
+        // strips is already spatial.
+        let mut order: Vec<usize> = (0..num_cells).collect();
+        order.sort_by(|&a, &b| match (&cells[a].key, &cells[b].key) {
+            (Some(ka), Some(kb)) => ka.as_slice().cmp(kb.as_slice()).then(a.cmp(&b)),
+            _ => a.cmp(&b),
+        });
+
+        // Greedy contiguous split balanced by point count: each shard takes
+        // cells until it reaches its fair share of the points that remain.
+        let total_points: usize = cells.iter().map(|c| c.len).sum();
+        let mut cell_to_shard = vec![0usize; num_cells];
+        let mut shard_cells: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        let mut remaining_points = total_points;
+        let mut cursor = 0usize;
+        for (shard, owned) in shard_cells.iter_mut().enumerate() {
+            let remaining_shards = num_shards - shard;
+            let target = remaining_points.div_ceil(remaining_shards);
+            let mut taken = 0usize;
+            while cursor < num_cells {
+                let c = order[cursor];
+                // Always take at least one cell; stop once the share is met
+                // (later shards must still get cells, hence div_ceil above).
+                if taken > 0 && taken + cells[c].len > target {
+                    break;
+                }
+                cell_to_shard[c] = shard;
+                owned.push(c);
+                taken += cells[c].len;
+                cursor += 1;
+            }
+            remaining_points -= taken;
+        }
+        // Fewer shards than planned can absorb leftovers only if the greedy
+        // loop overshot everywhere; hand any remainder to the last shard.
+        while cursor < num_cells {
+            let c = order[cursor];
+            cell_to_shard[c] = num_shards - 1;
+            shard_cells[num_shards - 1].push(c);
+            cursor += 1;
+        }
+
+        let boundary: Vec<bool> = (0..num_cells)
+            .map(|c| {
+                neighbors
+                    .of(c)
+                    .iter()
+                    .any(|&h| cell_to_shard[h] != cell_to_shard[c])
+            })
+            .collect();
+
+        ShardAssignment {
+            num_shards,
+            cell_to_shard,
+            shard_cells,
+            boundary,
+        }
+    }
+
+    /// Builds an assignment from an explicit cell → shard mapping (the
+    /// property-test path: random partitions that need not be contiguous).
+    /// Shard ids must be `< num_shards`.
+    pub fn from_mapping(
+        cell_to_shard: Vec<usize>,
+        num_shards: usize,
+        neighbors: &NeighborGraph,
+    ) -> ShardAssignment {
+        let num_shards = num_shards.max(1);
+        assert!(
+            cell_to_shard.iter().all(|&s| s < num_shards),
+            "shard id out of range"
+        );
+        let mut shard_cells: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (c, &s) in cell_to_shard.iter().enumerate() {
+            shard_cells[s].push(c);
+        }
+        let boundary: Vec<bool> = (0..cell_to_shard.len())
+            .map(|c| {
+                neighbors
+                    .of(c)
+                    .iter()
+                    .any(|&h| cell_to_shard[h] != cell_to_shard[c])
+            })
+            .collect();
+        ShardAssignment {
+            num_shards,
+            cell_to_shard,
+            shard_cells,
+            boundary,
+        }
+    }
+
+    /// Number of cells covered by the assignment.
+    pub fn num_cells(&self) -> usize {
+        self.cell_to_shard.len()
+    }
+
+    /// Number of boundary cells (cells with an ε-neighbour in another
+    /// shard).
+    pub fn num_boundary_cells(&self) -> usize {
+        self.boundary.iter().filter(|&&b| b).count()
+    }
+
+    /// The shard owning cell `c`.
+    pub fn shard_of(&self, c: usize) -> usize {
+        self.cell_to_shard[c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::grid_partition;
+    use geom::Point2;
+    use rand::prelude::*;
+
+    fn random_partition(n: usize, extent: f64, eps: f64, seed: u64) -> crate::CellPartition<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point2> = (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect();
+        grid_partition(&pts, eps)
+    }
+
+    fn neighbor_graph(partition: &crate::CellPartition<2>, eps: f64) -> NeighborGraph {
+        let grid = partition.grid_index.as_ref().unwrap();
+        let lists: Vec<Vec<usize>> = partition
+            .cells
+            .iter()
+            .map(|info| {
+                let mut nbrs = grid.neighbor_cells(&info.key.unwrap());
+                nbrs.sort_unstable();
+                nbrs
+            })
+            .collect();
+        let _ = eps;
+        NeighborGraph::from_lists(&lists)
+    }
+
+    #[test]
+    fn every_cell_is_assigned_exactly_once() {
+        let partition = random_partition(2_000, 40.0, 1.0, 1);
+        let graph = neighbor_graph(&partition, 1.0);
+        for shards in [1usize, 2, 4, 8, 64] {
+            let a = ShardAssignment::build(&partition.cells, &graph, shards);
+            assert_eq!(a.num_cells(), partition.num_cells());
+            let mut seen = vec![false; partition.num_cells()];
+            for (s, owned) in a.shard_cells.iter().enumerate() {
+                for &c in owned {
+                    assert!(!seen[c], "cell {c} assigned twice");
+                    seen[c] = true;
+                    assert_eq!(a.cell_to_shard[c], s);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every cell assigned");
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let partition = random_partition(500, 20.0, 1.0, 2);
+        let graph = neighbor_graph(&partition, 1.0);
+        let a = ShardAssignment::build(&partition.cells, &graph, 1);
+        assert_eq!(a.num_boundary_cells(), 0);
+    }
+
+    #[test]
+    fn shards_own_contiguous_key_ranges() {
+        let partition = random_partition(3_000, 50.0, 1.0, 3);
+        let graph = neighbor_graph(&partition, 1.0);
+        let a = ShardAssignment::build(&partition.cells, &graph, 4);
+        // Walking the cells in key order must visit shards in ascending
+        // order without revisiting an earlier shard.
+        let mut order: Vec<usize> = (0..partition.num_cells()).collect();
+        order.sort_by_key(|&c| partition.cells[c].key.unwrap());
+        let shards_in_order: Vec<usize> = order.iter().map(|&c| a.cell_to_shard[c]).collect();
+        assert!(shards_in_order.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn point_counts_are_roughly_balanced() {
+        let partition = random_partition(10_000, 60.0, 1.0, 4);
+        let graph = neighbor_graph(&partition, 1.0);
+        let a = ShardAssignment::build(&partition.cells, &graph, 4);
+        let loads: Vec<usize> = a
+            .shard_cells
+            .iter()
+            .map(|cells| cells.iter().map(|&c| partition.cells[c].len).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        // Uniform data in many small cells: the greedy split should be
+        // within a factor of two of perfectly even.
+        assert!(max <= 2 * min.max(1), "loads {loads:?}");
+    }
+
+    #[test]
+    fn boundary_cells_match_a_direct_check() {
+        let partition = random_partition(1_000, 30.0, 1.0, 5);
+        let graph = neighbor_graph(&partition, 1.0);
+        let a = ShardAssignment::build(&partition.cells, &graph, 3);
+        for c in 0..partition.num_cells() {
+            let expect = graph
+                .of(c)
+                .iter()
+                .any(|&h| a.cell_to_shard[h] != a.cell_to_shard[c]);
+            assert_eq!(a.boundary[c], expect, "cell {c}");
+        }
+    }
+
+    #[test]
+    fn from_mapping_round_trips() {
+        let partition = random_partition(400, 20.0, 1.0, 6);
+        let graph = neighbor_graph(&partition, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mapping: Vec<usize> = (0..partition.num_cells())
+            .map(|_| rng.gen_range(0..3))
+            .collect();
+        let a = ShardAssignment::from_mapping(mapping.clone(), 3, &graph);
+        assert_eq!(a.cell_to_shard, mapping);
+        let total: usize = a.shard_cells.iter().map(|s| s.len()).sum();
+        assert_eq!(total, partition.num_cells());
+    }
+
+    #[test]
+    fn more_shards_than_cells_leaves_some_empty() {
+        let partition = random_partition(10, 5.0, 1.0, 8);
+        let graph = neighbor_graph(&partition, 1.0);
+        let a = ShardAssignment::build(&partition.cells, &graph, 64);
+        let nonempty = a.shard_cells.iter().filter(|s| !s.is_empty()).count();
+        assert!(nonempty <= partition.num_cells());
+        let total: usize = a.shard_cells.iter().map(|s| s.len()).sum();
+        assert_eq!(total, partition.num_cells());
+    }
+}

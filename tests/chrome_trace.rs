@@ -83,7 +83,7 @@ fn chrome_trace_of_a_real_sweep_conforms_to_the_trace_event_schema() {
         .collect();
     let session = ClusterSession::ingest(PointCloud::from_rows(&rows).unwrap()).unwrap();
     let _ = session.take_trace(); // start from an empty ring
-    let grid = session.sweep(&[0.2, 0.3], &[3, 5]).unwrap();
+    let grid = session.sweep(([0.2, 0.3], [3, 5])).unwrap();
     assert_eq!(grid.len(), 4);
 
     let spans = session.take_trace();

@@ -117,7 +117,7 @@ fn engine_sweep_matches_oneshot_and_reuses_partitions() {
     // A 5 × 2 grid: ten queries over five distinct ε values.
     let eps_grid = [0.5, 0.8, 1.1, 1.4, 1.7];
     let min_pts_grid = [3, 7];
-    let grid = snapshot.sweep(&eps_grid, &min_pts_grid).unwrap();
+    let grid = snapshot.sweep((&eps_grid, &min_pts_grid)).unwrap();
     assert_eq!(grid.len(), eps_grid.len() * min_pts_grid.len());
 
     for cell in &grid {
@@ -148,7 +148,7 @@ fn engine_sweep_matches_oneshot_and_reuses_partitions() {
     assert_eq!(stats.partition_hits + stats.partition_misses, grid.len());
 
     // Re-running the same sweep hits the partition cache for every query.
-    let again = snapshot.sweep(&eps_grid, &min_pts_grid).unwrap();
+    let again = snapshot.sweep((&eps_grid, &min_pts_grid)).unwrap();
     assert_eq!(again.len(), grid.len());
     let stats = snapshot.cache_stats();
     assert_eq!(

@@ -108,7 +108,7 @@ fn explain_reports_track_cache_flags_timings_and_counters() {
     // --- Sweep: one aggregated report for the whole grid.
     let eps_grid = [0.2, 0.3];
     let min_pts_grid = [3, 5];
-    let grid = session.sweep(&eps_grid, &min_pts_grid).unwrap();
+    let grid = session.sweep((&eps_grid, &min_pts_grid)).unwrap();
     assert_eq!(grid.len(), 4);
     let sweep_report = session.explain_last().unwrap();
     assert_eq!(sweep_report.op, "sweep");

@@ -37,7 +37,7 @@ fn assert_facade_matches_static<const D: usize>(
 
     // Path 3: a sweep containing the same parameter cell.
     let grid = session
-        .sweep(&[eps, eps * 1.5], &[min_pts])
+        .sweep(([eps, eps * 1.5], [min_pts]))
         .expect("valid grid");
     assert_eq!(
         grid[0].labels.as_clustering(),

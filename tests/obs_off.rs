@@ -22,7 +22,7 @@ fn obs_off_records_no_spans_and_no_metrics() {
     let params = Params::new(0.2, 3);
     let labels = session.cluster(params).unwrap();
     assert_eq!(labels.num_clusters(), 1);
-    session.sweep(&[0.2, 0.4], &[3, 5]).unwrap();
+    session.sweep(([0.2, 0.4], [3, 5])).unwrap();
     // The per-session views are independent of the observability mode.
     // (Captured before the streaming episode: freezing back re-indexes the
     // snapshot, which resets the session's cache counters.)

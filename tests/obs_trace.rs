@@ -78,7 +78,7 @@ fn trace_spans_and_registry_agree_with_query_stats() {
     // deltas equal the per-snapshot CacheStats deltas (single write path).
     let before_report = session.metrics();
     let before_stats = session.cache_stats();
-    let grid = session.sweep(&[0.2, 0.3], &[3, 5]).unwrap();
+    let grid = session.sweep(([0.2, 0.3], [3, 5])).unwrap();
     assert_eq!(grid.len(), 4);
     let after_report = session.metrics();
     let after_stats = session.cache_stats();
